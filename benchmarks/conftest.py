@@ -1,0 +1,59 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark runs against one full-scale synthetic dataset: the library
+default of 500 cars over 90 days (the paper's 1M-car/90-day study scaled to
+a laptop).  Generation takes ~10 s and happens once per session.
+
+Each benchmark prints the same rows/series its paper artifact reports and
+also writes them to ``benchmarks/out/<experiment>.txt`` so the numbers
+survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro import SimulationConfig, TraceGenerator
+from repro.core.busy import BusySchedule
+from repro.core.preprocess import preprocess
+from repro.core.segmentation import days_on_network
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    """The full-scale default dataset (500 cars, 90 days)."""
+    return TraceGenerator(SimulationConfig()).generate()
+
+
+@pytest.fixture(scope="session")
+def pre(dataset):
+    """Section 3 preprocessing applied once."""
+    return preprocess(dataset.batch)
+
+
+@pytest.fixture(scope="session")
+def busy_schedule(dataset):
+    """Busy masks over the full study."""
+    return BusySchedule.from_load_model(dataset.load_model)
+
+
+@pytest.fixture(scope="session")
+def days(pre, dataset):
+    """Per-car days-on-network, shared by segmentation and FOTA benches."""
+    return days_on_network(pre.full, dataset.clock)
+
+
+@pytest.fixture()
+def emit(request):
+    """Print a result block and persist it under benchmarks/out/."""
+
+    def _emit(name: str, text: str) -> None:
+        OUT_DIR.mkdir(exist_ok=True)
+        (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n=== {name} ===\n{text}")
+
+    return _emit

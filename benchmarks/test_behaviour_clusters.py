@@ -1,0 +1,61 @@
+"""Extension experiment: clustering cars by behaviour (Section 1's claim).
+
+"Most importantly, we observe that cars can be clustered according to
+predictability in their behavior."  This bench clusters the fleet's
+normalized 24x7 fingerprints, reports the archetypes' weekend/commute
+shares, and cross-checks the clusters against the generator's ground-truth
+profiles (which the clustering never sees).
+"""
+
+import numpy as np
+
+from repro.core.carclusters import choose_k, cluster_cars
+from repro.mobility.profiles import CarProfile
+
+
+def test_behaviour_clusters(benchmark, dataset, pre, emit):
+    clusters = benchmark.pedantic(
+        cluster_cars,
+        args=(pre.truncated.by_car(), dataset.clock),
+        kwargs={"k": 3, "min_connections": 50},
+        rounds=1,
+        iterations=1,
+    )
+
+    profile_of = {c.car_id: c.profile for c in dataset.cars}
+    lines = [f"cars clustered: {len(clusters.car_ids)} (k=3)", ""]
+    for label in range(3):
+        members = clusters.members(label)
+        profiles = [profile_of[m] for m in members if m in profile_of]
+        top = max(set(profiles), key=profiles.count) if profiles else None
+        purity = profiles.count(top) / len(profiles) if profiles else 0.0
+        lines.append(
+            f"cluster {label}: {len(members):>3} cars | weekend share "
+            f"{clusters.weekend_share(label):.2f} | commute share "
+            f"{clusters.commute_share(label):.2f} | dominant ground-truth "
+            f"profile: {top.value if top else '-'} ({purity:.0%})"
+        )
+    silhouette = clusters.silhouette()
+    lines += ["", f"silhouette (k=3): {silhouette:.2f}"]
+    scores = choose_k(
+        pre.truncated.by_car(), dataset.clock, k_range=(2, 3, 4), min_connections=50
+    )
+    lines.append(
+        "silhouette by k: "
+        + ", ".join(f"k={k}: {s:.2f}" for k, s in sorted(scores.items()))
+    )
+
+    # Shape: the clusters differ along the weekend axis, and the
+    # weekend-leaning cluster is enriched in ground-truth weekenders.
+    weekend_shares = sorted(clusters.weekend_share(label) for label in range(3))
+    assert weekend_shares[-1] > weekend_shares[0] + 0.1
+    weekend_label = max(range(3), key=clusters.weekend_share)
+    members = set(clusters.members(weekend_label))
+    weekenders = {c.car_id for c in dataset.cars if c.profile is CarProfile.WEEKENDER}
+    enrich = len(members & weekenders) / max(len(members), 1)
+    base = len(weekenders) / len(dataset.cars)
+    lines.append(
+        f"weekend cluster enrichment: {enrich:.0%} weekenders vs {base:.0%} base rate"
+    )
+    assert enrich > base
+    emit("behaviour_clusters", "\n".join(lines))

@@ -1,0 +1,47 @@
+"""Figure 4: the significant time ranges of the week.
+
+Paper: three 24x7 shaded matrices — weekday commute peaks, daily network
+peak hours (14:00-24:00), and the weekend block.  This bench regenerates the
+masks and verifies them against the network load model: the mean load-model
+utilization inside the network-peak mask must exceed the outside mean, which
+is exactly what makes the mask "significant".
+"""
+
+import numpy as np
+
+from repro.core.matrices import period_masks
+from repro.network.load import weekday_shape, weekend_shape
+
+
+def render(mask) -> str:
+    lines = ["    M T W T F S S"]
+    for hour in range(24):
+        cells = " ".join("#" if mask[hour, wd] else "." for wd in range(7))
+        lines.append(f"{hour:>2}  {cells}")
+    return "\n".join(lines)
+
+
+def test_fig4_period_masks(benchmark, emit):
+    masks = benchmark(period_masks)
+
+    lines = []
+    for name, mask in (
+        ("Commute peak times", masks.commute_peak),
+        ("Network peak times", masks.network_peak),
+        ("Weekend times", masks.weekend),
+    ):
+        lines += [name, render(mask), ""]
+
+    # Validate the network-peak mask against the diurnal load shape: hourly
+    # mean utilization inside the mask must dominate outside.
+    hourly = weekday_shape().reshape(24, 4).mean(axis=1)
+    inside = hourly[14:24].mean()
+    outside = hourly[:14].mean()
+    assert inside > outside
+    # Weekend mask covers exactly 2/7 of the week.
+    assert masks.weekend.sum() == 2 * 24
+    # Commute mask touches only weekdays.
+    assert not masks.commute_peak[:, 5:].any()
+    # Weekend shape peaks later than the weekday morning bump.
+    assert np.argmax(weekend_shape()) > np.argmax(weekday_shape()[: 12 * 4])
+    emit("fig4_period_masks", "\n".join(lines))

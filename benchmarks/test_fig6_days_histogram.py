@@ -1,0 +1,40 @@
+"""Figure 6: histogram of the number of days cars were on the network.
+
+Paper: a sharp drop-off below ~10 days, a trough, then an increasing trend
+past ~30 days towards a large mass of cars present on most study days —
+which is what justifies the 10- and 30-day rare/common thresholds.
+"""
+
+import numpy as np
+
+from repro.core.segmentation import days_histogram, days_on_network
+
+
+def test_fig6_days_histogram(benchmark, dataset, pre, emit):
+    days = benchmark.pedantic(
+        days_on_network, args=(pre.full, dataset.clock), rounds=3, iterations=1
+    )
+    values, counts = days_histogram(days, dataset.clock.n_days)
+
+    lines = ["days-on-network histogram (5-day buckets):", ""]
+    for lo in range(0, dataset.clock.n_days, 5):
+        hi = min(lo + 5, dataset.clock.n_days)
+        n = counts[lo:hi].sum()
+        bar = "#" * int(60 * n / max(counts.sum(), 1))
+        lines.append(f"{lo + 1:>3}-{hi:>3} days: {n:>5}  {bar}")
+
+    low = counts[:10].sum()  # <= 10 days
+    mid = counts[10:30].sum()
+    high = counts[30:].sum()
+    lines += [
+        "",
+        f"<=10 days: {low} cars, 11-30: {mid}, >30: {high}",
+        "Paper shape: small rare mass, drop-off under 10, rising trend past 30.",
+    ]
+    # Most cars are heavily present; a small but non-empty rare tail exists.
+    assert high > 5 * (low + mid)
+    assert low > 0
+    # The top quintile of days holds the largest mass (rising trend).
+    top = counts[int(0.8 * len(counts)) :].sum()
+    assert top > counts[: int(0.8 * len(counts))].sum()
+    emit("fig6_days_histogram", "\n".join(lines))

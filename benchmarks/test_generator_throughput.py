@@ -1,0 +1,33 @@
+"""Substrate performance: trace-generation throughput.
+
+The generator is the substrate every experiment stands on; this bench pins
+its throughput (records generated per second of wall clock) so regressions
+in the routing/edge-index/burst pipeline are visible.  Measured at a reduced
+scale so the benchmark itself stays fast.
+"""
+
+from repro.algorithms.timebins import StudyClock
+from repro.simulate.config import SimulationConfig
+from repro.simulate.generator import TraceGenerator
+
+
+def generate_small():
+    config = SimulationConfig(n_cars=100, seed=21, clock=StudyClock(n_days=14))
+    return TraceGenerator(config).generate()
+
+
+def test_generator_throughput(benchmark, emit):
+    dataset = benchmark.pedantic(generate_small, rounds=3, iterations=1)
+    mean_s = benchmark.stats.stats.mean
+    rate = dataset.n_records / mean_s
+    lines = [
+        f"100 cars x 14 days -> {dataset.n_records:,} records",
+        f"generation: {mean_s:.2f} s mean over 3 rounds "
+        f"({rate:,.0f} records/s)",
+        f"cells: {dataset.topology.n_cells}, road nodes: {dataset.roads.n_nodes}",
+    ]
+    # The default experiment (500 cars, 90 days, ~650k records) must stay
+    # comfortably inside interactive time: require >= 10k records/s here.
+    assert rate > 10_000
+    assert dataset.n_records > 10_000
+    emit("generator_throughput", "\n".join(lines))

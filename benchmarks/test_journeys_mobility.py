@@ -1,0 +1,50 @@
+"""Extension experiment: mobility reconstruction from the radio log.
+
+Section 4.5 stops at handover counts; this bench completes the mobility
+picture the paper points at — journeys, distances, speeds and the commute
+double-hump — and checks physical plausibility (a car inferred at 300 km/h
+would mean broken session logic).
+"""
+
+import numpy as np
+
+from repro.core.journeys import commute_peak_shares, reconstruct_journeys
+from repro.viz import sparkline
+
+
+def test_journeys_mobility(benchmark, dataset, pre, emit):
+    stats = benchmark.pedantic(
+        reconstruct_journeys,
+        args=(pre, dataset.topology.cells),
+        rounds=1,
+        iterations=1,
+    )
+
+    speeds = stats.speeds_kmh()
+    distances = stats.distances_km()
+    durations = stats.durations_s()
+    hours = stats.departure_hour_histogram(dataset.clock)
+    morning, evening = commute_peak_shares(stats, dataset.clock)
+
+    lines = [
+        f"journeys: {stats.n_journeys:,}; stationary sessions: "
+        f"{stats.n_stationary_sessions:,} "
+        f"(mobility fraction {stats.mobility_fraction():.0%})",
+        f"distance km: median {np.median(distances):.1f}, p90 "
+        f"{np.percentile(distances, 90):.1f}",
+        f"speed km/h: median {np.median(speeds):.0f}, p90 "
+        f"{np.percentile(speeds, 90):.0f}",
+        f"duration min: median {np.median(durations) / 60:.0f}",
+        f"departures by hour: {sparkline(hours)}",
+        f"morning-commute departures: {morning:.0%}; evening: {evening:.0%}",
+    ]
+
+    assert stats.n_journeys > 1000
+    # Physical plausibility.
+    assert np.percentile(speeds, 99) < 150
+    assert distances.max() < 3 * dataset.topology.config.width_km
+    # Commute double-hump: both windows beat the overnight trough.
+    overnight = hours[0:5].sum() / hours.sum()
+    assert morning > 2 * overnight
+    assert evening > 2 * overnight
+    emit("journeys_mobility", "\n".join(lines))

@@ -1,0 +1,43 @@
+"""Section 4.5: handovers within network sessions.
+
+Paper: within sessions whose connection gaps never exceed 10 minutes, the
+median number of handovers is 2, the 70th percentile 4 and the 90th
+percentile 9 — so most large downloads span 3 to 10 base stations.
+Inter-base-station handovers dominate; inter-RAT, inter-carrier and
+inter-sector transitions appear in negligible numbers.
+"""
+
+from repro.core.handover import HandoverType, handover_analysis
+from repro.core.report import format_handover_stats
+
+
+def test_sec45_handovers(benchmark, dataset, pre, emit):
+    stats = benchmark.pedantic(
+        handover_analysis,
+        args=(pre, dataset.topology.cells),
+        rounds=1,
+        iterations=1,
+    )
+
+    lines = [
+        format_handover_stats(stats),
+        "",
+        "Paper: median 2, p70 4, p90 9; inter-base-station dominant, other "
+        "types negligible.",
+        f"Base stations spanned at p90: "
+        f"{stats.base_stations_spanned_percentile(90):.0f} (paper: ~10)",
+    ]
+
+    # Shape: small per-session counts with the paper's ordering and an
+    # overwhelming inter-base-station share.
+    assert 1 <= stats.median <= 4
+    assert stats.median <= stats.percentile(70) <= stats.percentile(90)
+    assert stats.percentile(90) <= 12
+    assert stats.type_fraction(HandoverType.INTER_BASE_STATION) > 0.85
+    for kind in (
+        HandoverType.INTER_SECTOR,
+        HandoverType.INTER_CARRIER,
+        HandoverType.INTER_RAT,
+    ):
+        assert stats.type_fraction(kind) < 0.08
+    emit("sec45_handovers", "\n".join(lines))

@@ -1,0 +1,65 @@
+"""Out-of-core streaming analyzer: correctness vs the in-memory pipeline and
+single-pass throughput.
+
+The paper's 1.1-billion-record scale rules out loading the trace; this bench
+measures the streaming analyzer's record throughput (records/second over one
+pass, bounded memory) and verifies its estimates track the exact in-memory
+results on the same data.
+"""
+
+import numpy as np
+
+from repro.core.connect_time import connect_time_analysis
+from repro.core.preprocess import preprocess
+from repro.core.streaming import StreamingAnalyzer
+
+
+def test_streaming_scale(benchmark, dataset, pre, emit):
+    analyzer = StreamingAnalyzer(dataset.clock)
+    result = benchmark.pedantic(
+        lambda: analyzer.run(iter(dataset.batch)), rounds=1, iterations=1
+    )
+
+    exact_durations = np.asarray([r.duration for r in pre.full])
+    exact_connect = connect_time_analysis(pre, dataset.clock)
+
+    lines = [
+        f"records streamed: {result.n_records:,} "
+        f"(+{result.n_ghosts_dropped} ghosts dropped inline)",
+        "",
+        "statistic                |     exact | streaming",
+        f"{'duration median (s)':<24} | {np.median(exact_durations):>9.1f} "
+        f"| {result.duration_median:>9.1f}",
+        f"{'duration mean (s)':<24} | {exact_durations.mean():>9.1f} "
+        f"| {result.duration_mean_full:>9.1f}",
+        f"{'share > 600 s':<24} | {(exact_durations > 600).mean():>9.3f} "
+        f"| {result.fraction_over_cutoff:>9.3f}",
+        f"{'mean connect share':<24} | {exact_connect.mean_truncated:>9.4f} "
+        f"| {result.mean_connect_share_truncated:>9.4f}",
+    ]
+
+    # Exact-by-construction statistics match to float precision; sketches
+    # and estimators stay within their error budgets.
+    # Welford and numpy accumulate in different orders; agree to ~1e-10.
+    assert abs(result.duration_mean_full - exact_durations.mean()) < 1e-6
+    assert abs(result.duration_median - np.median(exact_durations)) < 0.1 * max(
+        np.median(exact_durations), 1.0
+    )
+    assert abs(
+        result.mean_connect_share_truncated - exact_connect.mean_truncated
+    ) < 0.01 * max(exact_connect.mean_truncated, 1e-9)
+
+    # HyperLogLog per-day car estimates within sketch error of the truth.
+    seen = [set() for _ in range(dataset.clock.n_days)]
+    for rec in pre.full:
+        day = dataset.clock.day_index(rec.start)
+        if 0 <= day < dataset.clock.n_days:
+            seen[day].add(rec.car_id)
+    exact_cars = np.asarray([len(s) for s in seen], dtype=float)
+    mask = exact_cars > 0
+    rel = np.abs(result.distinct_cars_per_day[mask] - exact_cars[mask]) / exact_cars[mask]
+    lines.append(
+        f"{'cars/day (HLL max err)':<24} | {'exact':>9} | {rel.max():>9.3f}"
+    )
+    assert rel.max() < 0.08
+    emit("streaming_scale", "\n".join(lines))

@@ -1,0 +1,41 @@
+"""Table 1: usage of cells by cars and occurrence of cars, per weekday.
+
+Paper (cars column): weekdays 78-80%, Saturday 70.3%, Sunday 67.4%, overall
+76.0%; Saturday's standard deviation (7.0%) dwarfs midweek (~1%).  Cells
+column: weekdays ~67-68.5%, Sunday 59.3%, overall 65.8%.
+"""
+
+PAPER_CAR_MEANS = {
+    "Monday": 0.781,
+    "Tuesday": 0.791,
+    "Wednesday": 0.798,
+    "Thursday": 0.793,
+    "Friday": 0.780,
+    "Saturday": 0.703,
+    "Sunday": 0.674,
+    "Overall": 0.760,
+}
+
+from repro.core.presence import daily_presence, weekday_table
+from repro.core.report import format_weekday_table
+
+
+def test_table1_weekday_usage(benchmark, dataset, pre, emit):
+    presence = daily_presence(pre.full, dataset.clock)
+    rows = benchmark.pedantic(weekday_table, args=(presence,), rounds=5, iterations=1)
+    by_day = {r.weekday: r for r in rows}
+
+    lines = [format_weekday_table(rows), "", "paper vs measured (% cars):"]
+    for day, paper in PAPER_CAR_MEANS.items():
+        lines.append(f"  {day:<10} paper {paper:.1%}  ours {by_day[day].car_mean:.1%}")
+
+    # Shape: weekday > Saturday > Sunday; weekend noisier than midweek.
+    weekday_mean = sum(
+        by_day[d].car_mean
+        for d in ("Monday", "Tuesday", "Wednesday", "Thursday", "Friday")
+    ) / 5
+    assert weekday_mean > by_day["Saturday"].car_mean > by_day["Sunday"].car_mean - 0.05
+    assert by_day["Saturday"].car_std > by_day["Tuesday"].car_std
+    # Absolute level within a few points of the paper.
+    assert abs(by_day["Overall"].car_mean - PAPER_CAR_MEANS["Overall"]) < 0.08
+    emit("table1_weekday_usage", "\n".join(lines))

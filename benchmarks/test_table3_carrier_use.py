@@ -1,0 +1,42 @@
+"""Table 3: carrier use of connected cars.
+
+Paper:
+
+    Carrier   C1     C2     C3     C4     C5
+    Cars (%)  98.7   89.2   98.7   80.8   0.006
+    Time (%)  18.6    7.4   51.9   22.1   0.000
+
+C3 and C4 carry ~75% of connection time; C5 (the newest band) is essentially
+absent because the fleet's modems predate it.
+"""
+
+from repro.core.carriers import carrier_usage
+from repro.core.report import format_carrier_table
+
+PAPER_TIME = {"C1": 0.186, "C2": 0.074, "C3": 0.519, "C4": 0.221, "C5": 0.0}
+
+
+def test_table3_carrier_use(benchmark, pre, emit):
+    usage = benchmark.pedantic(
+        carrier_usage, args=(pre.full,), rounds=1, iterations=1
+    )
+
+    lines = [
+        format_carrier_table(usage),
+        "",
+        "paper time shares: "
+        + ", ".join(f"{c} {v:.1%}" for c, v in PAPER_TIME.items()),
+        f"C3+C4 combined time share: {usage.combined_time_share(('C3', 'C4')):.1%} "
+        "(paper ~74%)",
+    ]
+
+    # Shape: C1-C4 near-universal, C5 negligible, C3 dominates time, C3+C4
+    # carry the majority, and per-carrier time shares land near the paper's.
+    for name in ("C1", "C2", "C3", "C4"):
+        assert usage.cars_fraction[name] > 0.75
+    assert usage.cars_fraction["C5"] < 0.05
+    assert usage.top_carriers_by_time(1) == ["C3"]
+    assert usage.combined_time_share(("C3", "C4")) > 0.55
+    for name, paper_share in PAPER_TIME.items():
+        assert abs(usage.time_fraction[name] - paper_share) < 0.10
+    emit("table3_carrier_use", "\n".join(lines))

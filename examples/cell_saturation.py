@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""The Figure 1 experiment: one greedy download saturates a live cell.
+
+Builds the default network, picks two cells with different load profiles,
+injects a four-hour full-buffer download starting at 20:45 into each and
+plots (in ASCII) the per-15-minute-bin PRB utilization against the
+background-only baseline, exactly the comparison Figure 1 draws.
+
+Usage::
+
+    python examples/cell_saturation.py
+"""
+
+import numpy as np
+
+from repro.algorithms.timebins import BIN_SECONDS, BINS_PER_DAY, StudyClock
+from repro.network.load import CellLoadModel
+from repro.network.scheduler import DownloadFlow, PRBScheduler
+from repro.network.topology import build_topology
+
+TEST_START_S = int((20 * 60 + 45) * 60)  # 20:45
+TEST_DURATION_S = 4 * 3600
+
+
+def ascii_series(series: np.ndarray, width: int = 96) -> str:
+    """One-line block rendering of a utilization series in [0, 1]."""
+    blocks = " .:-=+*#%@"
+    step = max(1, len(series) // width)
+    chars = []
+    for i in range(0, len(series), step):
+        level = float(series[i : i + step].mean())
+        chars.append(blocks[min(int(level * (len(blocks) - 1) + 0.5), len(blocks) - 1)])
+    return "".join(chars)
+
+
+def main() -> None:
+    clock = StudyClock(n_days=1)
+    topology = build_topology()
+    load = CellLoadModel(topology, clock)
+
+    # A moderately loaded cell and a hot one, mirroring the paper's two cells.
+    cells = sorted(topology.cells)
+    moderate = next(
+        c for c in cells if 0.4 < load.mean_weekly_utilization(c) < 0.55
+    )
+    hot = next(c for c in cells if load.profile(c).hot)
+
+    print("Greedy downloads start at 20:45 and run for 4 hours (Figure 1).\n")
+    for label, cell_id in (("Cell 1 (moderate)", moderate), ("Cell 2 (hot)", hot)):
+        background = load.day_series(cell_id, 0)
+        capacity = topology.cell(cell_id).carrier.prb_capacity
+        scheduler = PRBScheduler(capacity, background)
+        flow = DownloadFlow(
+            "greedy", start_time=TEST_START_S, stop_time=TEST_START_S + TEST_DURATION_S
+        )
+        result = scheduler.run([flow])
+
+        test_bins = range(
+            TEST_START_S // BIN_SECONDS,
+            min((TEST_START_S + TEST_DURATION_S) // BIN_SECONDS, BINS_PER_DAY),
+        )
+        during = result.bin_utilization[list(test_bins)]
+        print(f"{label}: carrier {topology.cell(cell_id).carrier.name}, "
+              f"{capacity} PRBs")
+        print(f"  baseline : |{ascii_series(background)}|")
+        print(f"  with test: |{ascii_series(result.bin_utilization)}|")
+        print(
+            f"  mean U_PRB during the test: {during.mean():.1%} "
+            f"(baseline {background[list(test_bins)].mean():.1%}); "
+            f"downloaded {flow.transferred_bytes / 1e9:.2f} GB\n"
+        )
+
+    print(
+        "Both cells sit at ~100% utilization for the whole test window: a "
+        "single greedy device\nconsumes every resource other users leave idle "
+        "— the paper's motivation for managed FOTA."
+    )
+
+
+if __name__ == "__main__":
+    main()

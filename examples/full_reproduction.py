@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""One-shot full reproduction: generate the default dataset, run every
+analysis, and write a markdown report.
+
+This is the everything-at-once driver: the benchmark suite does the same
+work with per-artifact assertions; this script produces a single readable
+document (stdout + ``reproduction_report.md``).
+
+Usage::
+
+    python examples/full_reproduction.py [out.md]
+"""
+
+import sys
+import time
+from pathlib import Path
+
+from repro import AnalysisPipeline, SimulationConfig, TraceGenerator
+from repro.core.report import format_report, format_report_markdown
+
+
+def main() -> None:
+    out = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("reproduction_report.md")
+
+    print("Generating the default dataset (500 cars, 90 days) ...")
+    t0 = time.time()
+    dataset = TraceGenerator(SimulationConfig()).generate()
+    print(f"  {dataset.n_records:,} records in {time.time() - t0:.1f} s")
+
+    print("Running every analysis ...")
+    t0 = time.time()
+    pipeline = AnalysisPipeline(
+        dataset.clock, dataset.load_model, dataset.topology.cells
+    )
+    report = pipeline.run(dataset.batch)
+    print(f"  analysis in {time.time() - t0:.1f} s\n")
+
+    print(format_report(report))
+
+    out.write_text(format_report_markdown(report) + "\n")
+    print(f"\nmarkdown report written to {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Compare the paper's headline metrics across deployment scenarios.
+
+Runs the same analysis over three synthetic worlds — the calibrated default,
+a dense congested metro and a rural sprawl — and tabulates how the paper's
+key statistics move.  The direction of each shift is a prediction the paper
+enables: denser metros mean more busy-cell exposure and shorter per-cell dwells;
+sprawl means bigger cells (fewer handovers per session) and heavier
+reliance on the low bands that blanket the fringe.
+
+Usage::
+
+    python examples/scenario_comparison.py [n_cars] [n_days]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import AnalysisPipeline, TraceGenerator
+from repro.core.handover import HandoverType
+from repro.simulate.scenarios import scenario
+
+
+def analyze(name: str, n_cars: int, n_days: int) -> dict:
+    config = scenario(name, n_cars=n_cars, n_days=n_days)
+    dataset = TraceGenerator(config).generate()
+    pipeline = AnalysisPipeline(
+        dataset.clock, dataset.load_model, dataset.topology.cells
+    )
+    report = pipeline.run(dataset.batch, with_clustering=False)
+    durations = np.asarray([r.duration for r in report.pre.truncated])
+    return {
+        "records": dataset.n_records,
+        "cells": dataset.topology.n_cells,
+        "connect%": report.connect_time.mean_truncated,
+        "dur_median": float(np.median(durations)),
+        "busy>50%": report.exposure.fraction_above(0.5),
+        "ho_median": report.handovers.median,
+        "ho_p90": report.handovers.percentile(90),
+        "low_band%": report.carriers.combined_time_share(("C1", "C2")),
+    }
+
+
+def main() -> None:
+    n_cars = int(sys.argv[1]) if len(sys.argv) > 1 else 120
+    n_days = int(sys.argv[2]) if len(sys.argv) > 2 else 21
+    names = ("default", "dense-urban", "rural-sprawl")
+
+    rows = {}
+    for name in names:
+        print(f"running scenario {name!r} ({n_cars} cars, {n_days} days) ...")
+        rows[name] = analyze(name, n_cars, n_days)
+
+    print()
+    header = f"{'metric':<22}" + "".join(f"{n:>14}" for n in names)
+    print(header)
+    print("-" * len(header))
+    fmt = {
+        "records": "{:,}",
+        "cells": "{:,}",
+        "connect%": "{:.1%}",
+        "dur_median": "{:.0f} s",
+        "busy>50%": "{:.1%}",
+        "ho_median": "{:.0f}",
+        "ho_p90": "{:.0f}",
+        "low_band%": "{:.1%}",
+    }
+    for metric, pattern in fmt.items():
+        cells = "".join(
+            f"{pattern.format(rows[name][metric]):>14}" for name in names
+        )
+        print(f"{metric:<22}{cells}")
+
+    print(
+        "\nExpected directions: dense-urban raises busy-cell exposure and "
+        "shortens per-cell dwells;\nrural-sprawl's bigger cells cut "
+        "handovers per session and shift time onto the low bands."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e . --no-use-pep517` (or plain `pip install -e .` with older
+pip) uses this; pyproject.toml remains the source of truth for metadata.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,157 @@
+"""Interval algebra over half-open time intervals ``[start, end)``.
+
+Three operations from the paper's methodology live here:
+
+* *merging* overlapping intervals (used when a car holds several parallel
+  radio connections that must count once toward connected time),
+* *gap concatenation* — the paper concatenates connections that are up to
+  30 seconds apart into aggregate sessions (Section 3) and up to 10 minutes
+  apart into network sessions for handover analysis (Section 4.5),
+* *concurrency by bin* — two connections are concurrent when both straddle
+  the same 15-minute bin (Section 4.4, Figures 8 and 10).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """A half-open time interval ``[start, end)`` in study seconds."""
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"interval end {self.end} precedes start {self.start}")
+
+    @property
+    def duration(self) -> float:
+        """Length of the interval in seconds."""
+        return self.end - self.start
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True when the two half-open intervals share any instant."""
+        return self.start < other.end and other.start < self.end
+
+    def gap_to(self, other: "Interval") -> float:
+        """Gap in seconds between this interval and a later one.
+
+        Negative values indicate overlap.  ``other`` need not actually start
+        after ``self`` ends; the gap is measured from ``self.end`` to
+        ``other.start``.
+        """
+        return other.start - self.end
+
+    def clip(self, start: float, end: float) -> "Interval | None":
+        """Intersection with ``[start, end)``, or ``None`` when disjoint."""
+        lo = max(self.start, start)
+        hi = min(self.end, end)
+        if lo >= hi:
+            return None
+        return Interval(lo, hi)
+
+    def truncate(self, max_duration: float) -> "Interval":
+        """Interval with duration capped at ``max_duration`` seconds.
+
+        This implements the paper's 600-second truncation of suspiciously
+        long single-cell connections (Section 3).
+        """
+        if max_duration < 0:
+            raise ValueError(f"max_duration must be non-negative, got {max_duration}")
+        if self.duration <= max_duration:
+            return self
+        return Interval(self.start, self.start + max_duration)
+
+    def bins_straddled(self, bin_seconds: float) -> range:
+        """Indices of fixed-width bins this interval touches.
+
+        A zero-length interval still touches the single bin containing its
+        start instant, matching how an instantaneous connection would be
+        counted in a 15-minute concurrency bin.
+        """
+        first = int(self.start // bin_seconds)
+        if self.duration == 0:
+            return range(first, first + 1)
+        # A half-open interval does not touch the bin that begins exactly at
+        # its end.
+        last = int(self.end // bin_seconds)
+        if self.end % bin_seconds == 0:
+            last -= 1
+        return range(first, last + 1)
+
+
+def merge_intervals(intervals: Iterable[Interval]) -> list[Interval]:
+    """Merge overlapping or touching intervals into a disjoint sorted list."""
+    ordered = sorted(intervals)
+    merged: list[Interval] = []
+    for iv in ordered:
+        if merged and iv.start <= merged[-1].end:
+            last = merged[-1]
+            if iv.end > last.end:
+                merged[-1] = Interval(last.start, iv.end)
+        else:
+            merged.append(iv)
+    return merged
+
+
+def concatenate_gaps(intervals: Iterable[Interval], max_gap: float) -> list[Interval]:
+    """Concatenate intervals separated by gaps of at most ``max_gap`` seconds.
+
+    This is the paper's session aggregation rule: radio connections up to 30
+    seconds apart form one aggregate session; connections up to 10 minutes
+    apart form one network session for handover accounting.  Overlapping
+    intervals always merge (a negative gap is below any non-negative
+    ``max_gap``).
+    """
+    if max_gap < 0:
+        raise ValueError(f"max_gap must be non-negative, got {max_gap}")
+    ordered = sorted(intervals)
+    sessions: list[Interval] = []
+    for iv in ordered:
+        if sessions and iv.start - sessions[-1].end <= max_gap:
+            last = sessions[-1]
+            if iv.end > last.end:
+                sessions[-1] = Interval(last.start, iv.end)
+        else:
+            sessions.append(iv)
+    return sessions
+
+
+def total_duration(intervals: Iterable[Interval]) -> float:
+    """Total seconds covered by the union of the given intervals."""
+    return sum(iv.duration for iv in merge_intervals(intervals))
+
+
+def concurrency_by_bin(
+    intervals: Iterable[Interval], bin_seconds: float
+) -> Counter[int]:
+    """Count how many intervals straddle each fixed-width bin.
+
+    Returns a mapping ``bin index -> number of intervals touching that bin``.
+    This is the paper's definition of concurrency: connections are concurrent
+    when they straddle the same 15-minute time bin (Section 4.4).  Callers
+    counting concurrent *cars* (not connections) must first merge each car's
+    intervals so one car contributes at most one straddle per bin.
+    """
+    counts: Counter[int] = Counter()
+    for iv in intervals:
+        for b in iv.bins_straddled(bin_seconds):
+            counts[b] += 1
+    return counts
+
+
+def max_concurrency(intervals: Sequence[Interval], bin_seconds: float) -> tuple[int, int]:
+    """Return ``(bin index, count)`` of the most-straddled bin.
+
+    Raises ``ValueError`` for an empty interval collection.
+    """
+    counts = concurrency_by_bin(intervals, bin_seconds)
+    if not counts:
+        raise ValueError("no intervals given")
+    best_bin, best = max(counts.items(), key=lambda kv: (kv[1], -kv[0]))
+    return best_bin, best

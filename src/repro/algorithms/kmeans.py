@@ -1,0 +1,183 @@
+"""Classic k-means clustering (Lloyd's algorithm with k-means++ seeding).
+
+Section 4.4 of the paper applies "the classic k-means algorithm" to 96-sized
+vectors of concurrent-car counts on busy radio cells, obtaining two clusters
+(Figure 11).  We implement the algorithm from scratch rather than importing a
+clustering library so the reproduction is self-contained, and add a silhouette
+score helper for validating the choice of ``k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Outcome of a k-means fit.
+
+    Attributes
+    ----------
+    centers:
+        ``(k, n_features)`` array of cluster centroids.
+    labels:
+        ``(n_samples,)`` array assigning each sample to a centroid.
+    inertia:
+        Sum of squared distances from samples to their assigned centroids.
+    n_iter:
+        Number of Lloyd iterations performed by the best initialization.
+    """
+
+    centers: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    n_iter: int
+
+    @property
+    def k(self) -> int:
+        """Number of clusters."""
+        return self.centers.shape[0]
+
+    def cluster_sizes(self) -> np.ndarray:
+        """Number of samples assigned to each cluster."""
+        return np.bincount(self.labels, minlength=self.k)
+
+
+def _squared_distances(x: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Pairwise squared Euclidean distances, shape ``(n_samples, k)``."""
+    # ||x - c||^2 = ||x||^2 - 2 x.c + ||c||^2 computed without a python loop.
+    x_sq = np.einsum("ij,ij->i", x, x)[:, None]
+    c_sq = np.einsum("ij,ij->i", centers, centers)[None, :]
+    d = x_sq - 2.0 * (x @ centers.T) + c_sq
+    np.maximum(d, 0.0, out=d)
+    return d
+
+
+def _kmeans_plus_plus(x: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """k-means++ initial centers."""
+    n = x.shape[0]
+    centers = np.empty((k, x.shape[1]), dtype=float)
+    centers[0] = x[rng.integers(n)]
+    closest = _squared_distances(x, centers[:1]).ravel()
+    for i in range(1, k):
+        total = closest.sum()
+        if total <= 0:
+            # All remaining points coincide with chosen centers; pick uniformly.
+            centers[i] = x[rng.integers(n)]
+            continue
+        probs = closest / total
+        idx = rng.choice(n, p=probs)
+        centers[i] = x[idx]
+        np.minimum(closest, _squared_distances(x, centers[i : i + 1]).ravel(), out=closest)
+    return centers
+
+
+class KMeans:
+    """Lloyd's k-means with k-means++ seeding and multiple restarts.
+
+    Parameters
+    ----------
+    k:
+        Number of clusters.
+    n_init:
+        Number of random restarts; the fit with the lowest inertia wins.
+    max_iter:
+        Maximum Lloyd iterations per restart.
+    tol:
+        Convergence threshold on the centroid shift (squared Frobenius norm).
+    seed:
+        Seed of the private random generator, for reproducible clustering.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        *,
+        n_init: int = 10,
+        max_iter: int = 300,
+        tol: float = 1e-8,
+        seed: int | None = 0,
+    ) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if n_init < 1:
+            raise ValueError(f"n_init must be >= 1, got {n_init}")
+        self.k = k
+        self.n_init = n_init
+        self.max_iter = max_iter
+        self.tol = tol
+        self._rng = np.random.default_rng(seed)
+
+    def fit(self, data: np.ndarray) -> KMeansResult:
+        """Cluster ``data`` of shape ``(n_samples, n_features)``."""
+        x = np.asarray(data, dtype=float)
+        if x.ndim != 2:
+            raise ValueError(f"expected a 2-D sample matrix, got shape {x.shape}")
+        if x.shape[0] < self.k:
+            raise ValueError(
+                f"cannot form {self.k} clusters from {x.shape[0]} samples"
+            )
+        best: KMeansResult | None = None
+        for _ in range(self.n_init):
+            result = self._fit_once(x)
+            if best is None or result.inertia < best.inertia:
+                best = result
+        assert best is not None
+        return best
+
+    def _fit_once(self, x: np.ndarray) -> KMeansResult:
+        centers = _kmeans_plus_plus(x, self.k, self._rng)
+        labels = np.zeros(x.shape[0], dtype=int)
+        n_iter = 0
+        for n_iter in range(1, self.max_iter + 1):
+            d = _squared_distances(x, centers)
+            labels = d.argmin(axis=1)
+            new_centers = centers.copy()
+            for j in range(self.k):
+                members = x[labels == j]
+                if members.size:
+                    new_centers[j] = members.mean(axis=0)
+                else:
+                    # Re-seed an empty cluster at the point farthest from its
+                    # assigned centroid, the standard Lloyd repair step.
+                    worst = d[np.arange(x.shape[0]), labels].argmax()
+                    new_centers[j] = x[worst]
+            shift = float(((new_centers - centers) ** 2).sum())
+            centers = new_centers
+            if shift <= self.tol:
+                break
+        d = _squared_distances(x, centers)
+        labels = d.argmin(axis=1)
+        inertia = float(d[np.arange(x.shape[0]), labels].sum())
+        return KMeansResult(centers=centers, labels=labels, inertia=inertia, n_iter=n_iter)
+
+
+def silhouette_score(data: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette coefficient of a labelled sample.
+
+    Used to sanity check the paper's choice of ``k = 2`` for busy-cell
+    concurrency vectors.  Requires at least two clusters, each non-empty.
+    """
+    x = np.asarray(data, dtype=float)
+    lab = np.asarray(labels)
+    uniq = np.unique(lab)
+    if uniq.size < 2:
+        raise ValueError("silhouette requires at least two clusters")
+    if x.shape[0] != lab.shape[0]:
+        raise ValueError("data and labels differ in length")
+    # Pairwise distances; fine at the few-hundred-cell scale used here.
+    diff = x[:, None, :] - x[None, :, :]
+    dist = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+    scores = np.empty(x.shape[0])
+    for i in range(x.shape[0]):
+        same = lab == lab[i]
+        n_same = same.sum()
+        if n_same <= 1:
+            scores[i] = 0.0
+            continue
+        a = dist[i, same].sum() / (n_same - 1)
+        b = min(dist[i, lab == other].mean() for other in uniq if other != lab[i])
+        scores[i] = 0.0 if max(a, b) == 0 else (b - a) / max(a, b)
+    return float(scores.mean())

@@ -1,0 +1,155 @@
+"""Descriptive statistics used across the analyses.
+
+The paper reports empirical CDFs (Figures 3 and 9), deciles (Figure 7),
+histograms (Figure 6), weekday mean/standard deviation tables (Table 1) and
+ordinary-least-squares trend lines with R-squared (Figure 2).  Everything here
+is a thin, well-tested wrapper over numpy so the analysis modules stay
+readable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TrendLine:
+    """An ordinary-least-squares fit ``y = slope * x + intercept``."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        """Fitted value at ``x``."""
+        return self.slope * x + self.intercept
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Five-number-plus summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+
+
+def _as_array(values: Sequence[float]) -> np.ndarray:
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError(f"expected a 1-D sample, got shape {arr.shape}")
+    return arr
+
+
+def ecdf(values: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF of a sample.
+
+    Returns ``(x, p)`` where ``x`` is the sorted sample and ``p[i]`` is the
+    fraction of observations less than or equal to ``x[i]``.  Suitable for
+    plotting the paper's cumulative-distribution figures directly.
+    """
+    arr = _as_array(values)
+    if arr.size == 0:
+        raise ValueError("cannot compute the ECDF of an empty sample")
+    x = np.sort(arr)
+    p = np.arange(1, x.size + 1, dtype=float) / x.size
+    return x, p
+
+
+def ecdf_at(values: Sequence[float], points: Sequence[float]) -> np.ndarray:
+    """Evaluate the empirical CDF of ``values`` at the given ``points``."""
+    arr = np.sort(_as_array(values))
+    if arr.size == 0:
+        raise ValueError("cannot evaluate the ECDF of an empty sample")
+    pts = np.asarray(points, dtype=float)
+    return np.searchsorted(arr, pts, side="right") / arr.size
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) of the sample, linearly interpolated."""
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile must be in 0..100, got {q}")
+    return float(np.percentile(_as_array(values), q))
+
+
+def deciles(values: Sequence[float]) -> np.ndarray:
+    """The 11 decile edges 0%, 10%, ..., 100% of the sample."""
+    return np.percentile(_as_array(values), np.arange(0, 101, 10))
+
+
+def decile_shares(values: Sequence[float], edges: Sequence[float]) -> np.ndarray:
+    """Fraction of the sample falling in each bucket delimited by ``edges``.
+
+    Buckets are half-open ``[edges[i], edges[i+1])`` with the final bucket
+    closed on the right, matching how the paper buckets the proportion of
+    cars by percentage of time in busy cells (Figure 7).
+    """
+    arr = _as_array(values)
+    e = np.asarray(edges, dtype=float)
+    if e.size < 2 or np.any(np.diff(e) <= 0):
+        raise ValueError("edges must be strictly increasing with >= 2 entries")
+    counts, _ = np.histogram(arr, bins=e)
+    if arr.size == 0:
+        return np.zeros(e.size - 1)
+    return counts / arr.size
+
+
+def histogram(
+    values: Sequence[float], bin_width: float, start: float = 0.0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Fixed-width histogram ``(edges, counts)`` covering the whole sample."""
+    if bin_width <= 0:
+        raise ValueError(f"bin_width must be positive, got {bin_width}")
+    arr = _as_array(values)
+    if arr.size == 0:
+        return np.asarray([start, start + bin_width]), np.zeros(1, dtype=int)
+    n_bins = max(1, int(np.ceil((arr.max() - start) / bin_width)))
+    if start + n_bins * bin_width <= arr.max():
+        n_bins += 1
+    edges = start + bin_width * np.arange(n_bins + 1)
+    counts, _ = np.histogram(arr, bins=edges)
+    return edges, counts.astype(int)
+
+
+def linear_trend(x: Sequence[float], y: Sequence[float]) -> TrendLine:
+    """Ordinary-least-squares line fit with the coefficient of determination.
+
+    Reproduces the Excel-style annotations of Figure 2 (``y = 0.0003x +
+    0.6448, R^2 = 0.0333``).
+    """
+    xa = _as_array(x)
+    ya = _as_array(y)
+    if xa.size != ya.size:
+        raise ValueError(f"x and y differ in length: {xa.size} vs {ya.size}")
+    if xa.size < 2:
+        raise ValueError("need at least two points to fit a trend line")
+    slope, intercept = np.polyfit(xa, ya, 1)
+    fitted = slope * xa + intercept
+    ss_res = float(np.sum((ya - fitted) ** 2))
+    ss_tot = float(np.sum((ya - ya.mean()) ** 2))
+    # For OLS with an intercept, R^2 lies in [0, 1] mathematically; values
+    # outside that range only arise from floating-point noise on (near-)
+    # constant series, so clamp.
+    r_squared = 1.0 if ss_tot == 0 else min(max(1.0 - ss_res / ss_tot, 0.0), 1.0)
+    return TrendLine(float(slope), float(intercept), r_squared)
+
+
+def summarize(values: Sequence[float]) -> SummaryStats:
+    """Count, mean, standard deviation and order statistics of a sample."""
+    arr = _as_array(values)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    return SummaryStats(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=0)),
+        minimum=float(arr.min()),
+        median=float(np.median(arr)),
+        maximum=float(arr.max()),
+    )

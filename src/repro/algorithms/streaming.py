@@ -1,0 +1,268 @@
+"""One-pass streaming statistics.
+
+The paper's data set is 1.1 billion records — two orders of magnitude beyond
+what fits in laptop memory as Python objects.  These primitives let the
+analyses run as a single pass over a record stream with bounded state:
+
+* :class:`RunningMoments` — Welford's algorithm for count/mean/variance,
+* :class:`P2Quantile` — the P-squared algorithm (Jain & Chlamtac 1985) for
+  any single quantile without storing observations,
+* :class:`StreamingHistogram` — fixed-width counting histogram,
+* :class:`HyperLogLog` — cardinality estimation for "distinct cars/cells per
+  day" at network scale.
+
+:mod:`repro.core.streaming` assembles these into an out-of-core version of
+the headline analyses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from collections import Counter
+
+import numpy as np
+
+
+class RunningMoments:
+    """Welford's online mean and variance with min/max tracking."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the summary."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observations; 0 when empty."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Population variance; 0 for fewer than two observations."""
+        return self._m2 / self.count if self.count > 1 else 0.0
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "RunningMoments") -> "RunningMoments":
+        """Combine two summaries (parallel-update rule); returns self."""
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            return self
+        total = self.count + other.count
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self._mean += delta * other.count / total
+        self.count = total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        return self
+
+
+class P2Quantile:
+    """The P-squared single-quantile estimator.
+
+    Maintains five markers whose heights track the quantile via parabolic
+    interpolation; O(1) memory and update time.  Accurate to a fraction of a
+    percent on unimodal data at CDR-scale counts.
+    """
+
+    def __init__(self, quantile: float) -> None:
+        if not 0 < quantile < 1:
+            raise ValueError(f"quantile must be in (0, 1), got {quantile}")
+        self.quantile = quantile
+        self._initial: list[float] = []
+        self._heights: list[float] = []
+        self._positions: list[float] = []
+        self._desired: list[float] = []
+        self._increments: list[float] = []
+        self.count = 0
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the estimate."""
+        self.count += 1
+        if len(self._initial) < 5:
+            self._initial.append(value)
+            if len(self._initial) == 5:
+                self._initial.sort()
+                q = self.quantile
+                self._heights = list(self._initial)
+                self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+                self._desired = [1.0, 1 + 2 * q, 1 + 4 * q, 3 + 2 * q, 5.0]
+                self._increments = [0.0, q / 2, q, (1 + q) / 2, 1.0]
+            return
+
+        h = self._heights
+        pos = self._positions
+        # Locate the cell containing the new value and clamp extremes.
+        if value < h[0]:
+            h[0] = value
+            k = 0
+        elif value >= h[4]:
+            h[4] = value
+            k = 3
+        else:
+            k = next(i for i in range(4) if h[i] <= value < h[i + 1])
+        for i in range(k + 1, 5):
+            pos[i] += 1.0
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+
+        # Adjust the three interior markers toward their desired positions.
+        for i in (1, 2, 3):
+            d = self._desired[i] - pos[i]
+            if (d >= 1 and pos[i + 1] - pos[i] > 1) or (
+                d <= -1 and pos[i - 1] - pos[i] < -1
+            ):
+                sign = 1.0 if d >= 1 else -1.0
+                candidate = self._parabolic(i, sign)
+                if not h[i - 1] < candidate < h[i + 1]:
+                    candidate = self._linear(i, sign)
+                h[i] = candidate
+                pos[i] += sign
+
+    def _parabolic(self, i: int, sign: float) -> float:
+        h, pos = self._heights, self._positions
+        return h[i] + sign / (pos[i + 1] - pos[i - 1]) * (
+            (pos[i] - pos[i - 1] + sign)
+            * (h[i + 1] - h[i])
+            / (pos[i + 1] - pos[i])
+            + (pos[i + 1] - pos[i] - sign)
+            * (h[i] - h[i - 1])
+            / (pos[i] - pos[i - 1])
+        )
+
+    def _linear(self, i: int, sign: float) -> float:
+        h, pos = self._heights, self._positions
+        j = i + int(sign)
+        return h[i] + sign * (h[j] - h[i]) / (pos[j] - pos[i])
+
+    @property
+    def value(self) -> float:
+        """Current quantile estimate.
+
+        Before five observations arrive, falls back to the exact quantile of
+        what has been seen (empty stream raises).
+        """
+        if self.count == 0:
+            raise ValueError("no observations")
+        if len(self._initial) < 5:
+            return float(np.quantile(self._initial, self.quantile))
+        return self._heights[2]
+
+
+class StreamingHistogram:
+    """Counting histogram with fixed-width bins and unbounded range."""
+
+    def __init__(self, bin_width: float) -> None:
+        if bin_width <= 0:
+            raise ValueError(f"bin_width must be positive, got {bin_width}")
+        self.bin_width = bin_width
+        self._counts: Counter[int] = Counter()
+        self.count = 0
+
+    def add(self, value: float) -> None:
+        """Count one observation."""
+        self._counts[int(value // self.bin_width)] += 1
+        self.count += 1
+
+    def bin_count(self, value: float) -> int:
+        """Observations in the bin containing ``value``."""
+        return self._counts.get(int(value // self.bin_width), 0)
+
+    def fraction_above(self, threshold: float) -> float:
+        """Approximate fraction of observations above ``threshold``.
+
+        Counts all bins whose left edge is at or above ``threshold``.  Exact
+        when ``threshold`` is a bin edge and no observation equals it
+        exactly; otherwise correct to within one bin's mass.
+        """
+        if self.count == 0:
+            return 0.0
+        edge_bin = math.ceil(threshold / self.bin_width)
+        above = sum(c for b, c in self._counts.items() if b >= edge_bin)
+        return above / self.count
+
+    def to_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Sorted ``(bin left edges, counts)`` arrays."""
+        if not self._counts:
+            return np.zeros(0), np.zeros(0, dtype=int)
+        bins = np.asarray(sorted(self._counts))
+        counts = np.asarray([self._counts[b] for b in bins], dtype=int)
+        return bins * self.bin_width, counts
+
+
+class HyperLogLog:
+    """HyperLogLog cardinality estimator (Flajolet et al. 2007).
+
+    ``precision`` p gives 2**p one-byte registers and a relative error of
+    about 1.04 / sqrt(2**p) — p=12 (4 KiB) estimates a million distinct car
+    ids to ~1.6%.  Small cardinalities use the standard linear-counting
+    correction, so per-day distinct counts are accurate at test scale too.
+    """
+
+    def __init__(self, precision: int = 12) -> None:
+        if not 4 <= precision <= 16:
+            raise ValueError(f"precision must be in 4..16, got {precision}")
+        self.precision = precision
+        self.m = 1 << precision
+        self._registers = np.zeros(self.m, dtype=np.uint8)
+        if self.m >= 128:
+            self._alpha = 0.7213 / (1.0 + 1.079 / self.m)
+        elif self.m == 64:
+            self._alpha = 0.709
+        elif self.m == 32:
+            self._alpha = 0.697
+        else:
+            self._alpha = 0.673
+
+    def add(self, item: str) -> None:
+        """Observe one item."""
+        digest = hashlib.blake2b(item.encode(), digest_size=8).digest()
+        x = int.from_bytes(digest, "big")
+        idx = x >> (64 - self.precision)
+        rest = x & ((1 << (64 - self.precision)) - 1)
+        # Rank: position of the leftmost 1-bit in the remaining 64-p bits.
+        rank = (64 - self.precision) - rest.bit_length() + 1
+        if rank > self._registers[idx]:
+            self._registers[idx] = rank
+
+    def estimate(self) -> float:
+        """Estimated number of distinct items observed."""
+        registers = self._registers.astype(float)
+        raw = self._alpha * self.m**2 / np.sum(2.0 ** (-registers))
+        zeros = int(np.count_nonzero(self._registers == 0))
+        if raw <= 2.5 * self.m and zeros > 0:
+            return self.m * math.log(self.m / zeros)
+        return float(raw)
+
+    def merge(self, other: "HyperLogLog") -> "HyperLogLog":
+        """Union with another sketch of the same precision; returns self."""
+        if other.precision != self.precision:
+            raise ValueError(
+                f"precision mismatch: {self.precision} vs {other.precision}"
+            )
+        np.maximum(self._registers, other._registers, out=self._registers)
+        return self

@@ -1,0 +1,40 @@
+"""Call Detail Record (CDR) data model.
+
+The paper's input is anonymized, aggregated radio-level CDRs: for each
+connection, which car connected to which cell on which carrier, when and for
+how long — but not how many bytes moved (Section 3).  This package defines
+that record type, batch containers with validation, CSV/JSONL round-trip and
+keyed anonymization of car identifiers.
+"""
+
+from repro.cdr.anonymize import Anonymizer
+from repro.cdr.quality import QualityReport, assess_quality
+from repro.cdr.errors import CDRValidationError, ReproError
+from repro.cdr.io import (
+    read_records_csv,
+    read_records_daily,
+    read_records_jsonl,
+    write_records_csv,
+    write_records_daily,
+    write_records_jsonl,
+)
+from repro.cdr.records import CDRBatch, ConnectionRecord
+from repro.cdr.validate import TraceValidator, ValidationReport
+
+__all__ = [
+    "Anonymizer",
+    "CDRBatch",
+    "CDRValidationError",
+    "ConnectionRecord",
+    "QualityReport",
+    "TraceValidator",
+    "ValidationReport",
+    "assess_quality",
+    "ReproError",
+    "read_records_csv",
+    "read_records_daily",
+    "read_records_jsonl",
+    "write_records_csv",
+    "write_records_daily",
+    "write_records_jsonl",
+]

@@ -1,0 +1,64 @@
+"""Keyed anonymization of car identifiers.
+
+The paper's records are "anonymized and aggregated and do not contain
+sensitive personal or identifiable information" (Section 3).  The synthetic
+generator mimics that pipeline: raw fleet identifiers pass through a keyed
+hash before they reach any analysis, so the mapping is stable within one key
+and infeasible to reverse without it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Iterable
+
+from repro.cdr.records import ConnectionRecord
+
+
+class Anonymizer:
+    """Stable keyed pseudonymization of car ids.
+
+    The same ``(key, car id)`` pair always yields the same pseudonym; two
+    different keys give unlinkable pseudonym spaces, which is how a carrier
+    would rotate anonymization epochs.
+    """
+
+    def __init__(self, key: bytes | str, digest_chars: int = 16) -> None:
+        if isinstance(key, str):
+            key = key.encode()
+        if not key:
+            raise ValueError("anonymization key must be non-empty")
+        if not 8 <= digest_chars <= 32:
+            raise ValueError(f"digest_chars must be in 8..32, got {digest_chars}")
+        self._key = key
+        self._digest_chars = digest_chars
+        self._cache: dict[str, str] = {}
+
+    def pseudonym(self, car_id: str) -> str:
+        """Pseudonym for one car id."""
+        cached = self._cache.get(car_id)
+        if cached is not None:
+            return cached
+        digest = hashlib.blake2b(
+            car_id.encode(), key=self._key, digest_size=16
+        ).hexdigest()[: self._digest_chars]
+        result = f"anon-{digest}"
+        self._cache[car_id] = result
+        return result
+
+    def anonymize_record(self, record: ConnectionRecord) -> ConnectionRecord:
+        """Copy of a record with the car id pseudonymized."""
+        return ConnectionRecord(
+            start=record.start,
+            car_id=self.pseudonym(record.car_id),
+            cell_id=record.cell_id,
+            carrier=record.carrier,
+            technology=record.technology,
+            duration=record.duration,
+        )
+
+    def anonymize(
+        self, records: Iterable[ConnectionRecord]
+    ) -> list[ConnectionRecord]:
+        """Anonymize a record collection, preserving order."""
+        return [self.anonymize_record(rec) for rec in records]

@@ -1,0 +1,15 @@
+"""Exception hierarchy for the reproduction library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class CDRValidationError(ReproError):
+    """A connection record or batch failed validation."""
+
+
+class TraceGenerationError(ReproError):
+    """The synthetic trace generator was configured inconsistently."""

@@ -1,0 +1,148 @@
+"""CSV and JSONL round-trip for connection records.
+
+Traces at the default experiment scale run to a few million records, so the
+readers stream line by line instead of loading whole files eagerly.  Paths
+ending in ``.gz`` are compressed/decompressed transparently — month-scale
+CDR archives are always shipped gzipped.
+"""
+
+from __future__ import annotations
+
+import csv
+import gzip
+import json
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from repro.cdr.errors import CDRValidationError
+from repro.cdr.records import ConnectionRecord
+
+_CSV_FIELDS = ("start", "car_id", "cell_id", "carrier", "technology", "duration")
+
+
+def _open_text(path: str | Path, mode: str):
+    """Open a text file, transparently gzipped when the suffix is .gz."""
+    if str(path).endswith(".gz"):
+        return gzip.open(path, mode + "t", newline="" if "csv" in str(path) else None)
+    return open(path, mode, newline="" if "csv" in str(path) else None)
+
+
+def write_records_csv(path: str | Path, records: Iterable[ConnectionRecord]) -> int:
+    """Write records to CSV; returns the number of rows written."""
+    count = 0
+    with _open_text(path, "w") as f:
+        writer = csv.writer(f)
+        writer.writerow(_CSV_FIELDS)
+        for rec in records:
+            writer.writerow(
+                [rec.start, rec.car_id, rec.cell_id, rec.carrier, rec.technology, rec.duration]
+            )
+            count += 1
+    return count
+
+
+def read_records_csv(path: str | Path) -> Iterator[ConnectionRecord]:
+    """Stream records from a CSV file written by :func:`write_records_csv`."""
+    with _open_text(path, "r") as f:
+        reader = csv.DictReader(f)
+        if reader.fieldnames is None or set(_CSV_FIELDS) - set(reader.fieldnames):
+            raise CDRValidationError(
+                f"CSV at {path} is missing required columns {_CSV_FIELDS}"
+            )
+        for row in reader:
+            yield _record_from_mapping(row, source=str(path))
+
+
+def write_records_jsonl(path: str | Path, records: Iterable[ConnectionRecord]) -> int:
+    """Write records as one JSON object per line; returns the row count."""
+    count = 0
+    with _open_text(path, "w") as f:
+        for rec in records:
+            f.write(
+                json.dumps(
+                    {
+                        "start": rec.start,
+                        "car_id": rec.car_id,
+                        "cell_id": rec.cell_id,
+                        "carrier": rec.carrier,
+                        "technology": rec.technology,
+                        "duration": rec.duration,
+                    }
+                )
+            )
+            f.write("\n")
+            count += 1
+    return count
+
+
+def read_records_jsonl(path: str | Path) -> Iterator[ConnectionRecord]:
+    """Stream records from a JSONL file written by :func:`write_records_jsonl`."""
+    with _open_text(path, "r") as f:
+        for line_no, line in enumerate(f, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise CDRValidationError(
+                    f"{path}:{line_no}: invalid JSON: {exc}"
+                ) from exc
+            yield _record_from_mapping(obj, source=f"{path}:{line_no}")
+
+
+def _record_from_mapping(obj: dict, source: str) -> ConnectionRecord:
+    try:
+        return ConnectionRecord(
+            start=float(obj["start"]),
+            car_id=str(obj["car_id"]),
+            cell_id=int(obj["cell_id"]),
+            carrier=str(obj["carrier"]),
+            technology=str(obj["technology"]),
+            duration=float(obj["duration"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CDRValidationError(f"{source}: malformed record: {exc}") from exc
+
+
+def write_records_daily(
+    directory: str | Path,
+    records: Iterable[ConnectionRecord],
+    compress: bool = True,
+) -> dict[int, int]:
+    """Partition a trace into one CSV per study day, as CDR feeds arrive.
+
+    Records land in ``<directory>/day-<NNN>.csv[.gz]`` keyed by the day
+    their connection *started*.  Returns ``{day: rows written}``.  Input
+    order within a day is preserved; days are written in ascending order.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    per_day: dict[int, list[ConnectionRecord]] = {}
+    for rec in records:
+        per_day.setdefault(int(rec.start // 86_400), []).append(rec)
+    suffix = ".csv.gz" if compress else ".csv"
+    counts: dict[int, int] = {}
+    for day in sorted(per_day):
+        path = directory / f"day-{day:03d}{suffix}"
+        counts[day] = write_records_csv(path, per_day[day])
+    return counts
+
+
+def read_records_daily(directory: str | Path) -> Iterator[ConnectionRecord]:
+    """Stream a daily-partitioned trace back in day order.
+
+    Reads every ``day-*.csv``/``day-*.csv.gz`` under ``directory`` sorted by
+    filename, yielding records in the same global order
+    :func:`write_records_daily` received them (given per-day sorted input).
+    """
+    directory = Path(directory)
+    paths = sorted(
+        p
+        for p in directory.iterdir()
+        if p.name.startswith("day-") and (p.suffix == ".csv" or p.name.endswith(".csv.gz"))
+    )
+    if not paths:
+        raise CDRValidationError(f"no day-*.csv[.gz] files under {directory}")
+    for path in paths:
+        yield from read_records_csv(path)

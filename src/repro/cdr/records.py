@@ -1,0 +1,135 @@
+"""Connection records and batch containers.
+
+A :class:`ConnectionRecord` is one radio-level connection: one car attached
+to one cell on one carrier for some duration.  It mirrors the fields the
+paper's CDRs expose (Section 3) — identities, cell, carrier, timing — and
+deliberately carries no data volume, which the paper's data set lacks.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from repro.algorithms.intervals import Interval
+from repro.cdr.errors import CDRValidationError
+
+
+@dataclass(frozen=True, order=True)
+class ConnectionRecord:
+    """One radio connection from a car to a cell.
+
+    Ordering is by ``(start, car_id, cell_id)`` so sorting a record list
+    yields a stable chronological trace.
+    """
+
+    start: float
+    car_id: str
+    cell_id: int
+    carrier: str
+    technology: str
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise CDRValidationError(
+                f"record duration must be non-negative, got {self.duration}"
+            )
+        if not self.car_id:
+            raise CDRValidationError("record car_id must be non-empty")
+
+    @property
+    def end(self) -> float:
+        """Timestamp at which the connection released."""
+        return self.start + self.duration
+
+    @property
+    def interval(self) -> Interval:
+        """The record's time extent as a half-open interval."""
+        return Interval(self.start, self.end)
+
+    def truncated(self, max_duration: float) -> "ConnectionRecord":
+        """Copy with duration capped at ``max_duration`` (Section 3's 600 s)."""
+        if self.duration <= max_duration:
+            return self
+        return ConnectionRecord(
+            start=self.start,
+            car_id=self.car_id,
+            cell_id=self.cell_id,
+            carrier=self.carrier,
+            technology=self.technology,
+            duration=max_duration,
+        )
+
+
+class CDRBatch:
+    """A chronologically sorted collection of connection records.
+
+    The batch owns its list; iterate it or use the grouping helpers, which
+    are what every analysis in :mod:`repro.core` consumes.
+    """
+
+    def __init__(self, records: Iterable[ConnectionRecord]) -> None:
+        self._records: list[ConnectionRecord] = sorted(records)
+        self._by_car: dict[str, list[ConnectionRecord]] | None = None
+        self._by_cell: dict[int, list[ConnectionRecord]] | None = None
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[ConnectionRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, idx: int) -> ConnectionRecord:
+        return self._records[idx]
+
+    @property
+    def records(self) -> list[ConnectionRecord]:
+        """The sorted record list (not a copy; treat as read-only)."""
+        return self._records
+
+    def by_car(self) -> dict[str, list[ConnectionRecord]]:
+        """Records grouped per car, each group chronological."""
+        if self._by_car is None:
+            groups: dict[str, list[ConnectionRecord]] = defaultdict(list)
+            for rec in self._records:
+                groups[rec.car_id].append(rec)
+            self._by_car = dict(groups)
+        return self._by_car
+
+    def by_cell(self) -> dict[int, list[ConnectionRecord]]:
+        """Records grouped per cell, each group chronological."""
+        if self._by_cell is None:
+            groups: dict[int, list[ConnectionRecord]] = defaultdict(list)
+            for rec in self._records:
+                groups[rec.cell_id].append(rec)
+            self._by_cell = dict(groups)
+        return self._by_cell
+
+    def car_ids(self) -> list[str]:
+        """Distinct car ids, sorted."""
+        return sorted(self.by_car())
+
+    def cell_ids(self) -> list[int]:
+        """Distinct cell ids, sorted."""
+        return sorted(self.by_cell())
+
+    def filtered(self, predicate) -> "CDRBatch":
+        """New batch keeping records for which ``predicate(record)`` is true."""
+        return CDRBatch(rec for rec in self._records if predicate(rec))
+
+    def validate(self, study_duration: float | None = None) -> None:
+        """Raise :class:`CDRValidationError` on ill-formed batches.
+
+        Checks chronological consistency per construction and, when
+        ``study_duration`` is given, that every record starts inside the
+        study window.
+        """
+        if study_duration is not None:
+            for rec in self._records:
+                if not 0 <= rec.start < study_duration:
+                    raise CDRValidationError(
+                        f"record at t={rec.start} outside study of "
+                        f"{study_duration} s"
+                    )

@@ -1,0 +1,140 @@
+"""Trace validation against the study calendar and cell inventory.
+
+A CDR feed is only analyzable when it is *consistent*: every record starts
+inside the study window, references a cell the inventory knows, and carries
+the carrier/technology that cell actually has.  Real feeds violate all of
+these (decommissioned cells, inventory lag, clock skew); the validator
+enumerates violations so the analyst can decide what to drop before the
+pipeline runs — the step between raw data and Section 3's methodology.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.algorithms.timebins import StudyClock
+from repro.cdr.records import CDRBatch, ConnectionRecord
+from repro.network.cells import Cell
+
+
+class FindingKind(enum.Enum):
+    """Classes of trace inconsistency."""
+
+    OUT_OF_WINDOW = "record starts outside the study window"
+    UNKNOWN_CELL = "record references a cell missing from the inventory"
+    CARRIER_MISMATCH = "record carrier differs from the cell's carrier"
+    TECHNOLOGY_MISMATCH = "record technology differs from the cell's"
+    DUPLICATE_RECORD = "identical record appears more than once"
+
+
+@dataclass(frozen=True)
+class ValidationFinding:
+    """One violation, with a representative record."""
+
+    kind: FindingKind
+    record: ConnectionRecord
+    detail: str = ""
+
+
+@dataclass
+class ValidationReport:
+    """All findings plus counts per kind."""
+
+    n_records: int
+    findings: list[ValidationFinding] = field(default_factory=list)
+
+    @property
+    def counts(self) -> Counter:
+        """Number of findings per kind."""
+        return Counter(f.kind for f in self.findings)
+
+    @property
+    def ok(self) -> bool:
+        """True when the trace is fully consistent."""
+        return not self.findings
+
+    def render(self) -> str:
+        """Human-readable summary."""
+        if self.ok:
+            return f"{self.n_records:,} records validated: consistent"
+        lines = [f"{self.n_records:,} records validated: {len(self.findings)} findings"]
+        for kind, count in self.counts.most_common():
+            lines.append(f"  {count:>6} x {kind.value}")
+        return "\n".join(lines)
+
+
+class TraceValidator:
+    """Validates batches against a clock and (optionally) a cell inventory.
+
+    Parameters
+    ----------
+    clock:
+        Study calendar; records must start in ``[0, duration)``.
+    cells:
+        Cell inventory (``topology.cells``); omit to skip inventory checks.
+    max_findings:
+        Stop collecting after this many findings (the counts stay exact for
+        the kinds found so far); keeps validation of a corrupt billion-row
+        feed from materializing a billion findings.
+    """
+
+    def __init__(
+        self,
+        clock: StudyClock,
+        cells: dict[int, Cell] | None = None,
+        max_findings: int = 10_000,
+    ) -> None:
+        if max_findings <= 0:
+            raise ValueError(f"max_findings must be positive, got {max_findings}")
+        self.clock = clock
+        self.cells = cells
+        self.max_findings = max_findings
+
+    def validate(self, batch: CDRBatch) -> ValidationReport:
+        """Check every record; returns the full report."""
+        report = ValidationReport(n_records=len(batch))
+        seen: set[tuple] = set()
+        for rec in batch:
+            if len(report.findings) >= self.max_findings:
+                break
+            key = (rec.start, rec.car_id, rec.cell_id, rec.duration)
+            if key in seen:
+                report.findings.append(
+                    ValidationFinding(FindingKind.DUPLICATE_RECORD, rec)
+                )
+            seen.add(key)
+            if not self.clock.in_study(rec.start):
+                report.findings.append(
+                    ValidationFinding(
+                        FindingKind.OUT_OF_WINDOW,
+                        rec,
+                        detail=f"start={rec.start}, window=[0, {self.clock.duration})",
+                    )
+                )
+            if self.cells is None:
+                continue
+            cell = self.cells.get(rec.cell_id)
+            if cell is None:
+                report.findings.append(
+                    ValidationFinding(FindingKind.UNKNOWN_CELL, rec)
+                )
+                continue
+            if rec.carrier != cell.carrier.name:
+                report.findings.append(
+                    ValidationFinding(
+                        FindingKind.CARRIER_MISMATCH,
+                        rec,
+                        detail=f"record={rec.carrier}, inventory={cell.carrier.name}",
+                    )
+                )
+            if rec.technology != cell.technology.value:
+                report.findings.append(
+                    ValidationFinding(
+                        FindingKind.TECHNOLOGY_MISMATCH,
+                        rec,
+                        detail=f"record={rec.technology}, inventory={cell.technology.value}",
+                    )
+                )
+        return report

@@ -1,0 +1,268 @@
+"""Command-line interface.
+
+The workflows an operator or researcher runs repeatedly, without writing
+Python::
+
+    python -m repro.cli generate --scenario default --cars 200 --days 28 \\
+        --out trace.csv.gz [--anonymize-key KEY]
+    python -m repro.cli analyze  --trace trace.csv.gz --days 28 [--markdown]
+    python -m repro.cli quality  --trace trace.csv.gz --days 28
+    python -m repro.cli fota     --trace trace.csv.gz --days 28 [--max-concurrent N]
+    python -m repro.cli journeys --trace trace.csv.gz --days 28
+    python -m repro.cli saturate
+
+``analyze`` rebuilds the scenario's topology and load model, so it must be
+given the same scenario (and load seed) the trace was generated with —
+exactly as a real analysis needs the matching cell inventory and PRB
+counters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.algorithms.timebins import StudyClock
+from repro.cdr.anonymize import Anonymizer
+from repro.cdr.io import read_records_csv, write_records_csv
+from repro.cdr.quality import assess_quality
+from repro.cdr.records import CDRBatch
+from repro.core.pipeline import AnalysisPipeline
+from repro.core.report import format_report, format_report_markdown
+from repro.network.load import CellLoadModel
+from repro.network.topology import build_topology
+from repro.simulate.generator import TraceGenerator
+from repro.simulate.scenarios import SCENARIOS, scenario
+
+
+def _add_generate(subparsers) -> None:
+    p = subparsers.add_parser("generate", help="generate a synthetic CDR trace")
+    p.add_argument("--scenario", default="default", choices=sorted(SCENARIOS))
+    p.add_argument("--cars", type=int, default=200)
+    p.add_argument("--days", type=int, default=28)
+    p.add_argument("--seed", type=int, default=None, help="override the root seed")
+    p.add_argument("--out", required=True, help="output CSV path")
+    p.add_argument(
+        "--anonymize-key",
+        default=None,
+        help="pseudonymize car ids with this key before writing",
+    )
+
+
+def _add_analyze(subparsers) -> None:
+    p = subparsers.add_parser("analyze", help="run the full paper analysis on a trace")
+    p.add_argument("--trace", required=True, help="CSV written by `generate`")
+    p.add_argument("--scenario", default="default", choices=sorted(SCENARIOS))
+    p.add_argument("--days", type=int, default=28)
+    p.add_argument("--no-clustering", action="store_true")
+    p.add_argument(
+        "--markdown", action="store_true", help="emit the report as markdown"
+    )
+
+
+def _add_quality(subparsers) -> None:
+    p = subparsers.add_parser("quality", help="data-quality diagnostics on a trace")
+    p.add_argument("--trace", required=True)
+    p.add_argument("--days", type=int, default=28)
+
+
+def _add_fota(subparsers) -> None:
+    p = subparsers.add_parser(
+        "fota", help="simulate FOTA delivery policies over a trace"
+    )
+    p.add_argument("--trace", required=True)
+    p.add_argument("--scenario", default="default", choices=sorted(SCENARIOS))
+    p.add_argument("--days", type=int, default=28)
+    p.add_argument("--update-mb", type=float, default=200.0)
+    p.add_argument(
+        "--max-concurrent", type=int, default=None,
+        help="per-cell concurrent-download cap (throttled run)",
+    )
+
+
+def _add_journeys(subparsers) -> None:
+    p = subparsers.add_parser(
+        "journeys", help="reconstruct journeys and handover corridors"
+    )
+    p.add_argument("--trace", required=True)
+    p.add_argument("--scenario", default="default", choices=sorted(SCENARIOS))
+    p.add_argument("--days", type=int, default=28)
+
+
+def _add_saturate(subparsers) -> None:
+    p = subparsers.add_parser(
+        "saturate", help="run the Figure 1 greedy-download saturation experiment"
+    )
+    p.add_argument("--start-hour", type=float, default=20.75)
+    p.add_argument("--duration-hours", type=float, default=4.0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Connected cars in cellular networks (IMC'17) reproduction",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_generate(subparsers)
+    _add_analyze(subparsers)
+    _add_quality(subparsers)
+    _add_fota(subparsers)
+    _add_journeys(subparsers)
+    _add_saturate(subparsers)
+    return parser
+
+
+def cmd_generate(args) -> int:
+    config = scenario(args.scenario, n_cars=args.cars, n_days=args.days)
+    if args.seed is not None:
+        from dataclasses import replace
+
+        config = replace(config, seed=args.seed)
+    dataset = TraceGenerator(config).generate()
+    records = dataset.batch.records
+    if args.anonymize_key:
+        records = Anonymizer(key=args.anonymize_key).anonymize(records)
+    n = write_records_csv(args.out, records)
+    print(
+        f"wrote {n:,} records ({args.cars} cars, {args.days} days, "
+        f"scenario {args.scenario}) to {args.out}"
+    )
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    config = scenario(args.scenario, n_cars=1, n_days=args.days)
+    clock = StudyClock(n_days=args.days)
+    topology = build_topology(config.topology)
+    load_model = CellLoadModel(topology, clock, seed=config.load_seed)
+    batch = CDRBatch(read_records_csv(args.trace))
+    pipeline = AnalysisPipeline(clock, load_model, topology.cells)
+    report = pipeline.run(batch, with_clustering=not args.no_clustering)
+    if args.markdown:
+        print(format_report_markdown(report))
+    else:
+        print(format_report(report))
+    return 0
+
+
+def cmd_quality(args) -> int:
+    clock = StudyClock(n_days=args.days)
+    batch = CDRBatch(read_records_csv(args.trace))
+    report = assess_quality(batch, clock)
+    print(report.render())
+    return 0 if report.clean else 2
+
+
+def cmd_fota(args) -> int:
+    from repro.core.busy import BusySchedule
+    from repro.core.preprocess import preprocess
+    from repro.core.segmentation import days_on_network
+    from repro.fota import (
+        BusyAwarePolicy,
+        CampaignConfig,
+        CampaignSimulator,
+        NaivePolicy,
+        OffPeakPolicy,
+        RareFirstPolicy,
+    )
+
+    config = scenario(args.scenario, n_cars=1, n_days=args.days)
+    clock = StudyClock(n_days=args.days)
+    topology = build_topology(config.topology)
+    load_model = CellLoadModel(topology, clock, seed=config.load_seed)
+    batch = CDRBatch(read_records_csv(args.trace))
+    pre = preprocess(batch)
+    simulator = CampaignSimulator(
+        pre.truncated,
+        BusySchedule.from_load_model(load_model),
+        days_on_network(pre.full, clock),
+    )
+    campaign = CampaignConfig(
+        update_bytes=args.update_mb * 1e6, window_days=args.days
+    )
+    print(f"{'policy':<22} | {'complete':>8} | {'busy bytes':>10}")
+    for policy in (NaivePolicy(), OffPeakPolicy(), RareFirstPolicy(), BusyAwarePolicy()):
+        if args.max_concurrent is not None:
+            result = simulator.run_throttled(policy, campaign, args.max_concurrent)
+        else:
+            result = simulator.run(policy, campaign)
+        print(
+            f"{result.policy_name:<22} | {result.completion_rate:>8.1%} "
+            f"| {result.busy_byte_fraction:>10.1%}"
+        )
+    return 0
+
+
+def cmd_journeys(args) -> int:
+    import numpy as np
+
+    from repro.core.journeys import commute_peak_shares, reconstruct_journeys
+    from repro.core.preprocess import preprocess
+    from repro.viz import sparkline
+
+    config = scenario(args.scenario, n_cars=1, n_days=args.days)
+    clock = StudyClock(n_days=args.days)
+    topology = build_topology(config.topology)
+    batch = CDRBatch(read_records_csv(args.trace))
+    pre = preprocess(batch)
+    stats = reconstruct_journeys(pre, topology.cells)
+    print(
+        f"journeys: {stats.n_journeys:,}; stationary sessions: "
+        f"{stats.n_stationary_sessions:,}"
+    )
+    if stats.n_journeys:
+        print(
+            f"median distance {stats.median_distance_km():.1f} km, "
+            f"median speed {np.median(stats.speeds_kmh()):.0f} km/h"
+        )
+        print(f"departures: {sparkline(stats.departure_hour_histogram(clock))}")
+        morning, evening = commute_peak_shares(stats, clock)
+        print(f"commute windows: morning {morning:.0%}, evening {evening:.0%}")
+    return 0
+
+
+def cmd_saturate(args) -> int:
+    from repro.algorithms.timebins import BIN_SECONDS
+    from repro.network.scheduler import DownloadFlow, PRBScheduler
+    from repro.viz import sparkline
+
+    clock = StudyClock(n_days=1)
+    topology = build_topology()
+    load = CellLoadModel(topology, clock)
+    cell_id = load.busy_cell_ids(0.5)[0]
+    background = load.day_series(cell_id, 0)
+    start_s = args.start_hour * 3600.0
+    flow = DownloadFlow(
+        "greedy", start_time=start_s, stop_time=start_s + args.duration_hours * 3600.0
+    )
+    result = PRBScheduler(
+        topology.cell(cell_id).carrier.prb_capacity, background
+    ).run([flow])
+    print(f"cell {cell_id}: baseline  {sparkline(background, width=96)}")
+    print(f"cell {cell_id}: with test {sparkline(result.bin_utilization, width=96)}")
+    start_bin = int(start_s // BIN_SECONDS)
+    during = result.bin_utilization[start_bin : start_bin + int(args.duration_hours * 4)]
+    print(
+        f"mean U_PRB during test: {during.mean():.1%}; "
+        f"downloaded {flow.transferred_bytes / 1e9:.2f} GB"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "generate": cmd_generate,
+        "analyze": cmd_analyze,
+        "quality": cmd_quality,
+        "fota": cmd_fota,
+        "journeys": cmd_journeys,
+        "saturate": cmd_saturate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,155 @@
+"""Busy cells and each car's exposure to them (Section 4.3, Figure 7).
+
+The paper calls a cell *busy* in a 15-minute bin when its average PRB
+utilization exceeds 80% in that bin.  For every car it then measures the
+share of its connected time spent in busy cells: most cars spend little time
+there, but ~2.4% spend over half their connected time and ~1% spend all of it
+on busy radios — the cars whose FOTA downloads would pour oil onto the fire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.stats import decile_shares
+from repro.algorithms.timebins import BIN_SECONDS
+from repro.cdr.records import CDRBatch
+from repro.network.load import CellLoadModel
+
+#: The paper's busy threshold on U_PRB per 15-minute bin.
+BUSY_THRESHOLD = 0.80
+
+
+class BusySchedule:
+    """Per-cell boolean busy masks over the study's 15-minute bins.
+
+    Wraps either a :class:`CellLoadModel` (the synthetic network's counters)
+    or explicit per-cell utilization series, and answers "was this cell busy
+    during this bin".  Cells with no known series are treated as never busy,
+    matching how an operator handles cells missing counters.
+    """
+
+    def __init__(
+        self,
+        masks: dict[int, np.ndarray],
+        threshold: float = BUSY_THRESHOLD,
+    ) -> None:
+        if not 0 < threshold < 1:
+            raise ValueError(f"threshold must be in (0, 1), got {threshold}")
+        self._masks = masks
+        self.threshold = threshold
+
+    @classmethod
+    def from_load_model(
+        cls, model: CellLoadModel, threshold: float = BUSY_THRESHOLD
+    ) -> "BusySchedule":
+        """Lazily-materialized schedule backed by a load model."""
+        schedule = cls({}, threshold)
+        schedule._model = model  # type: ignore[attr-defined]
+        return schedule
+
+    @classmethod
+    def from_series(
+        cls, series: dict[int, np.ndarray], threshold: float = BUSY_THRESHOLD
+    ) -> "BusySchedule":
+        """Schedule from explicit per-cell utilization series."""
+        return cls({cid: np.asarray(s) > threshold for cid, s in series.items()}, threshold)
+
+    def busy_mask(self, cell_id: int) -> np.ndarray | None:
+        """Boolean per-bin busy mask for a cell, or ``None`` when unknown."""
+        mask = self._masks.get(cell_id)
+        if mask is None:
+            model: CellLoadModel | None = getattr(self, "_model", None)
+            if model is None or cell_id not in model.topology.cells:
+                return None
+            mask = model.series(cell_id) > self.threshold
+            self._masks[cell_id] = mask
+        return mask
+
+    def is_busy(self, cell_id: int, global_bin: int) -> bool:
+        """Whether the cell was busy in the given absolute 15-minute bin."""
+        mask = self.busy_mask(cell_id)
+        if mask is None or not 0 <= global_bin < mask.size:
+            return False
+        return bool(mask[global_bin])
+
+
+@dataclass(frozen=True)
+class BusyExposure:
+    """Per-car busy-time exposure (the data behind Figure 7)."""
+
+    car_ids: list[str]
+    #: Fraction of each car's connected time spent in busy cells, in [0, 1].
+    busy_share: np.ndarray
+    #: Fraction of each car's connected time in *non*-busy cells.
+    nonbusy_share: np.ndarray
+
+    def share_distribution(self) -> np.ndarray:
+        """Figure 7a: proportion of cars per 10%-wide busy-share bucket.
+
+        Eleven buckets: [0,10%), ..., [90%,100%), and exactly-100% cars
+        merged into the last bucket.
+        """
+        edges = np.arange(0.0, 1.1, 0.1)
+        edges[-1] = 1.0 + 1e-9
+        return decile_shares(self.busy_share, edges)
+
+    def share_distribution_above(self, floor: float = 0.5) -> np.ndarray:
+        """Figure 7b: distribution of busy share among cars above ``floor``.
+
+        Five 10%-wide buckets from ``floor`` to 100% (the last closed),
+        normalized over the cars whose busy share is at least ``floor`` —
+        the zoomed panel the paper uses to show the heavy-exposure tail's
+        internal structure.  All-zero when no car reaches the floor.
+        """
+        if not 0 <= floor < 1:
+            raise ValueError(f"floor must be in [0, 1), got {floor}")
+        tail = self.busy_share[self.busy_share >= floor]
+        edges = np.linspace(floor, 1.0, 6)
+        edges[-1] = 1.0 + 1e-9
+        if tail.size == 0:
+            return np.zeros(5)
+        return decile_shares(tail, edges)
+
+    def fraction_above(self, threshold: float) -> float:
+        """Proportion of cars with busy share strictly above ``threshold``."""
+        if self.busy_share.size == 0:
+            return 0.0
+        return float((self.busy_share > threshold).mean())
+
+    def fraction_all_busy(self, tolerance: float = 1e-9) -> float:
+        """Proportion of cars spending (essentially) all time in busy cells."""
+        if self.busy_share.size == 0:
+            return 0.0
+        return float((self.busy_share >= 1.0 - tolerance).mean())
+
+
+def busy_exposure(batch: CDRBatch, schedule: BusySchedule) -> BusyExposure:
+    """Compute every car's busy/non-busy connected-time split.
+
+    Each record's duration is apportioned to the 15-minute bins it overlaps;
+    seconds in bins where the record's cell was busy count as busy time.
+    """
+    car_ids = batch.car_ids()
+    busy = np.zeros(len(car_ids))
+    total = np.zeros(len(car_ids))
+    index = {car: i for i, car in enumerate(car_ids)}
+    for rec in batch:
+        i = index[rec.car_id]
+        mask = schedule.busy_mask(rec.cell_id)
+        for b in rec.interval.bins_straddled(BIN_SECONDS):
+            lo = max(rec.start, b * BIN_SECONDS)
+            hi = min(rec.end, (b + 1) * BIN_SECONDS)
+            seconds = max(0.0, hi - lo)
+            total[i] += seconds
+            if mask is not None and 0 <= b < mask.size and mask[b]:
+                busy[i] += seconds
+    safe_total = np.where(total > 0, total, 1.0)
+    busy_share = np.where(total > 0, busy / safe_total, 0.0)
+    return BusyExposure(
+        car_ids=car_ids,
+        busy_share=busy_share,
+        nonbusy_share=np.where(total > 0, 1.0 - busy / safe_total, 0.0),
+    )

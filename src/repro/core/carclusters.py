@@ -1,0 +1,137 @@
+"""Behavioural clustering of cars.
+
+The paper's introduction claims "cars can be clustered according to
+predictability in their behavior", and Figure 5's three exemplars preview
+the cluster archetypes.  This module makes the claim executable: each car's
+24x7 connection matrix (normalized to a distribution over the week's 168
+hours) is a behavioural fingerprint; k-means over those fingerprints
+recovers the archetypes — strict commuters, all-week heavy users,
+weekend-leaning cars — and the silhouette score quantifies how separable
+they are.
+
+Because fingerprints are normalized, the clustering sees *when* a car
+connects, not *how much*; predictability differences show up through the
+``regularity`` of each cluster's mean matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.kmeans import KMeans, KMeansResult, silhouette_score
+from repro.algorithms.timebins import StudyClock
+from repro.cdr.records import ConnectionRecord
+from repro.core.matrices import UsageMatrix, usage_matrix
+
+HOURS_PER_WEEK = 24 * 7
+
+
+def behaviour_fingerprint(matrix: UsageMatrix) -> np.ndarray:
+    """A car's (168,) hour-of-week connection distribution.
+
+    Rows of the 24x7 matrix flatten weekday-major (Monday hour 0 first) and
+    normalize to sum 1, so heavy and light users with the same *schedule*
+    get the same fingerprint.
+    """
+    flat = matrix.counts.T.reshape(HOURS_PER_WEEK).astype(float)
+    total = flat.sum()
+    if total == 0:
+        return flat
+    return flat / total
+
+
+@dataclass(frozen=True)
+class BehaviourClusters:
+    """Outcome of clustering the fleet's behaviour fingerprints."""
+
+    car_ids: list[str]
+    fingerprints: np.ndarray  # (n_cars, 168)
+    result: KMeansResult
+
+    @property
+    def k(self) -> int:
+        """Number of clusters."""
+        return self.result.k
+
+    def members(self, label: int) -> list[str]:
+        """Car ids assigned to cluster ``label``."""
+        return [c for c, lab in zip(self.car_ids, self.result.labels) if lab == label]
+
+    def mean_fingerprint(self, label: int) -> np.ndarray:
+        """Mean (168,) fingerprint of a cluster."""
+        mask = self.result.labels == label
+        if not mask.any():
+            return np.zeros(HOURS_PER_WEEK)
+        return self.fingerprints[mask].mean(axis=0)
+
+    def weekend_share(self, label: int) -> float:
+        """Share of a cluster's connection mass on Saturday + Sunday."""
+        fp = self.mean_fingerprint(label)
+        return float(fp[5 * 24 :].sum())
+
+    def commute_share(self, label: int) -> float:
+        """Share of mass in weekday commute hours (7-9 and 16-19)."""
+        fp = self.mean_fingerprint(label).reshape(7, 24)
+        return float(fp[:5, 7:9].sum() + fp[:5, 16:19].sum())
+
+    def silhouette(self) -> float:
+        """Silhouette of the clustering (k >= 2)."""
+        return silhouette_score(self.fingerprints, self.result.labels)
+
+    def label_of(self, car_id: str) -> int:
+        """Cluster label of one car."""
+        idx = self.car_ids.index(car_id)
+        return int(self.result.labels[idx])
+
+
+def cluster_cars(
+    by_car: dict[str, list[ConnectionRecord]],
+    clock: StudyClock,
+    k: int = 3,
+    min_connections: int = 20,
+    seed: int = 0,
+) -> BehaviourClusters:
+    """Cluster cars by their normalized 24x7 behaviour.
+
+    Cars with fewer than ``min_connections`` hour-cell hits are excluded —
+    a near-empty matrix is noise, not behaviour (they are the paper's rare
+    cars, already segmented by Table 2).
+    """
+    car_ids: list[str] = []
+    rows: list[np.ndarray] = []
+    for car_id in sorted(by_car):
+        matrix = usage_matrix(car_id, by_car[car_id], clock)
+        if matrix.total_connections < min_connections:
+            continue
+        car_ids.append(car_id)
+        rows.append(behaviour_fingerprint(matrix))
+    if len(rows) < k:
+        raise ValueError(
+            f"only {len(rows)} cars have >= {min_connections} connections; "
+            f"cannot form {k} clusters"
+        )
+    fingerprints = np.stack(rows)
+    result = KMeans(k, seed=seed).fit(fingerprints)
+    return BehaviourClusters(
+        car_ids=car_ids, fingerprints=fingerprints, result=result
+    )
+
+
+def choose_k(
+    by_car: dict[str, list[ConnectionRecord]],
+    clock: StudyClock,
+    k_range: tuple[int, ...] = (2, 3, 4, 5),
+    min_connections: int = 20,
+    seed: int = 0,
+) -> dict[int, float]:
+    """Silhouette score per candidate ``k`` — the elbow check for Figure 5's
+    implicit claim that a few archetypes cover the fleet."""
+    scores: dict[int, float] = {}
+    for k in k_range:
+        clusters = cluster_cars(
+            by_car, clock, k=k, min_connections=min_connections, seed=seed
+        )
+        scores[k] = clusters.silhouette()
+    return scores

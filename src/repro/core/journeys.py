@@ -1,0 +1,155 @@
+"""Journey reconstruction from radio-level records.
+
+Section 4.5 notes that radio logs under-sample mobility — cars time out
+between data transfers — so connectivity gives a *lower bound* on movement.
+Within that limit, a car's network session (records with gaps <= 10 minutes)
+traces a journey: the sequence of base stations it touched.  With the cell
+inventory's site coordinates, each journey yields a distance and speed
+estimate, which is how operators infer commute corridors from CDRs (the
+"Tale of One City" line of work the paper cites).
+
+A journey requires at least two distinct base stations; stationary sessions
+(one site) are counted separately — "just because a car connects ... it does
+not mean it is mobile" (Section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.stats import percentile
+from repro.algorithms.timebins import StudyClock
+from repro.cdr.records import ConnectionRecord
+from repro.core.preprocess import PreprocessResult
+from repro.network.cells import Cell
+from repro.network.geometry import distance
+
+
+@dataclass(frozen=True)
+class Journey:
+    """One reconstructed drive."""
+
+    car_id: str
+    start: float
+    end: float
+    #: Base station ids in visit order, consecutive duplicates collapsed.
+    site_path: tuple[int, ...]
+    #: Sum of straight-line hops between consecutive sites, km.
+    distance_km: float
+
+    @property
+    def duration_s(self) -> float:
+        """Journey extent in seconds (first record start to last record end)."""
+        return self.end - self.start
+
+    @property
+    def n_sites(self) -> int:
+        """Distinct consecutive base stations visited."""
+        return len(self.site_path)
+
+    @property
+    def speed_kmh(self) -> float:
+        """Mean speed implied by distance over duration; 0 for instant ones."""
+        if self.duration_s <= 0:
+            return 0.0
+        return self.distance_km / (self.duration_s / 3600.0)
+
+
+@dataclass
+class JourneyStats:
+    """Fleet-level journey aggregates."""
+
+    journeys: list[Journey]
+    n_stationary_sessions: int
+
+    @property
+    def n_journeys(self) -> int:
+        """Reconstructed journeys with movement."""
+        return len(self.journeys)
+
+    def distances_km(self) -> np.ndarray:
+        """Per-journey distance estimates."""
+        return np.asarray([j.distance_km for j in self.journeys])
+
+    def speeds_kmh(self) -> np.ndarray:
+        """Per-journey mean speed estimates."""
+        return np.asarray([j.speed_kmh for j in self.journeys])
+
+    def durations_s(self) -> np.ndarray:
+        """Per-journey durations."""
+        return np.asarray([j.duration_s for j in self.journeys])
+
+    def median_distance_km(self) -> float:
+        """Median journey distance."""
+        return percentile(self.distances_km(), 50)
+
+    def departure_hour_histogram(self, clock: StudyClock) -> np.ndarray:
+        """Journeys per local hour of day, 24 entries — commute peaks show
+        as a morning/evening double hump."""
+        counts = np.zeros(24, dtype=int)
+        for j in self.journeys:
+            counts[clock.hour_of_day(j.start)] += 1
+        return counts
+
+    def mobility_fraction(self) -> float:
+        """Share of all network sessions that show movement."""
+        total = self.n_journeys + self.n_stationary_sessions
+        return self.n_journeys / total if total else 0.0
+
+
+def journey_from_session(
+    session: list[ConnectionRecord], cells: dict[int, Cell]
+) -> Journey | None:
+    """Reconstruct a journey from one network session.
+
+    Returns ``None`` when the session touches fewer than two distinct
+    consecutive base stations (a stationary session) or when no record's
+    cell is known to the inventory.
+    """
+    path: list[int] = []
+    locations = []
+    for rec in session:
+        cell = cells.get(rec.cell_id)
+        if cell is None:
+            continue
+        if not path or path[-1] != cell.base_station_id:
+            path.append(cell.base_station_id)
+            locations.append(cell.location)
+    if len(path) < 2:
+        return None
+    dist = sum(distance(a, b) for a, b in zip(locations, locations[1:]))
+    return Journey(
+        car_id=session[0].car_id,
+        start=session[0].start,
+        end=max(rec.end for rec in session),
+        site_path=tuple(path),
+        distance_km=dist,
+    )
+
+
+def reconstruct_journeys(
+    pre: PreprocessResult, cells: dict[int, Cell]
+) -> JourneyStats:
+    """Reconstruct every car's journeys from its network sessions."""
+    journeys: list[Journey] = []
+    stationary = 0
+    for car_id in pre.truncated.car_ids():
+        for session in pre.network_sessions(car_id):
+            journey = journey_from_session(session, cells)
+            if journey is None:
+                stationary += 1
+            else:
+                journeys.append(journey)
+    return JourneyStats(journeys=journeys, n_stationary_sessions=stationary)
+
+
+def commute_peak_shares(stats: JourneyStats, clock: StudyClock) -> tuple[float, float]:
+    """Fraction of journeys departing in the morning (6-10) and evening
+    (15-19) commute windows."""
+    if not stats.journeys:
+        return 0.0, 0.0
+    hours = stats.departure_hour_histogram(clock)
+    total = hours.sum()
+    return float(hours[6:10].sum() / total), float(hours[15:19].sum() / total)

@@ -1,0 +1,140 @@
+"""24x7 hour-of-week matrices (Figures 4 and 5).
+
+The paper encodes weekly behaviour in 24x7 matrices — one cell per (hour of
+day, day of week) — both for canonical period masks (commute peak, network
+peak, weekend) and for each car's connection frequency aggregated over all
+study weeks.  Darker cells mean more connections in that hour across the
+study; consistent dark columns reveal commutes.
+
+Matrices here are numpy arrays of shape ``(24, 7)``: row = hour of day,
+column = day of week starting Monday, matching the paper's rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.timebins import HOUR, StudyClock
+from repro.cdr.records import ConnectionRecord
+
+
+@dataclass(frozen=True)
+class UsageMatrix:
+    """One car's 24x7 connection-frequency matrix."""
+
+    car_id: str
+    counts: np.ndarray  # shape (24, 7), dtype int
+
+    def __post_init__(self) -> None:
+        if self.counts.shape != (24, 7):
+            raise ValueError(f"expected shape (24, 7), got {self.counts.shape}")
+
+    @property
+    def total_connections(self) -> int:
+        """Total hour-cell hits across the study."""
+        return int(self.counts.sum())
+
+    @property
+    def active_hours(self) -> int:
+        """Number of distinct (hour, weekday) cells ever used."""
+        return int((self.counts > 0).sum())
+
+    def normalized(self) -> np.ndarray:
+        """Counts scaled to [0, 1] by the matrix maximum (for rendering)."""
+        peak = self.counts.max()
+        if peak == 0:
+            return self.counts.astype(float)
+        return self.counts / peak
+
+    def overlap_fraction(self, mask: np.ndarray) -> float:
+        """Fraction of this car's connections landing inside a period mask."""
+        if self.total_connections == 0:
+            return 0.0
+        return float(self.counts[mask.astype(bool)].sum() / self.total_connections)
+
+    def render(self, shades: str = " .:-=+*#%@") -> str:
+        """ASCII rendering: rows are hours (0..23), columns Monday..Sunday."""
+        norm = self.normalized()
+        lines = ["    M T W T F S S"]
+        for hour in range(24):
+            cells = []
+            for wd in range(7):
+                level = int(round(norm[hour, wd] * (len(shades) - 1)))
+                cells.append(shades[level])
+            lines.append(f"{hour:>2}  " + " ".join(cells))
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class PeriodMasks:
+    """The canonical significant-period masks of Figure 4, shape (24, 7)."""
+
+    commute_peak: np.ndarray
+    network_peak: np.ndarray
+    weekend: np.ndarray
+
+
+def period_masks() -> PeriodMasks:
+    """Figure 4's significant time ranges as boolean matrices.
+
+    Commute peaks: weekday mornings 7-9 and evenings 16-19 local.  Network
+    peak: 14:00-24:00 every day (the busy hours of Section 4.2, which the
+    paper notes overlap the evening commute).  Weekend: all of Saturday and
+    Sunday.
+    """
+    commute = np.zeros((24, 7), dtype=bool)
+    commute[7:9, 0:5] = True
+    commute[16:19, 0:5] = True
+    network = np.zeros((24, 7), dtype=bool)
+    network[14:24, :] = True
+    weekend = np.zeros((24, 7), dtype=bool)
+    weekend[:, 5:7] = True
+    return PeriodMasks(commute_peak=commute, network_peak=network, weekend=weekend)
+
+
+def usage_matrix(
+    car_id: str, records: list[ConnectionRecord], clock: StudyClock
+) -> UsageMatrix:
+    """Build a car's 24x7 matrix from its records.
+
+    Every hour-of-week cell a record's interval touches gets one hit per
+    record, so a two-hour connection darkens two cells — the paper counts
+    connections *during* each hour, not connection starts.
+    """
+    counts = np.zeros((24, 7), dtype=int)
+    for rec in records:
+        if rec.car_id != car_id:
+            raise ValueError(f"record for {rec.car_id} passed to matrix of {car_id}")
+        first_hour = int(rec.start // HOUR)
+        last_hour = int(rec.end // HOUR)
+        if rec.end % HOUR == 0 and rec.end > rec.start:
+            last_hour -= 1
+        for h in range(first_hour, last_hour + 1):
+            t = h * HOUR
+            counts[clock.hour_of_day(t), clock.weekday(t)] += 1
+    return UsageMatrix(car_id=car_id, counts=counts)
+
+
+def matrices_for_all(
+    by_car: dict[str, list[ConnectionRecord]], clock: StudyClock
+) -> dict[str, UsageMatrix]:
+    """Usage matrices for every car in a grouped batch."""
+    return {car: usage_matrix(car, recs, clock) for car, recs in by_car.items()}
+
+
+def regularity_score(matrix: UsageMatrix) -> float:
+    """How concentrated a car's usage is in few hour-of-week cells.
+
+    1 means all connections in one cell; near 0 means spread evenly over the
+    full week.  The paper's sample cars (Figure 5) differ exactly along this
+    axis, and predictable cars are the lever for smart FOTA scheduling.
+    """
+    total = matrix.total_connections
+    if total == 0:
+        return 0.0
+    p = matrix.counts[matrix.counts > 0].astype(float) / total
+    entropy = float(-(p * np.log(p)).sum())
+    max_entropy = np.log(24 * 7)
+    return 1.0 - entropy / max_entropy

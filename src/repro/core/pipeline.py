@@ -1,0 +1,150 @@
+"""End-to-end analysis pipeline.
+
+Runs every analysis of Section 4 over a raw CDR batch and collects the
+results in an :class:`AnalysisReport` whose fields correspond one-to-one to
+the paper's tables and figures.  Individual analyses remain importable on
+their own; the pipeline just sequences them with shared preprocessing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algorithms.timebins import StudyClock
+from repro.cdr.records import CDRBatch
+from repro.core.busy import BusyExposure, BusySchedule, busy_exposure
+from repro.core.carriers import CarrierUsage, carrier_usage
+from repro.core.clustering import BusyCellClusters, cluster_busy_cells
+from repro.core.connect_time import ConnectTimeResult, connect_time_analysis
+from repro.core.handover import HandoverStats, handover_analysis
+from repro.core.preprocess import PreprocessConfig, PreprocessResult, preprocess
+from repro.core.presence import DailyPresence, WeekdayRow, daily_presence, weekday_table
+from repro.core.segmentation import CarSegmentation, days_on_network, segment_cars
+from repro.network.cells import Cell
+from repro.network.load import CellLoadModel
+
+
+@dataclass
+class AnalysisReport:
+    """All paper analyses computed over one data set.
+
+    Field-to-paper mapping: ``presence`` -> Figure 2, ``weekday_rows`` ->
+    Table 1, ``connect_time`` -> Figure 3, ``days`` -> Figure 6,
+    ``segmentation`` -> Table 2, ``exposure`` -> Figure 7, ``clusters`` ->
+    Figure 11, ``handovers`` -> Section 4.5, ``carriers`` -> Table 3.
+    """
+
+    pre: PreprocessResult
+    presence: DailyPresence
+    weekday_rows: list[WeekdayRow]
+    connect_time: ConnectTimeResult
+    days: dict[str, int]
+    exposure: BusyExposure
+    segmentation: CarSegmentation
+    carriers: CarrierUsage
+    handovers: HandoverStats | None = None
+    clusters: BusyCellClusters | None = None
+    notes: list[str] = field(default_factory=list)
+
+
+class AnalysisPipeline:
+    """Sequences the paper's analyses over a raw batch.
+
+    Parameters
+    ----------
+    clock:
+        Study calendar the batch was recorded against.
+    load_model:
+        Source of per-cell U_PRB series; drives busy-cell classification and
+        the Figure 11 clustering.
+    cells:
+        Cell directory (``topology.cells``) for handover classification;
+        omit to skip handover analysis.
+    preprocess_config:
+        Section 3 thresholds; defaults to the paper's values.
+    """
+
+    def __init__(
+        self,
+        clock: StudyClock,
+        load_model: CellLoadModel,
+        cells: dict[int, Cell] | None = None,
+        preprocess_config: PreprocessConfig | None = None,
+    ) -> None:
+        self.clock = clock
+        self.load_model = load_model
+        self.cells = cells
+        self.preprocess_config = preprocess_config or PreprocessConfig()
+
+    def run(
+        self,
+        batch: CDRBatch,
+        with_clustering: bool = True,
+        cluster_k: int = 2,
+        exclude_loss_days: bool = False,
+    ) -> AnalysisReport:
+        """Run every analysis and return the filled report.
+
+        ``exclude_loss_days`` runs the data-quality loss-day detector and
+        removes flagged days from the Table 1 weekday statistics (the paper
+        notes its three loss days "do not affect the overall results"; this
+        makes that claim checkable).  Raises ``ValueError`` for a batch with
+        no usable records: every downstream statistic would be undefined,
+        and an explicit error beats a report full of NaNs.
+        """
+        notes: list[str] = []
+        pre = preprocess(batch, self.preprocess_config)
+        if len(pre.full) == 0:
+            raise ValueError(
+                "batch contains no usable records after preprocessing "
+                f"({pre.n_dropped_ghosts} ghost records dropped)"
+            )
+        notes.append(f"dropped {pre.n_dropped_ghosts} exactly-1-hour ghost records")
+
+        presence = daily_presence(pre.full, self.clock)
+        excluded: tuple[int, ...] = ()
+        if exclude_loss_days:
+            from repro.cdr.quality import detect_loss_days
+
+            findings, _ = detect_loss_days(pre.full, self.clock)
+            excluded = tuple(f.day for f in findings)
+            if excluded:
+                notes.append(
+                    f"excluded suspected data-loss days from Table 1: "
+                    f"{list(excluded)}"
+                )
+        weekday_rows = weekday_table(presence, exclude_days=excluded)
+        connect_time = connect_time_analysis(pre, self.clock)
+        days = days_on_network(pre.full, self.clock)
+
+        schedule = BusySchedule.from_load_model(self.load_model)
+        exposure = busy_exposure(pre.truncated, schedule)
+        segmentation = segment_cars(days, exposure)
+        carriers = carrier_usage(pre.full)
+
+        handovers: HandoverStats | None = None
+        if self.cells is not None:
+            handovers = handover_analysis(pre, self.cells)
+
+        clusters: BusyCellClusters | None = None
+        if with_clustering:
+            try:
+                clusters = cluster_busy_cells(
+                    pre.truncated, self.load_model, self.clock, k=cluster_k
+                )
+            except ValueError as exc:
+                notes.append(f"clustering skipped: {exc}")
+
+        return AnalysisReport(
+            pre=pre,
+            presence=presence,
+            weekday_rows=weekday_rows,
+            connect_time=connect_time,
+            days=days,
+            exposure=exposure,
+            segmentation=segmentation,
+            carriers=carriers,
+            handovers=handovers,
+            clusters=clusters,
+            notes=notes,
+        )

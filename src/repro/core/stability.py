@@ -1,0 +1,108 @@
+"""Week-over-week behavioural stability.
+
+Section 3 asserts the 90-day window is "long enough to be representative as
+a predictor"; Section 4.2's matrices show why — week after week, the same
+cells darken.  This module quantifies that: for each car, the similarity of
+its weekly presence vectors across week pairs (Jaccard on the 168 hour
+cells), and for the fleet, how stability distributes.  High-stability cars
+are the predictable ones every management policy in the paper leans on;
+the distribution's spread is the honest error bar on "predictable".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.timebins import StudyClock
+from repro.cdr.records import CDRBatch
+from repro.prediction.model import presence_by_week
+
+
+def jaccard(a: np.ndarray, b: np.ndarray) -> float:
+    """Jaccard similarity of two boolean vectors.
+
+    Two empty vectors are defined as similarity 1 (nothing contradicts
+    nothing); one empty vs one non-empty is 0.
+    """
+    a = np.asarray(a, dtype=bool)
+    b = np.asarray(b, dtype=bool)
+    union = np.logical_or(a, b).sum()
+    if union == 0:
+        return 1.0
+    return float(np.logical_and(a, b).sum() / union)
+
+
+@dataclass(frozen=True)
+class CarStability:
+    """Week-over-week similarity of one car's presence pattern."""
+
+    car_id: str
+    #: Jaccard similarity of each consecutive week pair.
+    pairwise: np.ndarray
+
+    @property
+    def mean(self) -> float:
+        """Mean consecutive-week similarity; the car's predictability."""
+        return float(self.pairwise.mean()) if self.pairwise.size else 0.0
+
+
+@dataclass
+class FleetStability:
+    """Distribution of per-car stability over the fleet."""
+
+    cars: list[CarStability]
+
+    @property
+    def n_cars(self) -> int:
+        """Cars with at least one week pair."""
+        return len(self.cars)
+
+    def means(self) -> np.ndarray:
+        """Per-car mean stability values."""
+        return np.asarray([c.mean for c in self.cars])
+
+    def fleet_mean(self) -> float:
+        """Mean stability across the fleet."""
+        means = self.means()
+        return float(means.mean()) if means.size else 0.0
+
+    def fraction_stable(self, threshold: float = 0.5) -> float:
+        """Share of cars whose mean week-over-week similarity exceeds
+        ``threshold`` — the "predictable" population."""
+        means = self.means()
+        if means.size == 0:
+            return 0.0
+        return float((means > threshold).mean())
+
+
+def car_stability(
+    car_id: str,
+    weeks: dict[int, np.ndarray],
+    n_weeks: int,
+) -> CarStability | None:
+    """Stability of one car from its weekly presence vectors.
+
+    Weeks with no presence at all count as empty vectors (the car stayed
+    home), which correctly *lowers* a sporadic car's stability.  Returns
+    ``None`` when fewer than two study weeks exist.
+    """
+    if n_weeks < 2:
+        return None
+    empty = np.zeros(168, dtype=bool)
+    vectors = [weeks.get(w, empty) for w in range(n_weeks)]
+    pairs = [jaccard(a, b) for a, b in zip(vectors, vectors[1:])]
+    return CarStability(car_id=car_id, pairwise=np.asarray(pairs))
+
+
+def fleet_stability(batch: CDRBatch, clock: StudyClock) -> FleetStability:
+    """Week-over-week stability for every car in the batch."""
+    n_weeks = clock.n_days // 7
+    cars: list[CarStability] = []
+    for car_id, records in batch.by_car().items():
+        weeks = presence_by_week(records, clock)
+        stability = car_stability(car_id, weeks, n_weeks)
+        if stability is not None:
+            cars.append(stability)
+    return FleetStability(cars=cars)

@@ -1,0 +1,40 @@
+"""Managed FOTA (firmware-over-the-air) campaign planning.
+
+Section 4.3 of the paper sketches how its car segmentation should drive FOTA
+management: "rare cars would be prioritized over the limited FOTA campaign
+window, and common cars would be perhaps randomized or scheduled depending on
+the typical time they connect", and pushing a large download into an already
+loaded cell is "pouring oil onto the fire".  This package turns that sketch
+into code: delivery policies, a campaign simulator that replays a trace, and
+impact metrics (completion rate, time-to-complete, bytes delivered through
+busy cells).
+"""
+
+from repro.fota.campaign import CampaignConfig, CampaignResult, CarOutcome
+from repro.fota.policy import (
+    BusyAwarePolicy,
+    DeliveryPolicy,
+    NaivePolicy,
+    OffPeakPolicy,
+    RareFirstPolicy,
+)
+from repro.fota.impact import ImpactReport, assess_impact
+from repro.fota.planner import CampaignPlanner, DeliveryPlan, PlannedPolicy
+from repro.fota.simulator import CampaignSimulator
+
+__all__ = [
+    "BusyAwarePolicy",
+    "CampaignConfig",
+    "CampaignPlanner",
+    "CampaignResult",
+    "CampaignSimulator",
+    "DeliveryPlan",
+    "ImpactReport",
+    "PlannedPolicy",
+    "assess_impact",
+    "CarOutcome",
+    "DeliveryPolicy",
+    "NaivePolicy",
+    "OffPeakPolicy",
+    "RareFirstPolicy",
+]

@@ -1,0 +1,132 @@
+"""Campaign configuration and results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Modest sustained download rate for an update sharing a live cell; the
+#: paper's updates range "from Megabytes to even Gigabytes".
+DEFAULT_RATE_BPS = 4_000_000.0
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """One firmware rollout.
+
+    The campaign pushes ``update_bytes`` to every car, using the car's radio
+    connections between ``start_day`` and ``start_day + window_days``.
+    Throughput is ``rate_bps`` on quiet cells and ``rate_bps *
+    busy_rate_factor`` on busy ones — large downloads in loaded cells are
+    both slower and the impact the operator wants to avoid.
+    """
+
+    update_bytes: float = 200e6
+    start_day: int = 0
+    window_days: int = 28
+    rate_bps: float = DEFAULT_RATE_BPS
+    busy_rate_factor: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.update_bytes <= 0:
+            raise ValueError(f"update_bytes must be positive, got {self.update_bytes}")
+        if self.window_days <= 0:
+            raise ValueError(f"window_days must be positive, got {self.window_days}")
+        if self.rate_bps <= 0:
+            raise ValueError(f"rate_bps must be positive, got {self.rate_bps}")
+        if not 0 < self.busy_rate_factor <= 1:
+            raise ValueError(
+                f"busy_rate_factor must be in (0, 1], got {self.busy_rate_factor}"
+            )
+
+    @property
+    def window_start(self) -> float:
+        """Campaign opening timestamp in study seconds."""
+        return self.start_day * 86_400.0
+
+    @property
+    def window_end(self) -> float:
+        """Campaign closing timestamp in study seconds."""
+        return (self.start_day + self.window_days) * 86_400.0
+
+
+@dataclass(frozen=True)
+class TransferEvent:
+    """Bytes moved to one car over one connection opportunity."""
+
+    cell_id: int
+    start: float
+    end: float
+    transferred_bytes: float
+
+
+@dataclass
+class CarOutcome:
+    """Delivery outcome for one car."""
+
+    car_id: str
+    transferred_bytes: float = 0.0
+    busy_bytes: float = 0.0
+    completion_time: float | None = None
+    opportunities_used: int = 0
+    opportunities_skipped: int = 0
+    #: Opportunities the campaign server refused because the serving cell
+    #: already carried the maximum concurrent downloads (throttled runs).
+    opportunities_throttled: int = 0
+    #: Every opportunity that actually moved bytes, for impact accounting.
+    transfers: list[TransferEvent] = field(default_factory=list, repr=False)
+
+    @property
+    def complete(self) -> bool:
+        """Whether the full update arrived within the window."""
+        return self.completion_time is not None
+
+
+@dataclass
+class CampaignResult:
+    """Fleet-level outcome of one simulated campaign."""
+
+    config: CampaignConfig
+    policy_name: str
+    outcomes: dict[str, CarOutcome] = field(default_factory=dict)
+
+    @property
+    def n_cars(self) -> int:
+        """Cars targeted by the campaign."""
+        return len(self.outcomes)
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of targeted cars fully updated within the window."""
+        if not self.outcomes:
+            return 0.0
+        return sum(o.complete for o in self.outcomes.values()) / len(self.outcomes)
+
+    @property
+    def busy_byte_fraction(self) -> float:
+        """Share of all delivered bytes that crossed busy cells — the
+        network-impact metric the paper's policies try to minimize."""
+        total = sum(o.transferred_bytes for o in self.outcomes.values())
+        if total == 0:
+            return 0.0
+        return sum(o.busy_bytes for o in self.outcomes.values()) / total
+
+    def completion_days(self) -> np.ndarray:
+        """Days from campaign start to completion, completed cars only."""
+        times = [
+            o.completion_time - self.config.window_start
+            for o in self.outcomes.values()
+            if o.completion_time is not None
+        ]
+        return np.asarray(times) / 86_400.0
+
+    def time_to_fraction(self, fraction: float) -> float | None:
+        """Days until ``fraction`` of all targeted cars completed, or None."""
+        if not 0 < fraction <= 1:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        days = np.sort(self.completion_days())
+        needed = int(np.ceil(fraction * self.n_cars))
+        if days.size < needed:
+            return None
+        return float(days[needed - 1])

@@ -1,0 +1,118 @@
+"""Network impact of a FOTA campaign.
+
+The paper's worry is concrete: "any number of large downloads added to the
+loaded cell may deteriorate experience for everyone, same as having 20 or
+more cars attempt overlapping downloads" (Section 4.4).  This module
+quantifies both failure modes for a simulated campaign:
+
+* **added utilization** — campaign bytes through each cell per 15-minute
+  bin, converted to PRB utilization via the carrier's capacity, and the
+  cells the campaign pushes over the busy bar;
+* **download concurrency** — how many cars were receiving the update in the
+  same cell and bin, the overlapping-download count.
+
+The accounting replays the transfer events the simulator recorded, so it is
+exact for any policy it ran, including throttled campaigns.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.algorithms.timebins import BIN_SECONDS
+from repro.fota.campaign import CampaignConfig, CampaignResult
+from repro.network.cells import Cell
+from repro.network.load import CellLoadModel
+from repro.network.scheduler import DEFAULT_BPS_PER_PRB
+
+
+@dataclass(frozen=True)
+class ImpactReport:
+    """Cell-level impact of one campaign."""
+
+    #: Added PRB utilization per (cell, bin) from campaign traffic.
+    added_utilization: dict[tuple[int, int], float]
+    #: Concurrent campaign downloads per (cell, bin).
+    download_concurrency: Counter
+    #: (cell, bin) pairs the campaign pushed from below to above the bar.
+    newly_busy_bins: list[tuple[int, int]]
+
+    @property
+    def peak_added_utilization(self) -> float:
+        """Largest campaign-added utilization in any (cell, bin)."""
+        if not self.added_utilization:
+            return 0.0
+        return max(self.added_utilization.values())
+
+    @property
+    def peak_concurrency(self) -> int:
+        """Most concurrent campaign downloads in one cell and bin."""
+        if not self.download_concurrency:
+            return 0
+        return max(self.download_concurrency.values())
+
+    def bins_with_concurrency_at_least(self, n: int) -> int:
+        """(cell, bin) pairs with at least ``n`` overlapping downloads."""
+        return sum(1 for c in self.download_concurrency.values() if c >= n)
+
+
+def assess_impact(
+    result: CampaignResult,
+    cells: dict[int, Cell],
+    load_model: CellLoadModel,
+    config: CampaignConfig | None = None,
+    busy_threshold: float = 0.80,
+    bps_per_prb: float = DEFAULT_BPS_PER_PRB,
+) -> ImpactReport:
+    """Estimate the network impact of a simulated campaign.
+
+    Uses the transfer events the simulator recorded per car, so the
+    accounting is exact for any policy (including throttled runs): each
+    event's bytes spread over the 15-minute bins its connection touched.
+    """
+    cfg = config or result.config
+    added_bytes: Counter = Counter()
+    concurrency: Counter = Counter()
+    for outcome in result.outcomes.values():
+        for event in outcome.transfers:
+            span = event.end - event.start
+            if span <= 0:
+                continue
+            first = int(event.start // BIN_SECONDS)
+            last = int((event.end - 1e-9) // BIN_SECONDS)
+            for b in range(first, last + 1):
+                lo = max(event.start, b * BIN_SECONDS)
+                hi = min(event.end, (b + 1) * BIN_SECONDS)
+                fraction = (hi - lo) / span
+                if fraction <= 0:
+                    continue
+                added_bytes[(event.cell_id, b)] += event.transferred_bytes * fraction
+                concurrency[(event.cell_id, b)] += 1
+
+    added_utilization: dict[tuple[int, int], float] = {}
+    newly_busy: list[tuple[int, int]] = []
+    for (cell_id, b), byte_count in added_bytes.items():
+        cell = cells.get(cell_id)
+        if cell is None:
+            continue
+        capacity_bytes = cell.carrier.prb_capacity * bps_per_prb * BIN_SECONDS / 8.0
+        added = min(byte_count / capacity_bytes, 1.0)
+        added_utilization[(cell_id, b)] = added
+        base = _base_utilization(load_model, cell_id, b)
+        if base <= busy_threshold < min(base + added, 1.0):
+            newly_busy.append((cell_id, b))
+    return ImpactReport(
+        added_utilization=added_utilization,
+        download_concurrency=concurrency,
+        newly_busy_bins=sorted(newly_busy),
+    )
+
+
+def _base_utilization(load_model: CellLoadModel, cell_id: int, global_bin: int) -> float:
+    if cell_id not in load_model.topology.cells:
+        return 0.0
+    t = global_bin * BIN_SECONDS
+    if not load_model.clock.in_study(t):
+        return 0.0
+    return load_model.utilization(cell_id, t)

@@ -1,0 +1,155 @@
+"""Prediction-driven FOTA campaign planning.
+
+The paper's closing discussion (Section 4.7) connects its threads: cars are
+*predictable*, so "per-car prediction models for efficient content delivery"
+can schedule each car's download into hours where (a) the car is expected on
+the network and (b) the network is expected quiet.  This module implements
+that planner: it trains the hour-of-week presence predictor on the first
+weeks of a trace, intersects each car's predicted hours with the network's
+expected off-peak hours, and emits a per-car delivery window plan that the
+campaign simulator can execute via :class:`PlannedPolicy`.
+
+Cars with no usable prediction (rare cars, new cars) fall back to
+all-hours eligibility — mirroring the paper's "rare cars would be
+prioritized" guidance, since their appearances are too precious to skip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.timebins import StudyClock
+from repro.cdr.records import CDRBatch, ConnectionRecord
+from repro.fota.policy import DeliveryPolicy
+from repro.network.load import CellLoadModel
+from repro.prediction.model import HourOfWeekPredictor, presence_by_week
+
+HOURS_PER_WEEK = 24 * 7
+
+
+@dataclass(frozen=True)
+class DeliveryPlan:
+    """Per-car hour-of-week delivery windows.
+
+    ``windows[car_id]`` is a boolean (168,) array; a car may receive bytes
+    during hours where it is True.  ``predicted`` marks cars whose windows
+    come from a model rather than the all-hours fallback.
+    """
+
+    windows: dict[str, np.ndarray]
+    predicted: frozenset[str]
+
+    def window_hours(self, car_id: str) -> int:
+        """Number of eligible hours per week for a car (168 = unrestricted)."""
+        window = self.windows.get(car_id)
+        return HOURS_PER_WEEK if window is None else int(window.sum())
+
+    def coverage(self) -> float:
+        """Fraction of planned cars with model-derived (restricted) windows."""
+        if not self.windows:
+            return 0.0
+        return len(self.predicted) / len(self.windows)
+
+
+class CampaignPlanner:
+    """Builds a :class:`DeliveryPlan` from trace history and network load.
+
+    Parameters
+    ----------
+    clock:
+        Study calendar.
+    load_model:
+        Source of the network's expected busy hours: an hour of the week is
+        off-peak when the mean utilization template across hot cells stays
+        at or below ``offpeak_utilization``.
+    presence_threshold:
+        Training-week fraction above which an hour counts as predicted
+        presence (the :class:`HourOfWeekPredictor` threshold).
+    offpeak_utilization:
+        Utilization bar defining network off-peak hours.
+    min_window_hours:
+        Plans narrower than this fall back to the car's full predicted
+        presence (and then to all hours), so no car is starved.
+    """
+
+    def __init__(
+        self,
+        clock: StudyClock,
+        load_model: CellLoadModel,
+        presence_threshold: float = 0.5,
+        offpeak_utilization: float = 0.75,
+        min_window_hours: int = 2,
+    ) -> None:
+        self.clock = clock
+        self.load_model = load_model
+        self.presence_threshold = presence_threshold
+        self.offpeak_utilization = offpeak_utilization
+        self.min_window_hours = min_window_hours
+
+    def network_offpeak_hours(self) -> np.ndarray:
+        """(168,) boolean mask of hours where the loaded cells sit off-peak."""
+        hot = [
+            cid
+            for cid in sorted(self.load_model.topology.cells)
+            if self.load_model.profile(cid).hot
+        ]
+        if not hot:
+            hot = sorted(self.load_model.topology.cells)[:10]
+        templates = np.stack([self.load_model.weekly_template(c) for c in hot])
+        mean_bins = templates.mean(axis=0)  # 672 bins, Monday-first
+        hourly = mean_bins.reshape(HOURS_PER_WEEK, 4).mean(axis=1)
+        return hourly <= self.offpeak_utilization
+
+    def plan(self, train_batch: CDRBatch, train_weeks: int) -> DeliveryPlan:
+        """Build per-car windows from the first ``train_weeks`` of history."""
+        if train_weeks < 1:
+            raise ValueError(f"train_weeks must be >= 1, got {train_weeks}")
+        offpeak = self.network_offpeak_hours()
+        windows: dict[str, np.ndarray] = {}
+        predicted: set[str] = set()
+        for car_id, records in train_batch.by_car().items():
+            weeks = presence_by_week(records, self.clock)
+            train = [weeks[w] for w in sorted(weeks) if w < train_weeks]
+            if not train:
+                windows[car_id] = np.ones(HOURS_PER_WEEK, dtype=bool)
+                continue
+            predictor = HourOfWeekPredictor(self.presence_threshold).fit(train)
+            presence = predictor.predict_week()
+            window = presence & offpeak
+            if window.sum() < self.min_window_hours:
+                window = presence
+            if window.sum() < self.min_window_hours:
+                window = np.ones(HOURS_PER_WEEK, dtype=bool)
+            else:
+                predicted.add(car_id)
+            windows[car_id] = window
+        return DeliveryPlan(windows=windows, predicted=frozenset(predicted))
+
+
+class PlannedPolicy(DeliveryPolicy):
+    """Delivery policy executing a :class:`DeliveryPlan`.
+
+    Transfers only during a car's planned hour-of-week windows; cars absent
+    from the plan (sold mid-study, never seen in training) are always
+    eligible, and a currently-busy serving cell still blocks transfer —
+    the plan targets *expected* quiet hours, the live signal guards the
+    residual.
+    """
+
+    name = "planned"
+
+    def __init__(self, plan: DeliveryPlan, clock: StudyClock) -> None:
+        self.plan = plan
+        self.clock = clock
+
+    def should_transfer(
+        self, car_id: str, record: ConnectionRecord, cell_busy: bool
+    ) -> bool:
+        if cell_busy:
+            return False
+        window = self.plan.windows.get(car_id)
+        if window is None:
+            return True
+        return bool(window[self.clock.hour_of_week(record.start)])

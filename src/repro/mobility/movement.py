@@ -1,0 +1,128 @@
+"""Movement along routes and the radio sectors it traverses.
+
+The radio-level behaviour the paper measures is driven by which cell a moving
+car is camped on at each instant.  Serving areas in the synthetic network are
+geometric (nearest site, best-pointing sector), so every road edge crosses a
+fixed sequence of sectors.  :class:`EdgeCellIndex` samples each edge once and
+caches that sequence as fractional spans; expanding a routed trip into a
+timed sector timeline is then a cheap table lookup, which is what makes
+fleet-scale trace generation fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mobility.roads import RoadNetwork
+from repro.mobility.routing import Route
+from repro.network.geometry import interpolate
+from repro.network.topology import NetworkTopology
+
+
+@dataclass(frozen=True)
+class SectorSpan:
+    """A contiguous stretch of time spent under one radio sector.
+
+    ``sector_key`` is the ``(base station id, sector index)`` pair; carrier
+    selection within the sector happens later, per connection.
+    """
+
+    sector_key: tuple[int, int]
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        """Span length in seconds."""
+        return self.end - self.start
+
+
+class EdgeCellIndex:
+    """Per-edge cache of the sectors crossed while driving that edge.
+
+    Each edge is sampled every ``sample_km`` kilometres; consecutive samples
+    under the same sector collapse into ``(sector_key, fraction-of-edge)``
+    spans.  The index is direction-aware only in ordering: traversing the
+    edge backwards reverses the span list.
+    """
+
+    def __init__(
+        self,
+        roads: RoadNetwork,
+        topology: NetworkTopology,
+        sample_km: float = 0.3,
+    ) -> None:
+        if sample_km <= 0:
+            raise ValueError(f"sample_km must be positive, got {sample_km}")
+        self.roads = roads
+        self.topology = topology
+        self.sample_km = sample_km
+        self._spans: dict[tuple[int, int], tuple[tuple[tuple[int, int], float], ...]] = {}
+
+    def edge_spans(
+        self, a: int, b: int
+    ) -> tuple[tuple[tuple[int, int], float], ...]:
+        """Sector spans along edge ``a -> b`` as (sector_key, fraction) pairs.
+
+        Fractions are of the edge's length and sum to 1.
+        """
+        cached = self._spans.get((a, b))
+        if cached is not None:
+            return cached
+        reverse = self._spans.get((b, a))
+        if reverse is not None:
+            result = tuple(reversed(reverse))
+            self._spans[(a, b)] = result
+            return result
+
+        pa = self.roads.position(a)
+        pb = self.roads.position(b)
+        length = float(self.roads.graph.edges[a, b]["length_km"])
+        n_samples = max(2, int(np.ceil(length / self.sample_km)) + 1)
+        fractions = np.linspace(0.0, 1.0, n_samples)
+        keys = []
+        for f in fractions:
+            sector = self.topology.serving_sector(interpolate(pa, pb, float(f)))
+            keys.append((sector.base_station_id, sector.sector_index))
+
+        spans: list[tuple[tuple[int, int], float]] = []
+        run_start = 0
+        for i in range(1, n_samples + 1):
+            if i == n_samples or keys[i] != keys[run_start]:
+                # Each sample owns an equal slice of the edge.
+                frac = (i - run_start) / n_samples
+                spans.append((keys[run_start], frac))
+                run_start = i
+        result = tuple(spans)
+        self._spans[(a, b)] = result
+        return result
+
+    @property
+    def cache_size(self) -> int:
+        """Number of directed edges sampled so far."""
+        return len(self._spans)
+
+
+def route_sector_timeline(
+    route: Route, departure: float, index: EdgeCellIndex
+) -> list[SectorSpan]:
+    """Expand a routed trip into timed sector spans.
+
+    Consecutive spans under the same sector (across edge boundaries) merge,
+    so the result is the car's camping history: one span per stretch under a
+    single sector.
+    """
+    timeline: list[SectorSpan] = []
+    t = departure
+    for a, b, leg_time in zip(route.nodes, route.nodes[1:], route.leg_times):
+        for sector_key, fraction in index.edge_spans(a, b):
+            end = t + leg_time * fraction
+            if timeline and timeline[-1].sector_key == sector_key:
+                last = timeline[-1]
+                timeline[-1] = SectorSpan(sector_key, last.start, end)
+            else:
+                timeline.append(SectorSpan(sector_key, t, end))
+            t = end
+    return timeline

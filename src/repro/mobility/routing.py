@@ -1,0 +1,92 @@
+"""Shortest-path routing with caching.
+
+Cars of a given profile repeat the same origin/destination pairs day after
+day (commutes), so routes are memoized.  Paths minimize travel time, which
+sends longer trips onto the highways exactly as real commutes do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.mobility.roads import RoadNetwork
+
+
+@dataclass(frozen=True)
+class Route:
+    """A path through the road network with per-leg timing.
+
+    ``leg_times`` holds the travel time in seconds of each edge along
+    ``nodes`` (one fewer entry than nodes).
+    """
+
+    nodes: tuple[int, ...]
+    leg_times: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.nodes) == 0:
+            raise ValueError("route must contain at least one node")
+        if len(self.leg_times) != max(0, len(self.nodes) - 1):
+            raise ValueError(
+                f"route with {len(self.nodes)} nodes needs "
+                f"{len(self.nodes) - 1} leg times, got {len(self.leg_times)}"
+            )
+
+    @property
+    def travel_time(self) -> float:
+        """Total door-to-door travel time in seconds."""
+        return sum(self.leg_times)
+
+    @property
+    def origin(self) -> int:
+        """First node of the route."""
+        return self.nodes[0]
+
+    @property
+    def destination(self) -> int:
+        """Last node of the route."""
+        return self.nodes[-1]
+
+
+class Router:
+    """Caching shortest-travel-time router over a road network."""
+
+    def __init__(self, roads: RoadNetwork) -> None:
+        self.roads = roads
+        self._cache: dict[tuple[int, int], Route] = {}
+
+    def route(self, origin: int, destination: int) -> Route:
+        """Fastest route between two road nodes.
+
+        Raises ``networkx.NodeNotFound`` for unknown nodes and
+        ``networkx.NetworkXNoPath`` when the graph is disconnected between
+        the endpoints (cannot happen on the standard grid).
+        """
+        key = (origin, destination)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        reverse = self._cache.get((destination, origin))
+        if reverse is not None:
+            result = Route(
+                nodes=tuple(reversed(reverse.nodes)),
+                leg_times=tuple(reversed(reverse.leg_times)),
+            )
+            self._cache[key] = result
+            return result
+        path = nx.shortest_path(
+            self.roads.graph, origin, destination, weight="travel_time_s"
+        )
+        legs = tuple(
+            self.roads.edge_travel_time(a, b) for a, b in zip(path, path[1:])
+        )
+        result = Route(nodes=tuple(path), leg_times=legs)
+        self._cache[key] = result
+        return result
+
+    @property
+    def cache_size(self) -> int:
+        """Number of memoized routes."""
+        return len(self._cache)

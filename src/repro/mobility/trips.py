@@ -1,0 +1,37 @@
+"""Trip plans.
+
+A trip is one engine-on drive from an origin road node to a destination road
+node departing at a study timestamp.  Profiles (``repro.mobility.profiles``)
+emit trips; movement (``repro.mobility.movement``) turns a routed trip into
+the sequence of radio sectors the car traverses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TripPurpose(enum.Enum):
+    """Coarse purpose tag, useful for debugging generated schedules."""
+
+    COMMUTE_OUT = "commute_out"
+    COMMUTE_BACK = "commute_back"
+    ERRAND = "errand"
+    LEISURE = "leisure"
+
+
+@dataclass(frozen=True, order=True)
+class Trip:
+    """One drive: departure time plus endpoints in the road network."""
+
+    departure: float
+    origin: int
+    destination: int
+    purpose: TripPurpose = TripPurpose.ERRAND
+
+    def __post_init__(self) -> None:
+        if self.departure < 0:
+            raise ValueError(f"departure must be non-negative, got {self.departure}")
+        if self.origin == self.destination:
+            raise ValueError("trip origin and destination must differ")

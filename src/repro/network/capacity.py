@@ -1,0 +1,80 @@
+"""Link capacity: from SINR to achievable throughput.
+
+Ties the signal model to the resource model: a car's achievable download
+rate is its spectral efficiency (truncated-Shannon from SINR) times the
+bandwidth share the scheduler can give it — which on a busy cell is the
+residual PRB fraction.  This is the quantitative backbone of the paper's
+motivation figures: why one greedy download can eat a cell (Figure 1), and
+why pushing a FOTA image through a cell at U_PRB > 80% both crawls and hurts.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.network.cells import Cell
+
+#: Spectral-efficiency ceiling of a practical LTE link (256-QAM-ish), b/s/Hz.
+MAX_EFFICIENCY_BPS_PER_HZ = 6.0
+#: Attenuation factor on pure Shannon capacity for implementation losses.
+SHANNON_GAP = 0.75
+#: SINR below which the link cannot sustain data at all.
+MIN_SINR_DB = -10.0
+
+
+def spectral_efficiency(sinr_db: float) -> float:
+    """Truncated-Shannon spectral efficiency in bits/s/Hz.
+
+    ``0.75 * log2(1 + SINR)`` clamped to ``[0, 6]`` with a hard floor below
+    -10 dB — the standard system-level abstraction of an LTE link adapter.
+    """
+    if sinr_db < MIN_SINR_DB:
+        return 0.0
+    linear = 10 ** (sinr_db / 10.0)
+    return min(SHANNON_GAP * math.log2(1.0 + linear), MAX_EFFICIENCY_BPS_PER_HZ)
+
+
+def achievable_rate_bps(
+    cell: Cell,
+    sinr_db: float,
+    prb_share: float = 1.0,
+) -> float:
+    """Downlink rate on ``cell`` at the given SINR and PRB share.
+
+    ``prb_share`` is the fraction of the cell's PRBs the scheduler grants —
+    the residual ``1 - U_PRB`` when other traffic is inelastic, or a fair
+    share when the cell is contended.
+    """
+    if not 0 <= prb_share <= 1:
+        raise ValueError(f"prb_share must be in [0, 1], got {prb_share}")
+    bandwidth_hz = cell.carrier.bandwidth_mhz * 1e6
+    return spectral_efficiency(sinr_db) * bandwidth_hz * prb_share
+
+
+def download_time_s(size_bytes: float, rate_bps: float) -> float:
+    """Seconds to move ``size_bytes`` at ``rate_bps``; infinite at zero rate."""
+    if size_bytes < 0:
+        raise ValueError(f"size_bytes must be non-negative, got {size_bytes}")
+    if rate_bps <= 0:
+        return math.inf
+    return size_bytes * 8.0 / rate_bps
+
+
+def fota_cell_budget_bytes(
+    cell: Cell,
+    sinr_db: float,
+    dwell_s: float,
+    utilization: float,
+) -> float:
+    """Bytes a FOTA download can move through one cell before handover.
+
+    The short per-cell dwell (Figure 9's ~105 s median) times the residual
+    capacity bounds what each cell can contribute to a large download — the
+    paper's point that an update spans 3-10 base stations (Section 4.5).
+    """
+    if dwell_s < 0:
+        raise ValueError(f"dwell_s must be non-negative, got {dwell_s}")
+    if not 0 <= utilization <= 1:
+        raise ValueError(f"utilization must be in [0, 1], got {utilization}")
+    rate = achievable_rate_bps(cell, sinr_db, prb_share=1.0 - utilization)
+    return rate * dwell_s / 8.0

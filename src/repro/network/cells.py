@@ -1,0 +1,127 @@
+"""Radio network entities: carriers (frequency bands), cells, sectors and
+base stations.
+
+Terminology follows Section 3 of the paper: a *cell* (or "radio") is one
+directional antenna on one carrier frequency; cells covering the same
+direction form a *sector*; a *base station* hosts several sectors, typically
+three covering ~120 degrees each; and a *carrier* is a radio frequency band.
+The paper observes five carriers named C1..C5, with the cars' modems
+predominantly capable of C1-C4.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.network.geometry import Point
+
+
+class RadioTechnology(enum.Enum):
+    """Radio access technology of a cell; the paper's cars use 3G and 4G."""
+
+    UMTS = "3G"
+    LTE = "4G"
+
+
+@dataclass(frozen=True)
+class Carrier:
+    """A radio frequency carrier (band) offered by the network.
+
+    ``prb_capacity`` is the number of LTE Physical Resource Blocks schedulable
+    per subframe at the carrier's bandwidth (e.g. 50 for 10 MHz, 100 for
+    20 MHz); for the 3G carrier it is an equivalent-capacity stand-in so the
+    load model can treat all cells uniformly.
+    """
+
+    name: str
+    frequency_mhz: int
+    bandwidth_mhz: int
+    prb_capacity: int
+    technology: RadioTechnology
+
+    def __post_init__(self) -> None:
+        if self.prb_capacity <= 0:
+            raise ValueError(f"prb_capacity must be positive, got {self.prb_capacity}")
+
+
+#: The five carriers observed in the study, C1..C5 (Section 4.6).  Frequencies
+#: are representative of a US operator: low-band 3G, low-band LTE, two
+#: mid-band LTE carriers and a newer high-band carrier that the studied cars'
+#: modems almost never support.
+CARRIERS: dict[str, Carrier] = {
+    "C1": Carrier("C1", 850, 5, 25, RadioTechnology.UMTS),
+    "C2": Carrier("C2", 700, 10, 50, RadioTechnology.LTE),
+    "C3": Carrier("C3", 1900, 20, 100, RadioTechnology.LTE),
+    "C4": Carrier("C4", 2100, 10, 50, RadioTechnology.LTE),
+    "C5": Carrier("C5", 2300, 20, 100, RadioTechnology.LTE),
+}
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One directional antenna on one carrier — the unit cars connect to."""
+
+    cell_id: int
+    base_station_id: int
+    sector_index: int
+    carrier: Carrier
+    location: Point
+    azimuth_deg: float
+
+    @property
+    def technology(self) -> RadioTechnology:
+        """Radio access technology inherited from the carrier."""
+        return self.carrier.technology
+
+    @property
+    def sector_key(self) -> tuple[int, int]:
+        """Unique ``(base station, sector)`` pair this cell belongs to."""
+        return (self.base_station_id, self.sector_index)
+
+
+@dataclass
+class Sector:
+    """All cells of one base station pointing in one direction."""
+
+    base_station_id: int
+    sector_index: int
+    azimuth_deg: float
+    cells: list[Cell] = field(default_factory=list)
+
+    def cell_on(self, carrier_name: str) -> Cell | None:
+        """The sector's cell on the named carrier, if deployed."""
+        for cell in self.cells:
+            if cell.carrier.name == carrier_name:
+                return cell
+        return None
+
+    @property
+    def carrier_names(self) -> list[str]:
+        """Names of carriers deployed in this sector."""
+        return [cell.carrier.name for cell in self.cells]
+
+
+@dataclass
+class BaseStation:
+    """A cell site: a location hosting several sectors."""
+
+    base_station_id: int
+    location: Point
+    sectors: list[Sector] = field(default_factory=list)
+
+    @property
+    def cells(self) -> list[Cell]:
+        """Every cell across all sectors of this site."""
+        return [cell for sector in self.sectors for cell in sector.cells]
+
+    def sector_for_bearing(self, bearing: float) -> Sector:
+        """The sector whose boresight is closest to the given bearing."""
+        if not self.sectors:
+            raise ValueError(f"base station {self.base_station_id} has no sectors")
+
+        def angular_gap(sector: Sector) -> float:
+            diff = abs(bearing - sector.azimuth_deg) % 360.0
+            return min(diff, 360.0 - diff)
+
+        return min(self.sectors, key=angular_gap)

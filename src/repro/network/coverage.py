@@ -1,0 +1,90 @@
+"""Carrier coverage over the region.
+
+Table 3's carrier reach has two physical causes: where each band is
+*deployed* (C5 urban-only; C4 absent from the rural fringe) and how far each
+band *carries* (low-band signals out-range high-band at equal power).  This
+module quantifies both: deployment share from the inventory, and radio
+coverage by sampling RSRP over a grid — the map view behind "cars can
+connect to and use most available carriers today ... this may change as new
+carriers are added" (Section 4.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.network.geometry import Point
+from repro.network.signal import SignalMap
+from repro.network.topology import NetworkTopology
+
+#: RSRP at which an LTE UE reliably camps, dBm.
+DEFAULT_RSRP_THRESHOLD_DBM = -110.0
+
+
+def carrier_deployment_share(topology: NetworkTopology) -> dict[str, float]:
+    """Fraction of sectors deploying each carrier."""
+    totals: dict[str, int] = {}
+    n_sectors = 0
+    for site in topology.sites:
+        for sector in site.sectors:
+            n_sectors += 1
+            for name in sector.carrier_names:
+                totals[name] = totals.get(name, 0) + 1
+    if n_sectors == 0:
+        return {}
+    return {name: count / n_sectors for name, count in sorted(totals.items())}
+
+
+@dataclass(frozen=True)
+class CoverageResult:
+    """Sampled radio coverage per carrier."""
+
+    #: Fraction of sampled points with RSRP above threshold, per carrier.
+    covered_fraction: dict[str, float]
+    rsrp_threshold_dbm: float
+    n_points: int
+
+    def best_covered(self) -> str:
+        """Carrier with the widest radio coverage."""
+        if not self.covered_fraction:
+            raise ValueError("no carriers sampled")
+        return max(self.covered_fraction, key=lambda c: self.covered_fraction[c])
+
+
+def sample_coverage(
+    signal_map: SignalMap,
+    carriers: tuple[str, ...] = ("C1", "C2", "C3", "C4", "C5"),
+    grid_pitch_km: float = 3.0,
+    rsrp_threshold_dbm: float = DEFAULT_RSRP_THRESHOLD_DBM,
+) -> CoverageResult:
+    """Sample the region on a grid and test each carrier's best RSRP.
+
+    A point counts as covered on a carrier when any nearby cell of that
+    carrier delivers RSRP above the threshold.
+    """
+    if grid_pitch_km <= 0:
+        raise ValueError(f"grid_pitch_km must be positive, got {grid_pitch_km}")
+    cfg = signal_map.topology.config
+    xs = np.arange(grid_pitch_km / 2, cfg.width_km, grid_pitch_km)
+    ys = np.arange(grid_pitch_km / 2, cfg.height_km, grid_pitch_km)
+    covered = {c: 0 for c in carriers}
+    n_points = 0
+    for x in xs:
+        for y in ys:
+            n_points += 1
+            point = Point(float(x), float(y))
+            best: dict[str, float] = {}
+            for cell, rsrp in signal_map.candidates(point, None, n_sites=4):
+                name = cell.carrier.name
+                if rsrp > best.get(name, -np.inf):
+                    best[name] = rsrp
+            for c in carriers:
+                if best.get(c, -np.inf) >= rsrp_threshold_dbm:
+                    covered[c] += 1
+    return CoverageResult(
+        covered_fraction={c: covered[c] / n_points for c in carriers},
+        rsrp_threshold_dbm=rsrp_threshold_dbm,
+        n_points=n_points,
+    )

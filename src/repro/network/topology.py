@@ -1,0 +1,219 @@
+"""Synthetic radio network topology for a metro region.
+
+Base stations are laid out on hexagonal grids whose pitch depends on the
+distance from the metro core: dense in the urban center, sparser in suburbs,
+sparsest in the rural fringe — mirroring real deployments where capacity
+follows population.  Each site hosts three ~120-degree sectors, and each
+sector deploys a tier-dependent subset of the five carriers (newer high-band
+carriers appear only in the urban core, like the paper's barely-used C5).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.network.cells import CARRIERS, BaseStation, Cell, Sector
+from repro.network.geometry import Point, bearing_deg, distance, hex_grid
+
+
+class Tier(enum.Enum):
+    """Deployment density tier of a site, by distance from the metro core."""
+
+    URBAN = "urban"
+    SUBURBAN = "suburban"
+    RURAL = "rural"
+
+
+@dataclass(frozen=True)
+class TopologyConfig:
+    """Knobs of the synthetic topology.
+
+    The defaults produce a ~40 km x 40 km region with on the order of 100
+    sites and several hundred cells — large enough that a car fleet touches
+    only a subset of cells on any given day (Figure 2's ~66% of cells), small
+    enough to simulate quickly.
+    """
+
+    width_km: float = 48.0
+    height_km: float = 48.0
+    urban_radius_km: float = 8.0
+    suburban_radius_km: float = 19.0
+    #: Hex-grid pitch per tier, km between neighbouring sites.
+    urban_pitch_km: float = 3.0
+    suburban_pitch_km: float = 4.5
+    rural_pitch_km: float = 5.5
+    sectors_per_site: int = 3
+    #: Carriers deployed per tier.  C5 is urban-only: a new band most of the
+    #: studied cars' modems cannot use (Table 3).
+    urban_carriers: tuple[str, ...] = ("C1", "C2", "C3", "C4", "C5")
+    suburban_carriers: tuple[str, ...] = ("C1", "C2", "C3", "C4")
+    rural_carriers: tuple[str, ...] = ("C1", "C2", "C3")
+    seed: int = 7
+
+    @property
+    def center(self) -> Point:
+        """Metro core location."""
+        return Point(self.width_km / 2.0, self.height_km / 2.0)
+
+    def tier_of(self, location: Point) -> Tier:
+        """Deployment tier of a location by distance from the core."""
+        r = distance(location, self.center)
+        if r <= self.urban_radius_km:
+            return Tier.URBAN
+        if r <= self.suburban_radius_km:
+            return Tier.SUBURBAN
+        return Tier.RURAL
+
+    def carriers_for(self, tier: Tier) -> tuple[str, ...]:
+        """Carrier names deployed at sites of the given tier."""
+        if tier is Tier.URBAN:
+            return self.urban_carriers
+        if tier is Tier.SUBURBAN:
+            return self.suburban_carriers
+        return self.rural_carriers
+
+
+@dataclass
+class NetworkTopology:
+    """A built radio network: sites, sectors, cells and spatial lookup."""
+
+    config: TopologyConfig
+    sites: list[BaseStation]
+    cells: dict[int, Cell] = field(default_factory=dict)
+    _tree: cKDTree | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.cells:
+            self.cells = {c.cell_id: c for site in self.sites for c in site.cells}
+        coords = np.asarray([(s.location.x, s.location.y) for s in self.sites])
+        self._tree = cKDTree(coords)
+
+    @property
+    def n_cells(self) -> int:
+        """Total number of cells in the network."""
+        return len(self.cells)
+
+    def cell(self, cell_id: int) -> Cell:
+        """Cell by id; raises ``KeyError`` for unknown ids."""
+        return self.cells[cell_id]
+
+    def nearest_site(self, location: Point) -> BaseStation:
+        """The geographically closest base station to ``location``."""
+        assert self._tree is not None
+        _, idx = self._tree.query([location.x, location.y])
+        return self.sites[int(idx)]
+
+    def serving_sector(self, location: Point) -> Sector:
+        """Sector of the nearest site whose boresight best covers ``location``."""
+        site = self.nearest_site(location)
+        return site.sector_for_bearing(bearing_deg(site.location, location))
+
+    def sector(self, base_station_id: int, sector_index: int) -> Sector:
+        """Sector by its ``(base station id, sector index)`` key."""
+        site = self.sites[base_station_id - 1]
+        if site.base_station_id != base_station_id:
+            raise KeyError(f"unknown base station id {base_station_id}")
+        return site.sectors[sector_index]
+
+    def choose_cell_in_sector(
+        self,
+        sector: Sector,
+        capabilities: frozenset[str] | set[str],
+        rng: np.random.Generator,
+        carrier_weights: dict[str, float] | None = None,
+    ) -> Cell | None:
+        """Weighted carrier pick among a sector's cells the device supports.
+
+        Mimics load-balanced carrier assignment: the serving sector is fixed
+        by geometry, the carrier within it is a weighted draw.  Returns
+        ``None`` when the device supports none of the sector's carriers.
+        """
+        usable = [c for c in sector.cells if c.carrier.name in capabilities]
+        if not usable:
+            return None
+        if carrier_weights is None:
+            weights = np.ones(len(usable))
+        else:
+            weights = np.asarray(
+                [carrier_weights.get(c.carrier.name, 0.0) for c in usable], dtype=float
+            )
+            if weights.sum() <= 0:
+                weights = np.ones(len(usable))
+        weights = weights / weights.sum()
+        return usable[int(rng.choice(len(usable), p=weights))]
+
+    def serving_cell(
+        self,
+        location: Point,
+        capabilities: frozenset[str] | set[str],
+        rng: np.random.Generator,
+        carrier_weights: dict[str, float] | None = None,
+    ) -> Cell | None:
+        """Pick the cell a device at ``location`` would connect to.
+
+        The serving sector is geometric (nearest site, best-pointing sector);
+        the carrier within it follows :meth:`choose_cell_in_sector`.
+        """
+        sector = self.serving_sector(location)
+        return self.choose_cell_in_sector(sector, capabilities, rng, carrier_weights)
+
+    def cells_of_site(self, base_station_id: int) -> list[Cell]:
+        """All cells hosted by the given base station."""
+        return [c for c in self.cells.values() if c.base_station_id == base_station_id]
+
+
+def build_topology(config: TopologyConfig | None = None) -> NetworkTopology:
+    """Construct the synthetic network described by ``config``.
+
+    Sites come from three hexagonal lattices (one per tier pitch); a lattice
+    point is kept only where its pitch matches the local tier, which yields a
+    density gradient from core to fringe without overlapping sites.
+    """
+    cfg = config or TopologyConfig()
+    rng = np.random.default_rng(cfg.seed)
+    site_locations: list[Point] = []
+    for pitch, tier in (
+        (cfg.urban_pitch_km, Tier.URBAN),
+        (cfg.suburban_pitch_km, Tier.SUBURBAN),
+        (cfg.rural_pitch_km, Tier.RURAL),
+    ):
+        for p in hex_grid(cfg.width_km, cfg.height_km, pitch):
+            # Small jitter so sites do not sit on perfectly regular lines.
+            jitter = Point(*(rng.uniform(-0.15, 0.15, size=2) * pitch))
+            loc = p + jitter
+            loc = Point(
+                min(max(loc.x, 0.0), cfg.width_km), min(max(loc.y, 0.0), cfg.height_km)
+            )
+            if cfg.tier_of(p) is tier:
+                site_locations.append(loc)
+
+    sites: list[BaseStation] = []
+    next_cell_id = 1
+    for site_id, loc in enumerate(site_locations, start=1):
+        tier = cfg.tier_of(loc)
+        carriers = cfg.carriers_for(tier)
+        site = BaseStation(base_station_id=site_id, location=loc)
+        for sector_index in range(cfg.sectors_per_site):
+            azimuth = (360.0 / cfg.sectors_per_site) * sector_index
+            sector = Sector(
+                base_station_id=site_id, sector_index=sector_index, azimuth_deg=azimuth
+            )
+            for name in carriers:
+                sector.cells.append(
+                    Cell(
+                        cell_id=next_cell_id,
+                        base_station_id=site_id,
+                        sector_index=sector_index,
+                        carrier=CARRIERS[name],
+                        location=loc,
+                        azimuth_deg=azimuth,
+                    )
+                )
+                next_cell_id += 1
+            site.sectors.append(sector)
+        sites.append(site)
+    return NetworkTopology(config=cfg, sites=sites)

@@ -1,0 +1,93 @@
+"""Train/test evaluation of presence predictors.
+
+Train on the first weeks of the study, test on the rest, score per-hour
+presence predictions per car, and aggregate precision / recall / F1 across
+the fleet.  Cars with no test-week presence at all are skipped (recall is
+undefined), mirroring how an operator would only evaluate cars still active.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.timebins import StudyClock
+from repro.cdr.records import CDRBatch
+from repro.prediction.model import PresencePredictor, presence_by_week
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Fleet-aggregated prediction quality."""
+
+    predictor_name: str
+    n_cars: int
+    precision: float
+    recall: float
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+
+def train_test_split_weeks(
+    batch: CDRBatch, clock: StudyClock, train_weeks: int
+) -> tuple[dict[str, list[np.ndarray]], dict[str, list[np.ndarray]]]:
+    """Split every car's weekly presence vectors into train and test sets.
+
+    Only complete study weeks participate; the trailing partial week is
+    dropped.  Returns ``(train, test)`` mappings from car id to lists of
+    (168,) boolean vectors.
+    """
+    total_weeks = clock.n_days // 7
+    if not 0 < train_weeks < total_weeks:
+        raise ValueError(
+            f"train_weeks must be in 1..{total_weeks - 1}, got {train_weeks}"
+        )
+    train: dict[str, list[np.ndarray]] = {}
+    test: dict[str, list[np.ndarray]] = {}
+    for car_id, records in batch.by_car().items():
+        weeks = presence_by_week(records, clock)
+        train[car_id] = [weeks[w] for w in sorted(weeks) if w < train_weeks]
+        test[car_id] = [
+            weeks[w] for w in sorted(weeks) if train_weeks <= w < total_weeks
+        ]
+    return train, test
+
+
+def evaluate_predictor(
+    make_predictor,
+    train: dict[str, list[np.ndarray]],
+    test: dict[str, list[np.ndarray]],
+) -> EvaluationResult:
+    """Fit one predictor per car and score it on the test weeks.
+
+    ``make_predictor`` is a zero-argument factory (class or lambda) so each
+    car gets a fresh model.  Scores are micro-averaged over all (car, test
+    week, hour) cells.
+    """
+    tp = fp = fn = 0
+    n_cars = 0
+    name = "unknown"
+    for car_id, train_weeks_list in train.items():
+        test_weeks_list = test.get(car_id, [])
+        if not test_weeks_list or not any(w.any() for w in test_weeks_list):
+            continue
+        predictor: PresencePredictor = make_predictor()
+        name = predictor.name
+        predictor.fit(train_weeks_list)
+        predicted = predictor.predict_week()
+        n_cars += 1
+        for actual in test_weeks_list:
+            tp += int(np.sum(predicted & actual))
+            fp += int(np.sum(predicted & ~actual))
+            fn += int(np.sum(~predicted & actual))
+    precision = tp / (tp + fp) if (tp + fp) else 0.0
+    recall = tp / (tp + fn) if (tp + fn) else 0.0
+    return EvaluationResult(
+        predictor_name=name, n_cars=n_cars, precision=precision, recall=recall
+    )

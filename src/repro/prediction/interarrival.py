@@ -1,0 +1,134 @@
+"""Next-appearance prediction from inter-session gaps.
+
+The hour-of-week model answers "will the car be online at hour h?"; a FOTA
+campaign window planner also needs "how long until this car shows up
+again?" — e.g. to decide whether a rare car can still make a closing
+window.  Each car's history of gaps between aggregate sessions gives an
+empirical distribution; its quantiles are the prediction.
+
+The baseline is the fleet-wide gap distribution: a per-car model only earns
+its keep if knowing *which* car shrinks the error, which is exactly the
+per-car-predictability claim of Section 4.7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.intervals import Interval
+
+
+@dataclass(frozen=True)
+class GapModel:
+    """Empirical inter-session gap distribution of one car (or a fleet)."""
+
+    gaps_s: np.ndarray
+
+    @property
+    def n_gaps(self) -> int:
+        """Number of observed gaps."""
+        return int(self.gaps_s.size)
+
+    def quantile(self, q: float) -> float:
+        """The ``q`` (0..1) quantile of the gap distribution in seconds."""
+        if not 0 <= q <= 1:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.gaps_s.size == 0:
+            raise ValueError("no observed gaps")
+        return float(np.quantile(self.gaps_s, q))
+
+    def predict_next_gap(self) -> float:
+        """Point prediction: the median observed gap."""
+        return self.quantile(0.5)
+
+    def probability_within(self, horizon_s: float) -> float:
+        """Empirical probability the next appearance is within ``horizon_s``."""
+        if self.gaps_s.size == 0:
+            raise ValueError("no observed gaps")
+        return float((self.gaps_s <= horizon_s).mean())
+
+
+def gaps_from_sessions(sessions: list[Interval]) -> np.ndarray:
+    """Gap durations between consecutive aggregate sessions, seconds."""
+    if len(sessions) < 2:
+        return np.zeros(0)
+    ordered = sorted(sessions)
+    return np.asarray(
+        [b.start - a.end for a, b in zip(ordered, ordered[1:])], dtype=float
+    )
+
+
+def fit_gap_models(
+    sessions_by_car: dict[str, list[Interval]],
+    min_gaps: int = 5,
+) -> tuple[dict[str, GapModel], GapModel]:
+    """Per-car gap models plus the fleet-wide baseline.
+
+    Cars with fewer than ``min_gaps`` observed gaps get no per-car model
+    (they fall back to the fleet baseline) — these are the rare cars whose
+    unpredictability the paper's segmentation already isolates.
+    """
+    per_car: dict[str, GapModel] = {}
+    all_gaps: list[np.ndarray] = []
+    for car_id, sessions in sessions_by_car.items():
+        gaps = gaps_from_sessions(sessions)
+        if gaps.size:
+            all_gaps.append(gaps)
+        if gaps.size >= min_gaps:
+            per_car[car_id] = GapModel(gaps_s=gaps)
+    fleet = GapModel(
+        gaps_s=np.concatenate(all_gaps) if all_gaps else np.zeros(0)
+    )
+    return per_car, fleet
+
+
+@dataclass(frozen=True)
+class GapEvaluation:
+    """Prediction error of per-car models vs the fleet baseline."""
+
+    n_cars: int
+    per_car_mae_s: float
+    baseline_mae_s: float
+
+    @property
+    def improvement(self) -> float:
+        """Relative MAE reduction of per-car models over the baseline."""
+        if self.baseline_mae_s == 0:
+            return 0.0
+        return 1.0 - self.per_car_mae_s / self.baseline_mae_s
+
+
+def evaluate_gap_models(
+    train_sessions: dict[str, list[Interval]],
+    test_sessions: dict[str, list[Interval]],
+    min_gaps: int = 5,
+) -> GapEvaluation:
+    """Median-gap prediction error on held-out gaps, per-car vs fleet.
+
+    For every test gap of a car with a trained model, the absolute error of
+    the car's median-gap prediction is compared with the fleet median's.
+    """
+    models, fleet = fit_gap_models(train_sessions, min_gaps=min_gaps)
+    if fleet.n_gaps == 0:
+        raise ValueError("no training gaps at all")
+    fleet_pred = fleet.predict_next_gap()
+    per_car_errors: list[float] = []
+    baseline_errors: list[float] = []
+    n_cars = 0
+    for car_id, model in models.items():
+        test_gaps = gaps_from_sessions(test_sessions.get(car_id, []))
+        if test_gaps.size == 0:
+            continue
+        n_cars += 1
+        prediction = model.predict_next_gap()
+        per_car_errors.extend(np.abs(test_gaps - prediction))
+        baseline_errors.extend(np.abs(test_gaps - fleet_pred))
+    if not per_car_errors:
+        raise ValueError("no cars with both training and test gaps")
+    return GapEvaluation(
+        n_cars=n_cars,
+        per_car_mae_s=float(np.mean(per_car_errors)),
+        baseline_mae_s=float(np.mean(baseline_errors)),
+    )

@@ -1,0 +1,137 @@
+"""Presence predictors.
+
+All predictors share one interface: fit on a car's records from the training
+weeks, then answer "will this car connect during hour-of-week ``h`` of a
+future week?".  The paper's Figure 5 shows why the hour-of-week frequency
+matrix is the natural model: consistent commutes appear as dark cells that
+recur week over week.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.algorithms.timebins import HOUR, StudyClock
+from repro.cdr.records import ConnectionRecord
+
+HOURS_PER_WEEK = 24 * 7
+
+
+def presence_by_week(
+    records: list[ConnectionRecord], clock: StudyClock
+) -> dict[int, np.ndarray]:
+    """Boolean presence per hour-of-week for each study week.
+
+    Returns ``{week index: (168,) bool array}``; hour-of-week indexing is
+    Monday-zero regardless of the study's start weekday.  A record marks
+    every hour it overlaps, consistent with the usage matrices.
+    """
+    weeks: dict[int, np.ndarray] = {}
+    for rec in records:
+        first_hour = int(rec.start // HOUR)
+        last_hour = int(rec.end // HOUR)
+        if rec.end % HOUR == 0 and rec.end > rec.start:
+            last_hour -= 1
+        for h in range(first_hour, last_hour + 1):
+            t = h * HOUR
+            week = int(t // (7 * 24 * HOUR))
+            how = clock.hour_of_week(t)
+            weeks.setdefault(week, np.zeros(HOURS_PER_WEEK, dtype=bool))[how] = True
+    return weeks
+
+
+class PresencePredictor(ABC):
+    """Predicts per-hour-of-week presence of one car."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def fit(self, train_weeks: list[np.ndarray]) -> "PresencePredictor":
+        """Learn from (168,) boolean presence vectors, one per training week."""
+
+    @abstractmethod
+    def predict_week(self) -> np.ndarray:
+        """(168,) boolean prediction for any future week."""
+
+
+class HourOfWeekPredictor(PresencePredictor):
+    """Predict presence where the training-week frequency crosses a threshold.
+
+    The per-cell frequency is exactly the car's normalized 24x7 matrix; a
+    cell that was active in at least ``threshold`` of training weeks is
+    predicted active in every future week.
+    """
+
+    name = "hour-of-week"
+
+    def __init__(self, threshold: float = 0.5) -> None:
+        if not 0 < threshold <= 1:
+            raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+        self.threshold = threshold
+        self._frequency: np.ndarray | None = None
+
+    def fit(self, train_weeks: list[np.ndarray]) -> "HourOfWeekPredictor":
+        if not train_weeks:
+            self._frequency = np.zeros(HOURS_PER_WEEK)
+            return self
+        self._frequency = np.mean([w.astype(float) for w in train_weeks], axis=0)
+        return self
+
+    @property
+    def frequency(self) -> np.ndarray:
+        """Learned per-hour-of-week presence frequency."""
+        if self._frequency is None:
+            raise RuntimeError("predictor is not fitted")
+        return self._frequency
+
+    def predict_week(self) -> np.ndarray:
+        return self.frequency >= self.threshold
+
+
+class HourOfDayPredictor(PresencePredictor):
+    """Weekday-blind baseline: learns only the hour-of-day profile.
+
+    Collapses the week to 24 hours before thresholding, so a strict
+    Monday-to-Friday commuter gets weekend hours predicted too — the mistake
+    the hour-of-week model exists to avoid.
+    """
+
+    name = "hour-of-day"
+
+    def __init__(self, threshold: float = 0.5) -> None:
+        if not 0 < threshold <= 1:
+            raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+        self.threshold = threshold
+        self._by_hour: np.ndarray | None = None
+
+    def fit(self, train_weeks: list[np.ndarray]) -> "HourOfDayPredictor":
+        if not train_weeks:
+            self._by_hour = np.zeros(24)
+            return self
+        freq = np.mean([w.astype(float) for w in train_weeks], axis=0)
+        self._by_hour = freq.reshape(7, 24).mean(axis=0)
+        return self
+
+    def predict_week(self) -> np.ndarray:
+        if self._by_hour is None:
+            raise RuntimeError("predictor is not fitted")
+        day = self._by_hour >= self.threshold
+        return np.tile(day, 7)
+
+
+class AlwaysPredictor(PresencePredictor):
+    """Degenerate baseline: predicts the car online every hour.
+
+    Its recall is 1 by construction; its precision is the car's base rate,
+    which is what any useful model must beat.
+    """
+
+    name = "always"
+
+    def fit(self, train_weeks: list[np.ndarray]) -> "AlwaysPredictor":
+        return self
+
+    def predict_week(self) -> np.ndarray:
+        return np.ones(HOURS_PER_WEEK, dtype=bool)

@@ -1,0 +1,152 @@
+"""Measurement artifacts of real CDR pipelines.
+
+Section 3 of the paper describes three data-quality phenomena it must handle:
+
+* records "where connections appear to have lasted exactly 1 hour", blamed on
+  a periodic reporting feature that missed the radio-level disconnect;
+* modems with a "tendency to improperly disconnect", producing implausibly
+  long single-cell connections (hence the 600-second truncation rule);
+* "some data loss during 3 days in the second half of the study period"
+  visible as a dip in Figure 2.
+
+The injectors below add each artifact to a clean synthetic trace so the
+preprocessing code in :mod:`repro.core.preprocess` is exercised against the
+same pathologies the authors faced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.timebins import DAY
+from repro.cdr.errors import TraceGenerationError
+from repro.cdr.records import ConnectionRecord
+
+#: The suspicious duration of ghost records, exactly one hour.
+GHOST_DURATION_S = 3600.0
+
+
+@dataclass(frozen=True)
+class ArtifactConfig:
+    """Rates of each injected artifact."""
+
+    #: Probability that any given record spawns an exactly-1-hour ghost twin.
+    ghost_hour_rate: float = 0.004
+    #: Probability that a record's disconnect is lost and its duration
+    #: inflates (stuck modem).  The paper's Figure 9 implies a heavy tail:
+    #: ~27% of per-cell connections exceed 600 seconds, which is why its
+    #: analyses truncate at 600 s.
+    stuck_modem_rate: float = 0.27
+    #: Mean of the log of the stuck-duration inflation in seconds.
+    stuck_log_mean: float = 6.8
+    stuck_log_sigma: float = 1.2
+    #: Study days (second half by default) suffering partial data loss, and
+    #: the fraction of records dropped on those days.
+    data_loss_days: tuple[int, ...] = (58, 59, 71)
+    data_loss_fraction: float = 0.45
+
+    def __post_init__(self) -> None:
+        for name, rate in (
+            ("ghost_hour_rate", self.ghost_hour_rate),
+            ("stuck_modem_rate", self.stuck_modem_rate),
+            ("data_loss_fraction", self.data_loss_fraction),
+        ):
+            if not 0 <= rate <= 1:
+                raise TraceGenerationError(f"{name} must be in [0, 1], got {rate}")
+
+
+def inject_ghost_hour_records(
+    records: list[ConnectionRecord],
+    rate: float,
+    rng: np.random.Generator,
+) -> list[ConnectionRecord]:
+    """Add exactly-one-hour ghost records cloned from real connections.
+
+    Each selected record spawns a twin with the same car/cell but a duration
+    of exactly 3600 seconds — the failure mode the paper attributes to
+    periodic reporting without a recorded disconnect.  Returns a new list;
+    the input is not modified.
+    """
+    if not 0 <= rate <= 1:
+        raise TraceGenerationError(f"ghost rate must be in [0, 1], got {rate}")
+    out = list(records)
+    if rate == 0 or not records:
+        return out
+    mask = rng.random(len(records)) < rate
+    for idx in np.nonzero(mask)[0]:
+        src = records[int(idx)]
+        out.append(
+            ConnectionRecord(
+                start=src.start,
+                car_id=src.car_id,
+                cell_id=src.cell_id,
+                carrier=src.carrier,
+                technology=src.technology,
+                duration=GHOST_DURATION_S,
+            )
+        )
+    return out
+
+
+def apply_stuck_modems(
+    records: list[ConnectionRecord],
+    rate: float,
+    rng: np.random.Generator,
+    log_mean: float = 7.6,
+    log_sigma: float = 0.7,
+) -> list[ConnectionRecord]:
+    """Inflate a random subset of records as if the disconnect was never seen.
+
+    The inflated duration adds a lognormal tail (median ~exp(log_mean)
+    seconds, i.e. tens of minutes to hours), producing the long-duration
+    noise that motivates the paper's 600-second truncation.  Durations of
+    exactly one hour are nudged away from 3600 s so stuck modems are not
+    confused with ghost records.
+    """
+    if not 0 <= rate <= 1:
+        raise TraceGenerationError(f"stuck rate must be in [0, 1], got {rate}")
+    if rate == 0 or not records:
+        return list(records)
+    out: list[ConnectionRecord] = []
+    mask = rng.random(len(records)) < rate
+    for rec, stuck in zip(records, mask):
+        if not stuck:
+            out.append(rec)
+            continue
+        extra = float(rng.lognormal(log_mean, log_sigma))
+        duration = rec.duration + extra
+        if abs(duration - GHOST_DURATION_S) < 1.0:
+            duration += 2.0
+        out.append(
+            ConnectionRecord(
+                start=rec.start,
+                car_id=rec.car_id,
+                cell_id=rec.cell_id,
+                carrier=rec.carrier,
+                technology=rec.technology,
+                duration=duration,
+            )
+        )
+    return out
+
+
+def apply_data_loss(
+    records: list[ConnectionRecord],
+    loss_days: tuple[int, ...],
+    fraction: float,
+    rng: np.random.Generator,
+) -> list[ConnectionRecord]:
+    """Drop a fraction of the records starting on the given study days."""
+    if not 0 <= fraction <= 1:
+        raise TraceGenerationError(f"loss fraction must be in [0, 1], got {fraction}")
+    if not loss_days or fraction == 0:
+        return list(records)
+    lost = set(loss_days)
+    out: list[ConnectionRecord] = []
+    for rec in records:
+        if int(rec.start // DAY) in lost and rng.random() < fraction:
+            continue
+        out.append(rec)
+    return out

@@ -1,0 +1,91 @@
+"""Special events: crowds of cars converging on one venue.
+
+Section 4.4 names the situations that concentrate cars in a cell —
+"highway traffic during commute times, at shopping malls, or event parking
+lots".  Commutes and malls fall out of the behaviour profiles; this module
+adds the third: a configured fraction of the fleet drives to a venue for a
+game or concert, parks through the event, and drives home afterwards,
+producing the arrival/departure concurrency spikes an operator plans
+capacity around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.timebins import DAY, HOUR
+from repro.cdr.errors import TraceGenerationError
+from repro.mobility.roads import RoadNetwork
+from repro.mobility.trips import Trip, TripPurpose
+from repro.network.geometry import Point
+
+
+@dataclass(frozen=True)
+class EventConfig:
+    """One venue event.
+
+    ``venue_xy`` of ``None`` puts the venue at the metro core.  Attendees
+    depart home so as to arrive around the start (with straggle), stay for
+    ``duration_h`` and head home afterwards.
+    """
+
+    day: int
+    start_hour: float = 19.0
+    duration_h: float = 3.0
+    attendee_fraction: float = 0.15
+    venue_xy: tuple[float, float] | None = None
+
+    def __post_init__(self) -> None:
+        if self.day < 0:
+            raise TraceGenerationError(f"event day must be >= 0, got {self.day}")
+        if not 0 <= self.start_hour < 24:
+            raise TraceGenerationError(
+                f"start_hour must be in [0, 24), got {self.start_hour}"
+            )
+        if self.duration_h <= 0:
+            raise TraceGenerationError(
+                f"duration_h must be positive, got {self.duration_h}"
+            )
+        if not 0 <= self.attendee_fraction <= 1:
+            raise TraceGenerationError(
+                f"attendee_fraction must be in [0, 1], got {self.attendee_fraction}"
+            )
+
+
+def venue_node(event: EventConfig, roads: RoadNetwork) -> int:
+    """Road node hosting the venue."""
+    if event.venue_xy is not None:
+        point = Point(*event.venue_xy)
+    else:
+        point = Point(roads.config.width_km / 2.0, roads.config.height_km / 2.0)
+    return roads.nearest_node(point)
+
+
+def event_trips(
+    event: EventConfig,
+    home: int,
+    venue: int,
+    travel_time_s: float,
+    rng: np.random.Generator,
+) -> list[Trip]:
+    """The attendee's two event trips (to the venue, back home).
+
+    Arrival straggles into the half hour before the start; departure
+    straggles over the half hour after the end — the double spike of
+    Figure 8's event-parking intuition.
+    """
+    if home == venue:
+        return []
+    start_s = event.day * DAY + event.start_hour * HOUR
+    arrive_at = start_s - float(rng.uniform(0.0, 0.5)) * HOUR
+    depart_to_event = max(event.day * DAY, arrive_at - travel_time_s)
+    leave_at = start_s + event.duration_h * HOUR + float(rng.uniform(0.0, 0.5)) * HOUR
+    leave_at = min(leave_at, (event.day + 1) * DAY - HOUR / 2)
+    if leave_at <= depart_to_event:
+        leave_at = depart_to_event + HOUR
+    return [
+        Trip(depart_to_event, home, venue, TripPurpose.LEISURE),
+        Trip(leave_at, venue, home, TripPurpose.LEISURE),
+    ]

@@ -1,0 +1,204 @@
+"""End-to-end synthetic trace generation.
+
+:class:`TraceGenerator` wires the substrates together: build the radio
+topology and its load model, build the road network, synthesize the fleet,
+drive every car's trips over the study period, emit CDRs, then inject
+measurement artifacts.  The result, a :class:`TraceDataset`, is the
+reproduction's stand-in for the paper's proprietary data set and is what
+every analysis and benchmark consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.algorithms.timebins import StudyClock
+from repro.cdr.records import CDRBatch, ConnectionRecord
+from repro.mobility.movement import EdgeCellIndex, route_sector_timeline
+from repro.mobility.profiles import DailyTripPlanner
+from repro.mobility.roads import RoadNetwork, build_road_network
+from repro.mobility.routing import Router
+from repro.network.load import CellLoadModel
+from repro.network.topology import NetworkTopology, build_topology
+from repro.simulate.artifacts import (
+    apply_data_loss,
+    apply_stuck_modems,
+    inject_ghost_hour_records,
+)
+from repro.simulate.config import SimulationConfig
+from repro.simulate.events import event_trips, venue_node
+from repro.simulate.population import Car, build_population
+from repro.simulate.radio import records_for_trip
+
+
+@dataclass
+class TraceDataset:
+    """A generated trace plus everything needed to analyze it.
+
+    ``cars`` is ground truth the paper's authors did not have (per-car
+    behaviour profiles); tests use it to check that analyses recover known
+    structure, and analyses must not peek at it.
+    """
+
+    config: SimulationConfig
+    clock: StudyClock
+    topology: NetworkTopology
+    load_model: CellLoadModel
+    roads: RoadNetwork
+    cars: list[Car]
+    batch: CDRBatch
+    #: Records before artifact injection, kept for preprocessing tests.
+    clean_records: list[ConnectionRecord] = field(repr=False, default_factory=list)
+
+    @property
+    def n_records(self) -> int:
+        """Number of connection records after artifact injection."""
+        return len(self.batch)
+
+
+class TraceGenerator:
+    """Generates a :class:`TraceDataset` from a :class:`SimulationConfig`.
+
+    Generation is deterministic in the config's seeds: per-car child RNGs
+    are spawned from the root seed, so fleets of different sizes share the
+    behaviour of their common prefix of cars.
+    """
+
+    def __init__(self, config: SimulationConfig | None = None) -> None:
+        self.config = config or SimulationConfig()
+
+    def generate(self) -> TraceDataset:
+        """Run the full generation pipeline."""
+        cfg = self.config
+        clock = cfg.clock
+        topology = build_topology(cfg.topology)
+        load_model = CellLoadModel(topology, clock, seed=cfg.load_seed)
+        roads = build_road_network(cfg.roads)
+        router = Router(roads)
+        edge_index = EdgeCellIndex(roads, topology)
+        planner = DailyTripPlanner(roads, clock)
+
+        root = np.random.default_rng(cfg.seed)
+        population_rng = np.random.default_rng(root.integers(2**63))
+        cars = build_population(
+            cfg.n_cars,
+            roads,
+            clock,
+            population_rng,
+            c5_capable_fraction=cfg.c5_capable_fraction,
+            fleet_growth_fraction=cfg.fleet_growth_fraction,
+        )
+
+        event_venues = {
+            event: venue_node(event, roads) for event in cfg.events
+        }
+        car_seeds = root.integers(2**63, size=len(cars))
+        records: list[ConnectionRecord] = []
+        for car, car_seed in zip(cars, car_seeds):
+            rng = np.random.default_rng(int(car_seed))
+            records.extend(
+                self._records_for_car(
+                    car, rng, clock, planner, router, edge_index, topology,
+                    event_venues,
+                )
+            )
+
+        artifact_rng = np.random.default_rng(root.integers(2**63))
+        clean = records
+        dirty = inject_ghost_hour_records(
+            clean, cfg.artifacts.ghost_hour_rate, artifact_rng
+        )
+        dirty = apply_stuck_modems(
+            dirty,
+            cfg.artifacts.stuck_modem_rate,
+            artifact_rng,
+            log_mean=cfg.artifacts.stuck_log_mean,
+            log_sigma=cfg.artifacts.stuck_log_sigma,
+        )
+        dirty = apply_data_loss(
+            dirty,
+            cfg.artifacts.data_loss_days,
+            cfg.artifacts.data_loss_fraction,
+            artifact_rng,
+        )
+
+        return TraceDataset(
+            config=cfg,
+            clock=clock,
+            topology=topology,
+            load_model=load_model,
+            roads=roads,
+            cars=cars,
+            batch=CDRBatch(dirty),
+            clean_records=clean,
+        )
+
+    def _records_for_car(
+        self,
+        car: Car,
+        rng: np.random.Generator,
+        clock: StudyClock,
+        planner: DailyTripPlanner,
+        router: Router,
+        edge_index: EdgeCellIndex,
+        topology: NetworkTopology,
+        event_venues: dict | None = None,
+    ) -> list[ConnectionRecord]:
+        records: list[ConnectionRecord] = []
+        for day in range(clock.n_days):
+            trips = planner.trips_for_day(car.itinerary, day, rng)
+            trips.extend(
+                self._event_trips_for_day(car, day, rng, router, event_venues)
+            )
+            trips.sort()
+            previous_end = 0.0
+            for trip in trips:
+                route = router.route(trip.origin, trip.destination)
+                if len(route.nodes) < 2:
+                    continue
+                # Trips cannot start before the previous one ended: nudge
+                # departures so one car never drives two trips at once.
+                departure = max(trip.departure, previous_end + 60.0)
+                timeline = route_sector_timeline(route, departure, edge_index)
+                previous_end = timeline[-1].end if timeline else departure
+                records.extend(
+                    records_for_trip(
+                        car,
+                        departure,
+                        timeline,
+                        topology,
+                        self.config.carrier_weights,
+                        self.config.activity,
+                        rng,
+                    )
+                )
+        # Clip to the study window: a late-evening trip's records may spill
+        # past the end of the study and would never appear in the data set.
+        horizon = clock.duration
+        return [rec for rec in records if rec.start < horizon]
+
+    def _event_trips_for_day(
+        self,
+        car: Car,
+        day: int,
+        rng: np.random.Generator,
+        router: Router,
+        event_venues: dict | None,
+    ) -> list:
+        """Trips a car makes to attend the day's configured events."""
+        if not event_venues:
+            return []
+        trips = []
+        for event, venue in event_venues.items():
+            if event.day != day or day < car.itinerary.activation_day:
+                continue
+            if rng.random() >= event.attendee_fraction:
+                continue
+            home = car.itinerary.home
+            if home == venue:
+                continue
+            travel = router.route(home, venue).travel_time
+            trips.extend(event_trips(event, home, venue, travel, rng))
+        return trips

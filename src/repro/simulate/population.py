@@ -1,0 +1,88 @@
+"""Fleet synthesis.
+
+A car couples a behaviour profile (when it drives) with a modem capability
+set (which carriers it can use).  The paper's fleet is a single OEM whose
+modems predominantly support carriers C1-C4, with C5 support essentially
+absent (Table 3); the synthetic fleet mirrors that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.timebins import StudyClock
+from repro.mobility.profiles import CarItinerary, CarProfile, DailyTripPlanner, draw_profile
+from repro.mobility.roads import RoadNetwork
+
+#: Carriers every modem of the studied OEM supports.
+BASE_CAPABILITIES = frozenset({"C1", "C2", "C3", "C4"})
+
+
+@dataclass(frozen=True)
+class Car:
+    """One car of the synthetic fleet."""
+
+    car_id: str
+    profile: CarProfile
+    itinerary: CarItinerary
+    capabilities: frozenset[str]
+    #: Multiplier on the infotainment probability: hotspot-heavy cars stream
+    #: more, telemetry-only cars almost never do.
+    infotainment_factor: float
+
+    @property
+    def c5_capable(self) -> bool:
+        """Whether the modem supports the new high-band carrier."""
+        return "C5" in self.capabilities
+
+
+def build_population(
+    n_cars: int,
+    roads: RoadNetwork,
+    clock: StudyClock,
+    rng: np.random.Generator,
+    c5_capable_fraction: float = 0.004,
+    fleet_growth_fraction: float = 0.0,
+) -> list[Car]:
+    """Synthesize the fleet.
+
+    Car ids are zero-padded so they sort stably; profiles follow
+    :data:`repro.mobility.profiles.PROFILE_MIX`; a small fraction of modems
+    gain C5 capability.  ``fleet_growth_fraction`` of the cars are sold
+    during the study and activate on a uniformly random day, producing the
+    slow upward presence trend of the paper's Figure 2.
+    """
+    if not 0 <= fleet_growth_fraction <= 1:
+        raise ValueError(
+            f"fleet_growth_fraction must be in [0, 1], got {fleet_growth_fraction}"
+        )
+    planner = DailyTripPlanner(roads, clock)
+    width = max(6, len(str(n_cars)))
+    cars: list[Car] = []
+    for i in range(n_cars):
+        profile = draw_profile(rng)
+        activation_day = 0
+        if fleet_growth_fraction and rng.random() < fleet_growth_fraction:
+            activation_day = int(rng.integers(0, clock.n_days))
+        itinerary = planner.make_itinerary(profile, rng, activation_day)
+        capabilities = BASE_CAPABILITIES
+        if rng.random() < c5_capable_fraction:
+            capabilities = capabilities | {"C5"}
+        if profile in (CarProfile.HEAVY, CarProfile.WEEKENDER):
+            infotainment_factor = float(rng.uniform(1.2, 1.8))
+        elif profile is CarProfile.RARE:
+            infotainment_factor = float(rng.uniform(0.2, 0.6))
+        else:
+            infotainment_factor = float(rng.uniform(0.6, 1.2))
+        cars.append(
+            Car(
+                car_id=f"car-{i:0{width}d}",
+                profile=profile,
+                itinerary=itinerary,
+                capabilities=capabilities,
+                infotainment_factor=infotainment_factor,
+            )
+        )
+    return cars

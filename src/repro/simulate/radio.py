@@ -1,0 +1,168 @@
+"""Radio session synthesis for one trip.
+
+While the engine runs, the modem connects whenever there is data to move:
+a startup telemetry burst, periodic telemetry pings, and (for hotspot users)
+longer infotainment sessions.  Each burst holds the radio connection for its
+data transfer plus the 10-12 second idle timeout; bursts whose extended
+intervals overlap share one connection.  A connection that survives a sector
+change splits into per-cell records — that split *is* the handover the paper
+measures (Section 4.5) and is why per-cell connections are short (Figure 9).
+
+The carrier is chosen once per burst and kept across handovers, which makes
+inter-base-station handovers dominate and inter-carrier / inter-RAT
+transitions negligible, as the paper observes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.intervals import Interval, merge_intervals
+from repro.cdr.records import ConnectionRecord
+from repro.mobility.movement import SectorSpan
+from repro.network.topology import NetworkTopology
+from repro.simulate.config import ActivityConfig
+from repro.simulate.population import Car
+
+#: Minimum billable record duration; real CDR pipelines round sub-second
+#: connections up rather than dropping them.
+MIN_RECORD_S = 1.0
+
+
+def generate_bursts(
+    trip_duration: float,
+    car: Car,
+    activity: ActivityConfig,
+    rng: np.random.Generator,
+) -> list[Interval]:
+    """Data-activity intervals within ``[0, trip_duration)`` of a trip.
+
+    Each burst is already extended by a drawn idle timeout and overlapping
+    bursts are merged, so the result is the set of radio-connection-holding
+    intervals relative to the trip start.
+    """
+    if trip_duration <= 0:
+        return []
+    timeout_lo, timeout_hi = activity.idle_timeout_s
+    bursts: list[Interval] = []
+
+    def add(start: float, data_seconds: float) -> None:
+        start = max(0.0, min(start, trip_duration))
+        end = min(start + max(data_seconds, 0.5), trip_duration)
+        end += float(rng.uniform(timeout_lo, timeout_hi))
+        bursts.append(Interval(start, end))
+
+    # Engine-start telemetry: the car phones home as it wakes up.
+    add(0.0, float(rng.exponential(activity.startup_burst_mean_s)))
+
+    # Periodic telemetry pings through the trip.
+    t = float(rng.uniform(0.3, 1.2)) * activity.telemetry_period_s
+    while t < trip_duration:
+        add(t, float(rng.exponential(activity.telemetry_burst_mean_s)))
+        t += activity.telemetry_period_s * float(rng.uniform(0.7, 1.3))
+
+    # Infotainment / hotspot sessions: longer, for streaming-inclined cars.
+    p = min(1.0, activity.infotainment_prob * car.infotainment_factor)
+    if rng.random() < p:
+        start = float(rng.uniform(0.0, max(trip_duration * 0.7, 1.0)))
+        duration = float(rng.lognormal(np.log(activity.infotainment_mean_s), 0.8))
+        add(start, duration)
+
+    return merge_intervals(bursts)
+
+
+def records_for_trip(
+    car: Car,
+    departure: float,
+    timeline: list[SectorSpan],
+    topology: NetworkTopology,
+    carrier_weights: dict[str, float],
+    activity: ActivityConfig,
+    rng: np.random.Generator,
+) -> list[ConnectionRecord]:
+    """Emit CDRs for one trip given its sector timeline.
+
+    ``timeline`` is the output of
+    :func:`repro.mobility.movement.route_sector_timeline` — absolute-time
+    sector spans starting at ``departure``.
+    """
+    if not timeline:
+        return []
+    trip_duration = timeline[-1].end - departure
+    bursts = generate_bursts(trip_duration, car, activity, rng)
+    if not bursts:
+        return []
+
+    # A burst's idle-timeout tail can outlive the drive; the car is parked
+    # under its final sector, so stretch the last span to absorb tails.
+    last = timeline[-1]
+    tail = bursts[-1].end - trip_duration
+    spans = timeline[:-1] + [
+        SectorSpan(last.sector_key, last.start, last.end + max(tail, 0.0) + 1.0)
+    ]
+    # Neighbouring sectors of one site overlap heavily; a moving connection
+    # is kept on its current cell rather than handed across the site, so the
+    # recorded handovers are almost all between base stations (Section 4.5).
+    spans = _merge_same_site(spans)
+
+    # The modem camps on one carrier for the whole drive; it only leaves it
+    # where the carrier is not deployed.  This keeps inter-carrier and
+    # inter-RAT handovers negligible, as the paper observes.
+    trip_carrier = _draw_carrier(car, carrier_weights, rng)
+
+    records: list[ConnectionRecord] = []
+    for burst in bursts:
+        absolute = Interval(departure + burst.start, departure + burst.end)
+        for span in spans:
+            piece = absolute.clip(span.start, span.end)
+            if piece is None:
+                continue
+            sector = topology.sector(*span.sector_key)
+            cell = sector.cell_on(trip_carrier)
+            if cell is None:
+                # The trip's carrier is not deployed here (e.g. C4 in the
+                # rural fringe): the modem falls back to what the sector has.
+                cell = topology.choose_cell_in_sector(
+                    sector, car.capabilities, rng, carrier_weights
+                )
+            if cell is None:
+                continue
+            records.append(
+                ConnectionRecord(
+                    start=piece.start,
+                    car_id=car.car_id,
+                    cell_id=cell.cell_id,
+                    carrier=cell.carrier.name,
+                    technology=cell.technology.value,
+                    duration=max(piece.duration, MIN_RECORD_S),
+                )
+            )
+    return records
+
+
+def _merge_same_site(spans: list[SectorSpan]) -> list[SectorSpan]:
+    """Collapse consecutive spans under the same base station into one.
+
+    The merged span keeps the first sector's key: the connection stays on
+    the cell it started on until the car leaves the site's footprint.
+    """
+    merged: list[SectorSpan] = []
+    for span in spans:
+        if merged and merged[-1].sector_key[0] == span.sector_key[0]:
+            prev = merged[-1]
+            merged[-1] = SectorSpan(prev.sector_key, prev.start, span.end)
+        else:
+            merged.append(span)
+    return merged
+
+
+def _draw_carrier(
+    car: Car, carrier_weights: dict[str, float], rng: np.random.Generator
+) -> str:
+    """Weighted carrier draw over the car's modem capabilities."""
+    names = sorted(car.capabilities)
+    weights = np.asarray([carrier_weights.get(n, 0.0) for n in names], dtype=float)
+    if weights.sum() <= 0:
+        weights = np.ones(len(names))
+    weights = weights / weights.sum()
+    return names[int(rng.choice(len(names), p=weights))]

@@ -1,0 +1,161 @@
+"""Terminal visualization helpers.
+
+The paper communicates through plots; a library reproduction that runs in a
+terminal needs readable text renderings of the same shapes.  These helpers
+cover every figure style used: sparklines and line-ish CDF plots (Figs 2, 3,
+9), horizontal bar charts (Figs 6, 7), heatmaps (Figs 4, 5) and per-row
+interval timelines (Fig 8).  All return plain strings; none import plotting
+libraries.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.algorithms.intervals import Interval
+
+#: Eight-level block characters for sparklines.
+SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+#: Ten-level shade ramp for heatmaps.
+SHADES = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], width: int | None = None) -> str:
+    """One-line block rendering of a numeric series.
+
+    Values are min-max scaled; a constant series renders at the lowest
+    level.  When ``width`` is given the series is mean-pooled down to it.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return ""
+    if width is not None and width > 0 and arr.size > width:
+        step = arr.size / width
+        arr = np.asarray(
+            [arr[int(i * step) : max(int((i + 1) * step), int(i * step) + 1)].mean()
+             for i in range(width)]
+        )
+    lo, hi = float(arr.min()), float(arr.max())
+    if hi == lo:
+        return SPARK_BLOCKS[0] * arr.size
+    scaled = (arr - lo) / (hi - lo)
+    return "".join(
+        SPARK_BLOCKS[min(int(v * len(SPARK_BLOCKS)), len(SPARK_BLOCKS) - 1)]
+        for v in scaled
+    )
+
+
+def hbar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    fmt: str = "{:.2f}",
+) -> str:
+    """Horizontal bar chart, one row per (label, value)."""
+    if len(labels) != len(values):
+        raise ValueError(
+            f"labels and values differ in length: {len(labels)} vs {len(values)}"
+        )
+    if not labels:
+        return ""
+    peak = max(max(values), 1e-12)
+    label_width = max(len(str(label)) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * int(round(width * value / peak))
+        lines.append(f"{str(label):>{label_width}} | {fmt.format(value):>8} {bar}")
+    return "\n".join(lines)
+
+
+def heatmap(matrix: np.ndarray, col_labels: str = "M T W T F S S") -> str:
+    """Shade-ramp rendering of a 2-D matrix (rows x columns).
+
+    Built for 24x7 hour-of-week matrices but works for any small 2-D array;
+    values are scaled by the matrix maximum.
+    """
+    m = np.asarray(matrix, dtype=float)
+    if m.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got shape {m.shape}")
+    peak = m.max()
+    lines = ["    " + col_labels] if col_labels else []
+    for r in range(m.shape[0]):
+        cells = []
+        for c in range(m.shape[1]):
+            level = 0 if peak == 0 else m[r, c] / peak
+            cells.append(SHADES[min(int(level * (len(SHADES) - 1) + 0.5), 9)])
+        lines.append(f"{r:>2}  " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def cdf_plot(
+    x: Sequence[float],
+    p: Sequence[float],
+    width: int = 60,
+    height: int = 12,
+) -> str:
+    """Character-grid plot of a CDF (or any monotone series).
+
+    The x axis spans ``[min(x), max(x)]``; each column plots the last sample
+    falling into it.  Returns a plot with a 0..1 y axis gutter.
+    """
+    xa = np.asarray(x, dtype=float)
+    pa = np.asarray(p, dtype=float)
+    if xa.size != pa.size or xa.size == 0:
+        raise ValueError("x and p must be equal-length and non-empty")
+    lo, hi = float(xa.min()), float(xa.max())
+    span = hi - lo or 1.0
+    cols = np.full(width, np.nan)
+    for xv, pv in zip(xa, pa):
+        col = min(int((xv - lo) / span * (width - 1)), width - 1)
+        cols[col] = pv
+    # Forward-fill so the curve is continuous.
+    last = 0.0
+    for i in range(width):
+        if np.isnan(cols[i]):
+            cols[i] = last
+        else:
+            last = cols[i]
+    grid = [[" "] * width for _ in range(height)]
+    for i, pv in enumerate(cols):
+        row = height - 1 - min(int(pv * (height - 1) + 0.5), height - 1)
+        grid[row][i] = "*"
+    lines = []
+    for r, row in enumerate(grid):
+        y = 1.0 - r / (height - 1)
+        lines.append(f"{y:>4.1f} |" + "".join(row))
+    lines.append("     +" + "-" * width)
+    lines.append(f"      {lo:<.6g}{'':^{max(width - 24, 1)}}{hi:>.6g}")
+    return "\n".join(lines)
+
+
+def interval_timeline(
+    rows: dict[str, list[Interval]],
+    window_start: float,
+    window_end: float,
+    width: int = 96,
+    max_rows: int = 40,
+) -> str:
+    """Figure 8-style timeline: one row per key, ticks where intervals sit.
+
+    Rows beyond ``max_rows`` are summarized with a trailing count.
+    """
+    if window_end <= window_start:
+        raise ValueError("window must have positive extent")
+    span = window_end - window_start
+    lines = []
+    for i, (key, intervals) in enumerate(sorted(rows.items())):
+        if i >= max_rows:
+            lines.append(f"... and {len(rows) - max_rows} more rows")
+            break
+        cells = [" "] * width
+        for iv in intervals:
+            first = int((max(iv.start, window_start) - window_start) / span * width)
+            last = int(
+                (min(iv.end, window_end) - window_start - 1e-9) / span * width
+            )
+            for c in range(max(first, 0), min(last, width - 1) + 1):
+                cells[c] = "-"
+        lines.append(f"{key:>14} |{''.join(cells)}|")
+    return "\n".join(lines)

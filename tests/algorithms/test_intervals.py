@@ -1,0 +1,145 @@
+"""Unit tests for interval algebra."""
+
+import pytest
+
+from repro.algorithms.intervals import (
+    Interval,
+    concatenate_gaps,
+    concurrency_by_bin,
+    max_concurrency,
+    merge_intervals,
+    total_duration,
+)
+
+
+class TestInterval:
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            Interval(10, 5)
+
+    def test_duration(self):
+        assert Interval(2, 7).duration == 5
+        assert Interval(3, 3).duration == 0
+
+    def test_overlaps(self):
+        assert Interval(0, 10).overlaps(Interval(5, 15))
+        assert not Interval(0, 10).overlaps(Interval(10, 20))  # half-open
+        assert not Interval(0, 10).overlaps(Interval(11, 20))
+
+    def test_gap_to(self):
+        assert Interval(0, 10).gap_to(Interval(15, 20)) == 5
+        assert Interval(0, 10).gap_to(Interval(5, 20)) == -5
+
+    def test_clip_inside(self):
+        assert Interval(0, 100).clip(20, 30) == Interval(20, 30)
+
+    def test_clip_partial(self):
+        assert Interval(0, 100).clip(90, 150) == Interval(90, 100)
+
+    def test_clip_disjoint_returns_none(self):
+        assert Interval(0, 10).clip(10, 20) is None
+        assert Interval(50, 60).clip(0, 10) is None
+
+    def test_truncate(self):
+        assert Interval(0, 1000).truncate(600) == Interval(0, 600)
+        assert Interval(0, 100).truncate(600) == Interval(0, 100)
+
+    def test_truncate_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Interval(0, 10).truncate(-1)
+
+
+class TestBinsStraddled:
+    def test_single_bin(self):
+        assert list(Interval(100, 200).bins_straddled(900)) == [0]
+
+    def test_spans_bins(self):
+        assert list(Interval(800, 1900).bins_straddled(900)) == [0, 1, 2]
+
+    def test_end_on_boundary_excluded(self):
+        assert list(Interval(0, 900).bins_straddled(900)) == [0]
+        assert list(Interval(0, 1800).bins_straddled(900)) == [0, 1]
+
+    def test_zero_length_touches_one_bin(self):
+        assert list(Interval(950, 950).bins_straddled(900)) == [1]
+
+
+class TestMergeIntervals:
+    def test_empty(self):
+        assert merge_intervals([]) == []
+
+    def test_disjoint_preserved(self):
+        ivs = [Interval(0, 10), Interval(20, 30)]
+        assert merge_intervals(ivs) == ivs
+
+    def test_overlapping_merged(self):
+        assert merge_intervals([Interval(0, 10), Interval(5, 20)]) == [Interval(0, 20)]
+
+    def test_touching_merged(self):
+        assert merge_intervals([Interval(0, 10), Interval(10, 20)]) == [Interval(0, 20)]
+
+    def test_contained_absorbed(self):
+        assert merge_intervals([Interval(0, 100), Interval(10, 20)]) == [
+            Interval(0, 100)
+        ]
+
+    def test_unsorted_input(self):
+        assert merge_intervals([Interval(20, 30), Interval(0, 10), Interval(8, 22)]) == [
+            Interval(0, 30)
+        ]
+
+
+class TestConcatenateGaps:
+    def test_rejects_negative_gap(self):
+        with pytest.raises(ValueError):
+            concatenate_gaps([], -1)
+
+    def test_paper_session_rule(self):
+        # Connections 30 s apart or less join into one aggregate session.
+        ivs = [Interval(0, 60), Interval(90, 120), Interval(200, 260)]
+        sessions = concatenate_gaps(ivs, 30)
+        assert sessions == [Interval(0, 120), Interval(200, 260)]
+
+    def test_gap_exactly_at_threshold_joins(self):
+        assert concatenate_gaps([Interval(0, 10), Interval(40, 50)], 30) == [
+            Interval(0, 50)
+        ]
+
+    def test_gap_above_threshold_splits(self):
+        assert concatenate_gaps([Interval(0, 10), Interval(41, 50)], 30) == [
+            Interval(0, 10),
+            Interval(41, 50),
+        ]
+
+    def test_zero_gap_merges_only_overlaps_and_touches(self):
+        out = concatenate_gaps([Interval(0, 10), Interval(10, 20), Interval(21, 30)], 0)
+        assert out == [Interval(0, 20), Interval(21, 30)]
+
+    def test_nested_interval_does_not_shrink_session(self):
+        out = concatenate_gaps([Interval(0, 100), Interval(10, 20)], 5)
+        assert out == [Interval(0, 100)]
+
+
+class TestTotalDuration:
+    def test_counts_overlap_once(self):
+        assert total_duration([Interval(0, 10), Interval(5, 15)]) == 15
+
+    def test_empty_is_zero(self):
+        assert total_duration([]) == 0
+
+
+class TestConcurrency:
+    def test_counts_per_bin(self):
+        ivs = [Interval(0, 1000), Interval(100, 200), Interval(950, 960)]
+        counts = concurrency_by_bin(ivs, 900)
+        assert counts[0] == 2  # first two straddle bin 0
+        assert counts[1] == 2  # first and third straddle bin 1
+
+    def test_max_concurrency(self):
+        ivs = [Interval(0, 100), Interval(50, 60), Interval(2000, 2100)]
+        bin_idx, count = max_concurrency(ivs, 900)
+        assert (bin_idx, count) == (0, 2)
+
+    def test_max_concurrency_empty_raises(self):
+        with pytest.raises(ValueError):
+            max_concurrency([], 900)

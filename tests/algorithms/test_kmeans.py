@@ -1,0 +1,104 @@
+"""Unit tests for the from-scratch k-means implementation."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.kmeans import KMeans, silhouette_score
+
+
+def two_blobs(n=50, separation=10.0, seed=3):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(0.0, 0.5, size=(n, 2))
+    b = rng.normal(separation, 0.5, size=(n, 2))
+    return np.vstack([a, b])
+
+
+class TestValidation:
+    def test_rejects_k_zero(self):
+        with pytest.raises(ValueError):
+            KMeans(0)
+
+    def test_rejects_bad_n_init(self):
+        with pytest.raises(ValueError):
+            KMeans(2, n_init=0)
+
+    def test_rejects_1d_data(self):
+        with pytest.raises(ValueError):
+            KMeans(2).fit(np.arange(5))
+
+    def test_rejects_too_few_samples(self):
+        with pytest.raises(ValueError):
+            KMeans(3).fit(np.zeros((2, 4)))
+
+
+class TestClustering:
+    def test_separates_two_blobs(self):
+        data = two_blobs()
+        result = KMeans(2, seed=0).fit(data)
+        labels = result.labels
+        # All of blob A together, all of blob B together.
+        assert len(set(labels[:50])) == 1
+        assert len(set(labels[50:])) == 1
+        assert labels[0] != labels[-1]
+
+    def test_centers_near_blob_means(self):
+        data = two_blobs()
+        result = KMeans(2, seed=0).fit(data)
+        centers = sorted(result.centers.tolist())
+        assert centers[0][0] == pytest.approx(0.0, abs=0.5)
+        assert centers[1][0] == pytest.approx(10.0, abs=0.5)
+
+    def test_k1_center_is_mean(self):
+        data = two_blobs()
+        result = KMeans(1, seed=0).fit(data)
+        assert result.centers[0] == pytest.approx(data.mean(axis=0))
+
+    def test_inertia_decreases_with_k(self):
+        data = two_blobs()
+        i1 = KMeans(1, seed=0).fit(data).inertia
+        i2 = KMeans(2, seed=0).fit(data).inertia
+        i4 = KMeans(4, seed=0).fit(data).inertia
+        assert i1 > i2 > i4
+
+    def test_deterministic_given_seed(self):
+        data = two_blobs()
+        r1 = KMeans(2, seed=42).fit(data)
+        r2 = KMeans(2, seed=42).fit(data)
+        assert np.array_equal(r1.labels, r2.labels)
+        assert r1.inertia == r2.inertia
+
+    def test_cluster_sizes(self):
+        data = two_blobs(n=30)
+        result = KMeans(2, seed=0).fit(data)
+        assert sorted(result.cluster_sizes().tolist()) == [30, 30]
+
+    def test_identical_points(self):
+        data = np.ones((10, 3))
+        result = KMeans(2, seed=0).fit(data)
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_k_equals_n(self):
+        data = two_blobs(n=3)
+        result = KMeans(6, seed=0).fit(data)
+        assert result.inertia == pytest.approx(0.0, abs=1e-9)
+
+
+class TestSilhouette:
+    def test_well_separated_near_one(self):
+        data = two_blobs(separation=50.0)
+        result = KMeans(2, seed=0).fit(data)
+        assert silhouette_score(data, result.labels) > 0.9
+
+    def test_random_labels_low(self):
+        data = two_blobs()
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, size=data.shape[0])
+        assert silhouette_score(data, labels) < 0.3
+
+    def test_single_cluster_raises(self):
+        with pytest.raises(ValueError):
+            silhouette_score(np.zeros((5, 2)), np.zeros(5, dtype=int))
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            silhouette_score(np.zeros((5, 2)), np.array([0, 1]))

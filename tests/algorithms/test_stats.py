@@ -1,0 +1,146 @@
+"""Unit tests for the statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.stats import (
+    decile_shares,
+    deciles,
+    ecdf,
+    ecdf_at,
+    histogram,
+    linear_trend,
+    percentile,
+    summarize,
+)
+
+
+class TestEcdf:
+    def test_simple(self):
+        x, p = ecdf([3, 1, 2])
+        assert list(x) == [1, 2, 3]
+        assert list(p) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_duplicates(self):
+        x, p = ecdf([5, 5, 5, 5])
+        assert p[-1] == 1.0
+        assert (x == 5).all()
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ecdf([])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            ecdf(np.zeros((2, 2)))
+
+    def test_ecdf_at_points(self):
+        vals = [10, 20, 30, 40]
+        out = ecdf_at(vals, [5, 10, 25, 40, 100])
+        assert list(out) == pytest.approx([0.0, 0.25, 0.5, 1.0, 1.0])
+
+    def test_ecdf_at_empty_raises(self):
+        with pytest.raises(ValueError):
+            ecdf_at([], [1])
+
+
+class TestPercentiles:
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+        with pytest.raises(ValueError):
+            percentile([1], -0.1)
+
+    def test_deciles_shape_and_monotone(self):
+        d = deciles(np.arange(100))
+        assert d.shape == (11,)
+        assert (np.diff(d) >= 0).all()
+        assert d[0] == 0 and d[-1] == 99
+
+
+class TestDecileShares:
+    def test_sums_to_one_when_covering(self):
+        vals = np.linspace(0, 0.999, 50)
+        edges = np.arange(0.0, 1.1, 0.1)
+        shares = decile_shares(vals, edges)
+        assert shares.sum() == pytest.approx(1.0)
+        assert shares.shape == (10,)
+
+    def test_rejects_bad_edges(self):
+        with pytest.raises(ValueError):
+            decile_shares([0.5], [0.0])
+        with pytest.raises(ValueError):
+            decile_shares([0.5], [0.5, 0.5])
+
+    def test_empty_sample_all_zero(self):
+        shares = decile_shares([], [0, 1])
+        assert shares.shape == (1,)
+        assert shares[0] == 0
+
+
+class TestHistogram:
+    def test_counts(self):
+        edges, counts = histogram([1, 2, 3, 11, 12], bin_width=10)
+        assert counts[0] == 3
+        assert counts[1] == 2
+
+    def test_max_value_included(self):
+        edges, counts = histogram([10.0], bin_width=10)
+        assert counts.sum() == 1
+
+    def test_empty(self):
+        edges, counts = histogram([], bin_width=5)
+        assert counts.sum() == 0
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            histogram([1], bin_width=0)
+
+
+class TestLinearTrend:
+    def test_exact_line(self):
+        x = np.arange(10)
+        trend = linear_trend(x, 2 * x + 1)
+        assert trend.slope == pytest.approx(2.0)
+        assert trend.intercept == pytest.approx(1.0)
+        assert trend.r_squared == pytest.approx(1.0)
+
+    def test_flat_line_r2_is_one(self):
+        trend = linear_trend([0, 1, 2], [5, 5, 5])
+        assert trend.slope == pytest.approx(0.0)
+        assert trend.r_squared == pytest.approx(1.0)
+
+    def test_noisy_data_low_r2(self):
+        rng = np.random.default_rng(0)
+        y = rng.normal(size=200)
+        trend = linear_trend(np.arange(200), y)
+        assert trend.r_squared < 0.1
+
+    def test_predict(self):
+        trend = linear_trend([0, 1], [1, 3])
+        assert trend.predict(2) == pytest.approx(5.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            linear_trend([1, 2], [1])
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            linear_trend([1], [1])
+
+
+class TestSummarize:
+    def test_fields(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.median == pytest.approx(2.5)
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])

@@ -1,0 +1,176 @@
+"""Unit and property tests for the streaming statistics primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.streaming import (
+    HyperLogLog,
+    P2Quantile,
+    RunningMoments,
+    StreamingHistogram,
+)
+
+
+class TestRunningMoments:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(5.0, 2.0, size=5000)
+        moments = RunningMoments()
+        for v in data:
+            moments.add(float(v))
+        assert moments.count == 5000
+        assert moments.mean == pytest.approx(data.mean())
+        assert moments.std == pytest.approx(data.std(), rel=1e-9)
+        assert moments.minimum == data.min()
+        assert moments.maximum == data.max()
+
+    def test_empty(self):
+        moments = RunningMoments()
+        assert moments.mean == 0.0
+        assert moments.variance == 0.0
+
+    def test_single_observation(self):
+        moments = RunningMoments()
+        moments.add(7.0)
+        assert moments.mean == 7.0
+        assert moments.variance == 0.0
+
+    def test_merge_matches_sequential(self):
+        rng = np.random.default_rng(1)
+        a_data = rng.normal(size=1000)
+        b_data = rng.normal(3.0, 2.0, size=500)
+        a, b, combined = RunningMoments(), RunningMoments(), RunningMoments()
+        for v in a_data:
+            a.add(float(v))
+            combined.add(float(v))
+        for v in b_data:
+            b.add(float(v))
+            combined.add(float(v))
+        a.merge(b)
+        assert a.count == combined.count
+        assert a.mean == pytest.approx(combined.mean)
+        assert a.variance == pytest.approx(combined.variance)
+
+    def test_merge_with_empty(self):
+        a = RunningMoments()
+        a.add(1.0)
+        a.merge(RunningMoments())
+        assert a.count == 1
+        b = RunningMoments()
+        b.merge(a)
+        assert b.mean == 1.0
+
+
+class TestP2Quantile:
+    def test_validates_quantile(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.5).value
+
+    def test_small_sample_exact(self):
+        q = P2Quantile(0.5)
+        for v in (3.0, 1.0, 2.0):
+            q.add(v)
+        assert q.value == 2.0
+
+    @pytest.mark.parametrize("quantile", [0.25, 0.5, 0.73, 0.9])
+    def test_accuracy_on_lognormal(self, quantile):
+        rng = np.random.default_rng(2)
+        data = rng.lognormal(4.0, 1.0, size=20000)
+        estimator = P2Quantile(quantile)
+        for v in data:
+            estimator.add(float(v))
+        exact = float(np.quantile(data, quantile))
+        assert estimator.value == pytest.approx(exact, rel=0.05)
+
+    def test_accuracy_on_uniform(self):
+        rng = np.random.default_rng(3)
+        data = rng.uniform(0, 100, size=10000)
+        estimator = P2Quantile(0.5)
+        for v in data:
+            estimator.add(float(v))
+        assert estimator.value == pytest.approx(50.0, abs=2.0)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=5, max_size=200))
+    @settings(max_examples=50)
+    def test_estimate_within_observed_range(self, values):
+        estimator = P2Quantile(0.5)
+        for v in values:
+            estimator.add(v)
+        assert min(values) <= estimator.value <= max(values)
+
+
+class TestStreamingHistogram:
+    def test_validates_width(self):
+        with pytest.raises(ValueError):
+            StreamingHistogram(0)
+
+    def test_counts_and_fraction(self):
+        hist = StreamingHistogram(bin_width=100)
+        for v in (10, 20, 150, 250, 850):
+            hist.add(v)
+        assert hist.count == 5
+        assert hist.bin_count(15) == 2
+        assert hist.fraction_above(100) == pytest.approx(3 / 5)
+
+    def test_fraction_above_empty(self):
+        assert StreamingHistogram(10).fraction_above(5) == 0.0
+
+    def test_to_arrays_sorted(self):
+        hist = StreamingHistogram(bin_width=10)
+        for v in (55, 5, 25, 57):
+            hist.add(v)
+        edges, counts = hist.to_arrays()
+        assert edges.tolist() == [0, 20, 50]
+        assert counts.tolist() == [1, 1, 2]
+
+
+class TestHyperLogLog:
+    def test_validates_precision(self):
+        with pytest.raises(ValueError):
+            HyperLogLog(3)
+        with pytest.raises(ValueError):
+            HyperLogLog(17)
+
+    def test_empty_estimates_zero(self):
+        assert HyperLogLog(10).estimate() == 0.0
+
+    def test_small_cardinality_near_exact(self):
+        hll = HyperLogLog(12)
+        for i in range(100):
+            hll.add(f"car-{i}")
+        assert hll.estimate() == pytest.approx(100, abs=3)
+
+    def test_duplicates_not_double_counted(self):
+        hll = HyperLogLog(12)
+        for _ in range(50):
+            for i in range(200):
+                hll.add(f"car-{i}")
+        assert hll.estimate() == pytest.approx(200, rel=0.05)
+
+    def test_large_cardinality_within_error(self):
+        hll = HyperLogLog(12)
+        n = 50_000
+        for i in range(n):
+            hll.add(f"item-{i}")
+        assert hll.estimate() == pytest.approx(n, rel=0.05)
+
+    def test_merge_is_union(self):
+        a, b = HyperLogLog(12), HyperLogLog(12)
+        for i in range(500):
+            a.add(f"x-{i}")
+        for i in range(250, 750):
+            b.add(f"x-{i}")
+        a.merge(b)
+        assert a.estimate() == pytest.approx(750, rel=0.08)
+
+    def test_merge_precision_mismatch(self):
+        with pytest.raises(ValueError):
+            HyperLogLog(10).merge(HyperLogLog(12))

@@ -1,0 +1,62 @@
+"""Unit tests for keyed anonymization."""
+
+import pytest
+
+from repro.cdr.anonymize import Anonymizer
+from repro.cdr.records import ConnectionRecord
+
+
+class TestAnonymizer:
+    def test_stable_within_key(self):
+        a = Anonymizer(key="secret")
+        assert a.pseudonym("car-1") == a.pseudonym("car-1")
+
+    def test_distinct_cars_distinct_pseudonyms(self):
+        a = Anonymizer(key="secret")
+        assert a.pseudonym("car-1") != a.pseudonym("car-2")
+
+    def test_different_keys_unlinkable(self):
+        a = Anonymizer(key="k1")
+        b = Anonymizer(key="k2")
+        assert a.pseudonym("car-1") != b.pseudonym("car-1")
+
+    def test_same_key_different_instances_agree(self):
+        assert Anonymizer(key="k").pseudonym("x") == Anonymizer(key="k").pseudonym("x")
+
+    def test_pseudonym_format(self):
+        p = Anonymizer(key="k", digest_chars=12).pseudonym("car-1")
+        assert p.startswith("anon-")
+        assert len(p) == 5 + 12
+
+    def test_rejects_empty_key(self):
+        with pytest.raises(ValueError):
+            Anonymizer(key="")
+
+    def test_rejects_bad_digest_chars(self):
+        with pytest.raises(ValueError):
+            Anonymizer(key="k", digest_chars=4)
+
+    def test_anonymize_record_preserves_fields(self):
+        a = Anonymizer(key="k")
+        rec = ConnectionRecord(10.0, "car-1", 7, "C2", "4G", 33.0)
+        out = a.anonymize_record(rec)
+        assert out.car_id == a.pseudonym("car-1")
+        assert (out.start, out.cell_id, out.carrier, out.technology, out.duration) == (
+            10.0,
+            7,
+            "C2",
+            "4G",
+            33.0,
+        )
+
+    def test_anonymize_list_preserves_order_and_identity(self):
+        a = Anonymizer(key="k")
+        recs = [
+            ConnectionRecord(0.0, "car-1", 1, "C3", "4G", 1.0),
+            ConnectionRecord(1.0, "car-2", 1, "C3", "4G", 1.0),
+            ConnectionRecord(2.0, "car-1", 2, "C3", "4G", 1.0),
+        ]
+        out = a.anonymize(recs)
+        assert [r.start for r in out] == [0.0, 1.0, 2.0]
+        assert out[0].car_id == out[2].car_id
+        assert out[0].car_id != out[1].car_id

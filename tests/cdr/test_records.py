@@ -1,0 +1,93 @@
+"""Unit tests for connection records and batches."""
+
+import pytest
+
+from repro.cdr.errors import CDRValidationError
+from repro.cdr.records import CDRBatch, ConnectionRecord
+
+
+def rec(start=0.0, car="car-a", cell=1, carrier="C3", tech="4G", dur=60.0):
+    return ConnectionRecord(
+        start=start, car_id=car, cell_id=cell, carrier=carrier, technology=tech, duration=dur
+    )
+
+
+class TestConnectionRecord:
+    def test_end_and_interval(self):
+        r = rec(start=100.0, dur=50.0)
+        assert r.end == 150.0
+        assert r.interval.start == 100.0
+        assert r.interval.end == 150.0
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(CDRValidationError):
+            rec(dur=-1.0)
+
+    def test_rejects_empty_car_id(self):
+        with pytest.raises(CDRValidationError):
+            rec(car="")
+
+    def test_truncated_caps(self):
+        r = rec(dur=1000.0).truncated(600.0)
+        assert r.duration == 600.0
+
+    def test_truncated_noop_below_cap(self):
+        r = rec(dur=100.0)
+        assert r.truncated(600.0) is r
+
+    def test_ordering_chronological(self):
+        early = rec(start=10.0)
+        late = rec(start=20.0)
+        assert sorted([late, early]) == [early, late]
+
+
+class TestCDRBatch:
+    def _batch(self):
+        return CDRBatch(
+            [
+                rec(start=30.0, car="car-b", cell=2),
+                rec(start=10.0, car="car-a", cell=1),
+                rec(start=20.0, car="car-a", cell=2),
+            ]
+        )
+
+    def test_sorted_on_construction(self):
+        batch = self._batch()
+        starts = [r.start for r in batch]
+        assert starts == sorted(starts)
+
+    def test_len_and_getitem(self):
+        batch = self._batch()
+        assert len(batch) == 3
+        assert batch[0].start == 10.0
+
+    def test_by_car_groups_chronological(self):
+        groups = self._batch().by_car()
+        assert set(groups) == {"car-a", "car-b"}
+        assert [r.start for r in groups["car-a"]] == [10.0, 20.0]
+
+    def test_by_cell(self):
+        groups = self._batch().by_cell()
+        assert {r.car_id for r in groups[2]} == {"car-a", "car-b"}
+
+    def test_car_and_cell_ids_sorted(self):
+        batch = self._batch()
+        assert batch.car_ids() == ["car-a", "car-b"]
+        assert batch.cell_ids() == [1, 2]
+
+    def test_filtered(self):
+        batch = self._batch().filtered(lambda r: r.cell_id == 2)
+        assert len(batch) == 2
+        assert all(r.cell_id == 2 for r in batch)
+
+    def test_validate_window(self):
+        batch = self._batch()
+        batch.validate(study_duration=100.0)  # fine
+        with pytest.raises(CDRValidationError):
+            batch.validate(study_duration=25.0)
+
+    def test_empty_batch(self):
+        batch = CDRBatch([])
+        assert len(batch) == 0
+        assert batch.car_ids() == []
+        assert batch.by_cell() == {}

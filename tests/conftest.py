@@ -1,0 +1,59 @@
+"""Shared fixtures.
+
+The expensive objects (topology, road network, a generated dataset) are
+session-scoped: tests treat them as read-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.timebins import StudyClock
+from repro.mobility.roads import build_road_network
+from repro.network.load import CellLoadModel
+from repro.network.topology import build_topology
+from repro.simulate.config import SimulationConfig
+from repro.simulate.generator import TraceDataset, TraceGenerator
+
+
+@pytest.fixture(scope="session")
+def clock() -> StudyClock:
+    """A short two-week study calendar starting on a Monday."""
+    return StudyClock(start_weekday=0, n_days=14)
+
+
+@pytest.fixture(scope="session")
+def topology():
+    """The default synthetic radio topology."""
+    return build_topology()
+
+
+@pytest.fixture(scope="session")
+def roads():
+    """The default synthetic road network."""
+    return build_road_network()
+
+
+@pytest.fixture(scope="session")
+def load_model(topology, clock) -> CellLoadModel:
+    """Load model over the default topology and the short clock."""
+    return CellLoadModel(topology, clock, seed=5)
+
+
+@pytest.fixture(scope="session")
+def small_config(clock) -> SimulationConfig:
+    """A small but representative simulation config."""
+    return SimulationConfig(n_cars=60, seed=123, clock=clock)
+
+
+@pytest.fixture(scope="session")
+def dataset(small_config) -> TraceDataset:
+    """A generated dataset shared (read-only) across tests."""
+    return TraceGenerator(small_config).generate()
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Fresh deterministic RNG per test."""
+    return np.random.default_rng(2024)

@@ -1,0 +1,143 @@
+"""Tests for behavioural car clustering."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.timebins import DAY, HOUR, StudyClock
+from repro.cdr.records import ConnectionRecord
+from repro.core.carclusters import (
+    BehaviourClusters,
+    behaviour_fingerprint,
+    choose_k,
+    cluster_cars,
+)
+from repro.core.matrices import usage_matrix
+from repro.core.preprocess import preprocess
+from repro.mobility.profiles import CarProfile
+
+
+def rec(start, car):
+    return ConnectionRecord(
+        start=start, car_id=car, cell_id=1, carrier="C3", technology="4G", duration=60.0
+    )
+
+
+def commuter_records(car, clock, weeks=4, jitter=0):
+    """Weekday morning/evening connections.  ``jitter`` adds one extra
+    personal hour cell so same-archetype cars are similar, not identical."""
+    records = []
+    for w in range(weeks):
+        for d in range(5):
+            base = (w * 7 + d) * DAY
+            records += [rec(base + 8 * HOUR, car), rec(base + 17 * HOUR, car)]
+    records.append(rec((10 + jitter % 4) * HOUR, car))
+    return records
+
+
+def weekender_records(car, clock, weeks=4, jitter=0):
+    records = []
+    for w in range(weeks):
+        for d in (5, 6):
+            base = (w * 7 + d) * DAY
+            records += [rec(base + 11 * HOUR, car), rec(base + 15 * HOUR, car)]
+    records.append(rec(5 * DAY + (17 + jitter % 4) * HOUR, car))
+    return records
+
+
+@pytest.fixture()
+def clock28():
+    return StudyClock(start_weekday=0, n_days=28)
+
+
+class TestFingerprint:
+    def test_normalized(self, clock28):
+        m = usage_matrix("a", commuter_records("a", clock28), clock28)
+        fp = behaviour_fingerprint(m)
+        assert fp.shape == (168,)
+        assert fp.sum() == pytest.approx(1.0)
+
+    def test_weekday_major_layout(self, clock28):
+        m = usage_matrix("a", [rec(8 * HOUR, "a")], clock28)  # Monday 8am
+        fp = behaviour_fingerprint(m)
+        assert fp[8] == 1.0
+
+    def test_empty_matrix_zero_vector(self, clock28):
+        fp = behaviour_fingerprint(usage_matrix("a", [], clock28))
+        assert fp.sum() == 0.0
+
+    def test_volume_invariant(self, clock28):
+        base = commuter_records("a", clock28, weeks=1)
+        light = usage_matrix("a", base, clock28)
+        heavy = usage_matrix("a", base * 3, clock28)  # 3x traffic, same schedule
+        assert behaviour_fingerprint(light) == pytest.approx(
+            behaviour_fingerprint(heavy)
+        )
+
+
+class TestClusterCars:
+    def _by_car(self, clock):
+        by_car = {}
+        for i in range(6):
+            by_car[f"commuter-{i}"] = commuter_records(f"commuter-{i}", clock, jitter=i)
+        for i in range(6):
+            by_car[f"weekender-{i}"] = weekender_records(
+                f"weekender-{i}", clock, jitter=i
+            )
+        return by_car
+
+    def test_separates_archetypes(self, clock28):
+        clusters = cluster_cars(self._by_car(clock28), clock28, k=2, min_connections=5)
+        commuter_label = clusters.label_of("commuter-0")
+        weekender_label = clusters.label_of("weekender-0")
+        assert commuter_label != weekender_label
+        assert set(clusters.members(commuter_label)) == {
+            f"commuter-{i}" for i in range(6)
+        }
+
+    def test_cluster_shares_diagnose_archetype(self, clock28):
+        clusters = cluster_cars(self._by_car(clock28), clock28, k=2, min_connections=5)
+        weekender_label = clusters.label_of("weekender-0")
+        commuter_label = clusters.label_of("commuter-0")
+        assert clusters.weekend_share(weekender_label) > 0.9
+        assert clusters.weekend_share(commuter_label) < 0.1
+        assert clusters.commute_share(commuter_label) > 0.9
+
+    def test_min_connections_excludes_sparse_cars(self, clock28):
+        by_car = self._by_car(clock28)
+        by_car["rare"] = [rec(0, "rare")]
+        clusters = cluster_cars(by_car, clock28, k=2, min_connections=5)
+        assert "rare" not in clusters.car_ids
+
+    def test_too_few_cars_raises(self, clock28):
+        with pytest.raises(ValueError):
+            cluster_cars({"a": commuter_records("a", clock28)}, clock28, k=3,
+                         min_connections=5)
+
+    def test_silhouette_high_for_clean_archetypes(self, clock28):
+        clusters = cluster_cars(self._by_car(clock28), clock28, k=2, min_connections=5)
+        assert clusters.silhouette() > 0.5
+
+    def test_choose_k_returns_scores(self, clock28):
+        scores = choose_k(
+            self._by_car(clock28), clock28, k_range=(2, 3), min_connections=5
+        )
+        assert set(scores) == {2, 3}
+        assert scores[2] > scores[3]  # two real archetypes
+
+
+class TestOnGeneratedTrace:
+    def test_recovers_weekender_structure(self, dataset):
+        pre = preprocess(dataset.batch)
+        clusters = cluster_cars(
+            pre.truncated.by_car(), dataset.clock, k=3, min_connections=30
+        )
+        # The cluster with the highest weekend share should be enriched in
+        # ground-truth WEEKENDER cars relative to the fleet base rate.
+        weekend_label = max(range(3), key=clusters.weekend_share)
+        members = set(clusters.members(weekend_label))
+        weekenders = {
+            c.car_id for c in dataset.cars if c.profile is CarProfile.WEEKENDER
+        }
+        in_cluster = len(members & weekenders) / max(len(members), 1)
+        base_rate = len(weekenders) / len(dataset.cars)
+        assert in_cluster > base_rate

@@ -1,0 +1,65 @@
+"""Unit tests for carrier usage (Table 3)."""
+
+import pytest
+
+from repro.cdr.records import CDRBatch, ConnectionRecord
+from repro.core.carriers import CARRIER_ORDER, carrier_usage
+
+
+def rec(car, carrier, dur, tech="4G"):
+    return ConnectionRecord(
+        start=0.0, car_id=car, cell_id=1, carrier=carrier, technology=tech, duration=dur
+    )
+
+
+class TestCarrierUsage:
+    def test_cars_fraction(self):
+        batch = CDRBatch(
+            [rec("a", "C1", 10), rec("a", "C3", 10), rec("b", "C3", 10)]
+        )
+        usage = carrier_usage(batch)
+        assert usage.cars_fraction["C1"] == pytest.approx(0.5)
+        assert usage.cars_fraction["C3"] == pytest.approx(1.0)
+        assert usage.cars_fraction["C5"] == 0.0
+
+    def test_time_fraction(self):
+        batch = CDRBatch([rec("a", "C1", 30), rec("b", "C3", 70)])
+        usage = carrier_usage(batch)
+        assert usage.time_fraction["C1"] == pytest.approx(0.3)
+        assert usage.time_fraction["C3"] == pytest.approx(0.7)
+        assert sum(usage.time_fraction.values()) == pytest.approx(1.0)
+
+    def test_all_requested_carriers_reported(self):
+        usage = carrier_usage(CDRBatch([rec("a", "C3", 10)]))
+        assert set(usage.cars_fraction) == set(CARRIER_ORDER)
+
+    def test_unknown_carrier_ignored_in_table(self):
+        batch = CDRBatch([rec("a", "C9", 10), rec("a", "C3", 10)])
+        usage = carrier_usage(batch)
+        # C9 contributes to total time but is not a tracked column.
+        assert usage.time_fraction["C3"] == pytest.approx(0.5)
+
+    def test_empty_batch(self):
+        usage = carrier_usage(CDRBatch([]))
+        assert usage.n_cars == 0
+        assert all(v == 0 for v in usage.time_fraction.values())
+
+    def test_top_carriers_by_time(self):
+        batch = CDRBatch(
+            [rec("a", "C3", 50), rec("a", "C4", 30), rec("a", "C1", 20)]
+        )
+        usage = carrier_usage(batch)
+        assert usage.top_carriers_by_time(2) == ["C3", "C4"]
+
+    def test_combined_time_share(self):
+        batch = CDRBatch(
+            [rec("a", "C3", 50), rec("a", "C4", 25), rec("a", "C1", 25)]
+        )
+        usage = carrier_usage(batch)
+        assert usage.combined_time_share(("C3", "C4")) == pytest.approx(0.75)
+
+    def test_zero_duration_records_count_cars_not_time(self):
+        batch = CDRBatch([rec("a", "C2", 0.0), rec("b", "C3", 10.0)])
+        usage = carrier_usage(batch)
+        assert usage.cars_fraction["C2"] == pytest.approx(0.5)
+        assert usage.time_fraction["C2"] == 0.0

@@ -1,0 +1,142 @@
+"""Unit tests for per-cell concurrency (Figures 8 and 10)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.timebins import BIN_SECONDS, BINS_PER_WEEK, DAY, StudyClock
+from repro.cdr.records import CDRBatch, ConnectionRecord
+from repro.core.concurrency import (
+    car_sessions_in_cell,
+    cell_timeline,
+    concurrency_counts,
+    fold_to_day,
+    weekly_concurrency,
+)
+
+
+def rec(start, dur=60.0, car="car-a", cell=1):
+    return ConnectionRecord(
+        start=start, car_id=car, cell_id=cell, carrier="C3", technology="4G", duration=dur
+    )
+
+
+class TestCarSessions:
+    def test_per_car_aggregation(self):
+        records = [rec(0), rec(70, car="car-a"), rec(0, car="car-b")]
+        sessions = car_sessions_in_cell(records)
+        assert len(sessions["car-a"]) == 1  # 10 s gap joins at 30 s rule
+        assert len(sessions["car-b"]) == 1
+
+    def test_large_gap_splits(self):
+        sessions = car_sessions_in_cell([rec(0), rec(1000)])
+        assert len(sessions["car-a"]) == 2
+
+
+class TestConcurrencyCounts:
+    def test_one_car_counts_once_per_bin(self):
+        # Two fragmented connections of the same car in the same bin.
+        counts = concurrency_counts([rec(0), rec(300)])
+        assert counts[0] == 1
+
+    def test_two_cars_in_same_bin(self):
+        counts = concurrency_counts([rec(0), rec(0, car="car-b")])
+        assert counts[0] == 2
+
+    def test_straddling_connection_counts_in_both_bins(self):
+        counts = concurrency_counts([rec(BIN_SECONDS - 30, dur=60.0)])
+        assert counts[0] == 1
+        assert counts[1] == 1
+
+    def test_empty(self):
+        assert concurrency_counts([]) == {}
+
+
+class TestCellTimeline:
+    def test_window_filtering(self):
+        batch = CDRBatch(
+            [rec(0), rec(2 * DAY, car="car-b"), rec(DAY // 2, car="car-c")]
+        )
+        tl = cell_timeline(batch, cell_id=1, start_day=0, n_days=1)
+        assert tl.n_cars == 2
+        assert set(tl.car_intervals) == {"car-a", "car-c"}
+
+    def test_concurrency_series_shape(self):
+        batch = CDRBatch([rec(0)])
+        tl = cell_timeline(batch, 1, 0)
+        assert tl.concurrency.shape == (96,)
+
+    def test_max_concurrency_and_busiest_bin(self):
+        batch = CDRBatch(
+            [rec(10 * BIN_SECONDS, car=f"car-{i}") for i in range(5)]
+        )
+        tl = cell_timeline(batch, 1, 0)
+        assert tl.max_concurrency == 5
+        assert tl.busiest_bin == 10
+
+    def test_record_clipped_to_window(self):
+        batch = CDRBatch([rec(DAY - 30, dur=120.0)])
+        tl = cell_timeline(batch, 1, 0, n_days=1)
+        iv = tl.car_intervals["car-a"][0]
+        assert iv.end == DAY
+
+    def test_unknown_cell_empty(self):
+        tl = cell_timeline(CDRBatch([rec(0)]), cell_id=99, start_day=0)
+        assert tl.n_cars == 0
+        assert tl.max_concurrency == 0
+
+    def test_rejects_bad_n_days(self):
+        with pytest.raises(ValueError):
+            cell_timeline(CDRBatch([]), 1, 0, n_days=0)
+
+    def test_multi_day_window(self):
+        batch = CDRBatch([rec(0), rec(DAY + 10, car="car-b")])
+        tl = cell_timeline(batch, 1, 0, n_days=2)
+        assert tl.n_cars == 2
+        assert tl.concurrency.shape == (192,)
+
+
+class TestWeeklyConcurrency:
+    def test_shape(self):
+        clock = StudyClock(start_weekday=0, n_days=14)
+        weekly = weekly_concurrency([rec(0)], clock)
+        assert weekly.shape == (BINS_PER_WEEK,)
+
+    def test_averages_over_weeks(self):
+        clock = StudyClock(start_weekday=0, n_days=14)
+        # Same Monday-midnight bin in both study weeks.
+        records = [rec(0), rec(7 * DAY, car="car-b")]
+        weekly = weekly_concurrency(records, clock)
+        assert weekly[0] == pytest.approx(1.0)  # (1 + 1) / 2 weeks
+
+    def test_single_week_occurrence_halved(self):
+        clock = StudyClock(start_weekday=0, n_days=14)
+        weekly = weekly_concurrency([rec(0)], clock)
+        assert weekly[0] == pytest.approx(0.5)
+
+    def test_start_weekday_folding(self):
+        # Study starts Wednesday; a record at study t=0 lands in the
+        # Wednesday slot of the Monday-based weekly vector.
+        clock = StudyClock(start_weekday=2, n_days=14)
+        weekly = weekly_concurrency([rec(0)], clock)
+        assert weekly[2 * 96] == pytest.approx(0.5)
+
+    def test_partial_trailing_week_ignored(self):
+        clock = StudyClock(start_weekday=0, n_days=10)
+        weekly = weekly_concurrency([rec(9 * DAY)], clock)
+        assert weekly.sum() == 0.0
+
+    def test_too_short_study_raises(self):
+        with pytest.raises(ValueError):
+            weekly_concurrency([], StudyClock(n_days=5))
+
+
+class TestFoldToDay:
+    def test_shape_and_mean(self):
+        weekly = np.tile(np.arange(96, dtype=float), 7)
+        day = fold_to_day(weekly)
+        assert day.shape == (96,)
+        assert day == pytest.approx(np.arange(96, dtype=float))
+
+    def test_rejects_wrong_size(self):
+        with pytest.raises(ValueError):
+            fold_to_day(np.zeros(100))

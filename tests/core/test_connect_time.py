@@ -1,0 +1,72 @@
+"""Unit tests for total connected time (Figure 3)."""
+
+import pytest
+
+from repro.algorithms.timebins import DAY, StudyClock
+from repro.cdr.records import CDRBatch, ConnectionRecord
+from repro.core.connect_time import cell_connection_durations, connect_time_analysis
+from repro.core.preprocess import preprocess
+
+
+def rec(start, dur, car="car-a", cell=1):
+    return ConnectionRecord(
+        start=start, car_id=car, cell_id=cell, carrier="C3", technology="4G", duration=dur
+    )
+
+
+@pytest.fixture()
+def clock10():
+    return StudyClock(start_weekday=0, n_days=10)
+
+
+class TestConnectTime:
+    def test_share_of_study(self, clock10):
+        # One car connected a full day out of ten -> 10%.
+        pre = preprocess(CDRBatch([rec(0, DAY)]))
+        result = connect_time_analysis(pre, clock10)
+        assert result.full_share[0] == pytest.approx(0.1)
+        # Truncated at 600 s, the same record is 600/10d.
+        assert result.truncated_share[0] == pytest.approx(600 / (10 * DAY))
+
+    def test_overlapping_records_count_once(self, clock10):
+        pre = preprocess(CDRBatch([rec(0, 100.0), rec(50, 100.0)]))
+        result = connect_time_analysis(pre, clock10)
+        assert result.full_share[0] == pytest.approx(150 / (10 * DAY))
+
+    def test_cars_aligned(self, clock10):
+        pre = preprocess(
+            CDRBatch([rec(0, 100.0, car="b"), rec(0, 200.0, car="a")])
+        )
+        result = connect_time_analysis(pre, clock10)
+        assert result.car_ids == ["a", "b"]
+        assert result.full_share[0] == pytest.approx(200 / (10 * DAY))
+
+    def test_truncation_reduces_share(self, clock10):
+        pre = preprocess(CDRBatch([rec(0, 5000.0)]))
+        result = connect_time_analysis(pre, clock10)
+        assert result.truncated_share[0] < result.full_share[0]
+
+    def test_means_and_tail(self, clock10):
+        pre = preprocess(
+            CDRBatch([rec(0, 1000.0, car="a"), rec(0, 2000.0, car="b")])
+        )
+        result = connect_time_analysis(pre, clock10)
+        assert result.mean_full == pytest.approx(1500 / (10 * DAY))
+        full_tail, trunc_tail = result.tail(q=100)
+        assert full_tail == pytest.approx(2000 / (10 * DAY))
+        assert trunc_tail == pytest.approx(600 / (10 * DAY))
+
+    def test_hours_per_day(self, clock10):
+        pre = preprocess(CDRBatch([rec(0, DAY)]))
+        result = connect_time_analysis(pre, clock10)
+        full_h, trunc_h = result.hours_per_day(clock10)
+        assert full_h == pytest.approx(2.4)  # 10% of 24 h
+
+
+class TestCellConnectionDurations:
+    def test_full_vs_truncated(self):
+        pre = preprocess(CDRBatch([rec(0, 1000.0), rec(2000, 50.0)]))
+        full = cell_connection_durations(pre, truncated=False)
+        trunc = cell_connection_durations(pre, truncated=True)
+        assert sorted(full) == [50.0, 1000.0]
+        assert sorted(trunc) == [50.0, 600.0]

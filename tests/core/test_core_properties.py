@@ -1,0 +1,148 @@
+"""Property-based tests (hypothesis) over the core analyses.
+
+Random record batches exercise the invariants that hold for *any* input:
+conservation (shares sum to one), boundedness, monotonicity under
+truncation, and count preservation through preprocessing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.timebins import DAY, StudyClock
+from repro.cdr.records import CDRBatch, ConnectionRecord
+from repro.core.busy import BusySchedule, busy_exposure
+from repro.core.carriers import carrier_usage
+from repro.core.connect_time import connect_time_analysis
+from repro.core.preprocess import group_records_by_gap, preprocess
+from repro.core.presence import daily_presence
+from repro.core.segmentation import days_on_network
+
+CLOCK = StudyClock(start_weekday=0, n_days=7)
+
+record_st = st.builds(
+    ConnectionRecord,
+    start=st.floats(min_value=0, max_value=7 * DAY - 1, allow_nan=False),
+    car_id=st.sampled_from([f"car-{i}" for i in range(6)]),
+    cell_id=st.integers(min_value=1, max_value=8),
+    carrier=st.sampled_from(["C1", "C2", "C3", "C4"]),
+    technology=st.just("4G"),
+    duration=st.floats(min_value=0, max_value=8000, allow_nan=False),
+)
+batch_st = st.lists(record_st, min_size=1, max_size=60).map(CDRBatch)
+
+
+@given(batch_st)
+@settings(max_examples=60)
+def test_preprocess_preserves_non_ghost_counts(batch):
+    pre = preprocess(batch)
+    assert len(pre.full) == len(pre.truncated)
+    assert len(pre.full) + pre.n_dropped_ghosts == len(batch)
+    for rec in pre.truncated:
+        assert rec.duration <= 600.0
+    for full, trunc in zip(pre.full, pre.truncated):
+        assert trunc.duration <= full.duration
+        assert (full.start, full.car_id, full.cell_id) == (
+            trunc.start,
+            trunc.car_id,
+            trunc.cell_id,
+        )
+
+
+@given(batch_st)
+@settings(max_examples=60)
+def test_connect_time_shares_bounded_and_ordered(batch):
+    pre = preprocess(batch)
+    if len(pre.full) == 0:
+        return
+    result = connect_time_analysis(pre, CLOCK)
+    assert (result.full_share >= 0).all()
+    assert (result.truncated_share >= 0).all()
+    assert (result.truncated_share <= result.full_share + 1e-12).all()
+    # A car cannot be connected for more of the study than records allow
+    # per unit time; each record's interval lies within a bounded span, so
+    # shares stay finite and the union never exceeds span/duration... the
+    # hard invariant is simply <= max_end / duration.
+    assert np.isfinite(result.full_share).all()
+
+
+@given(batch_st)
+@settings(max_examples=60)
+def test_busy_exposure_conserves_time(batch):
+    pre = preprocess(batch)
+    if len(pre.truncated) == 0:
+        return
+    # Random busy masks per cell.
+    rng = np.random.default_rng(0)
+    series = {
+        cid: rng.uniform(0, 1, size=CLOCK.n_bins) for cid in range(1, 9)
+    }
+    exposure = busy_exposure(pre.truncated, BusySchedule.from_series(series))
+    assert (exposure.busy_share >= -1e-12).all()
+    assert (exposure.busy_share <= 1 + 1e-12).all()
+    # busy + nonbusy == 1 for every car with any connected time.
+    total = exposure.busy_share + exposure.nonbusy_share
+    for car_id, t in zip(exposure.car_ids, total):
+        # A duration only yields connected time when it is representable at
+        # the record's magnitude (start + duration > start in float64).
+        has_time = any(
+            r.car_id == car_id and r.start + r.duration > r.start
+            for r in pre.truncated
+        )
+        if has_time:
+            assert t == 1 or abs(t - 1) < 1e-9
+
+
+@given(batch_st)
+@settings(max_examples=60)
+def test_presence_fractions_bounded(batch):
+    pre = preprocess(batch)
+    if len(pre.full) == 0:
+        return
+    presence = daily_presence(pre.full, CLOCK)
+    assert (presence.car_fraction >= 0).all()
+    assert (presence.car_fraction <= 1).all()
+    assert presence.car_fraction.max() > 0  # someone appeared some day
+    # Every car appears on at least one day, so the max-day fraction times
+    # total cars is at least 1.
+    assert presence.car_fraction.max() * presence.n_cars_total >= 1 - 1e-9
+
+
+@given(batch_st)
+@settings(max_examples=60)
+def test_carrier_time_shares_sum_to_one(batch):
+    pre = preprocess(batch)
+    if len(pre.full) == 0 or sum(r.duration for r in pre.full) == 0:
+        return
+    usage = carrier_usage(pre.full)
+    assert sum(usage.time_fraction.values()) <= 1 + 1e-9
+    # All generated carriers are tracked columns, so shares sum to 1.
+    assert sum(usage.time_fraction.values()) == 1 or abs(
+        sum(usage.time_fraction.values()) - 1
+    ) < 1e-9
+    for fraction in usage.cars_fraction.values():
+        assert 0 <= fraction <= 1
+
+
+@given(batch_st)
+@settings(max_examples=60)
+def test_days_on_network_bounded_by_study(batch):
+    pre = preprocess(batch)
+    days = days_on_network(pre.full, CLOCK)
+    for count in days.values():
+        assert 1 <= count <= CLOCK.n_days
+
+
+@given(batch_st, st.floats(min_value=0, max_value=3600, allow_nan=False))
+@settings(max_examples=60)
+def test_network_sessions_partition_records(batch, gap):
+    for car_id, records in batch.by_car().items():
+        groups = group_records_by_gap(records, gap)
+        flattened = [rec for group in groups for rec in group]
+        assert sorted(flattened) == sorted(records)
+        # Consecutive groups are separated by more than the gap.
+        for a, b in zip(groups, groups[1:]):
+            a_end = max(r.end for r in a)
+            assert b[0].start - a_end > gap

@@ -1,0 +1,125 @@
+"""Tests for journey reconstruction."""
+
+import numpy as np
+import pytest
+
+from repro.cdr.records import CDRBatch, ConnectionRecord
+from repro.core.journeys import (
+    commute_peak_shares,
+    journey_from_session,
+    reconstruct_journeys,
+)
+from repro.core.preprocess import preprocess
+from repro.network.cells import CARRIERS, Cell
+from repro.network.geometry import Point
+
+
+def cell(cell_id, bs, x, y):
+    return Cell(
+        cell_id=cell_id,
+        base_station_id=bs,
+        sector_index=0,
+        carrier=CARRIERS["C3"],
+        location=Point(x, y),
+        azimuth_deg=0.0,
+    )
+
+
+# Three sites 3 km apart on a line.
+CELLS = {1: cell(1, 1, 0.0, 0.0), 2: cell(2, 2, 3.0, 0.0), 3: cell(3, 3, 6.0, 0.0)}
+
+
+def rec(start, cell_id, car="car-a", dur=60.0):
+    return ConnectionRecord(
+        start=start, car_id=car, cell_id=cell_id, carrier="C3",
+        technology="4G", duration=dur,
+    )
+
+
+class TestJourneyFromSession:
+    def test_straight_line_distance(self):
+        session = [rec(0, 1), rec(300, 2), rec(600, 3)]
+        journey = journey_from_session(session, CELLS)
+        assert journey.site_path == (1, 2, 3)
+        assert journey.distance_km == pytest.approx(6.0)
+        assert journey.duration_s == pytest.approx(660.0)
+        assert journey.speed_kmh == pytest.approx(6.0 / (660 / 3600))
+
+    def test_single_site_is_stationary(self):
+        session = [rec(0, 1), rec(300, 1)]
+        assert journey_from_session(session, CELLS) is None
+
+    def test_consecutive_duplicates_collapse(self):
+        session = [rec(0, 1), rec(100, 1), rec(300, 2), rec(400, 2)]
+        journey = journey_from_session(session, CELLS)
+        assert journey.site_path == (1, 2)
+        assert journey.distance_km == pytest.approx(3.0)
+
+    def test_return_trips_counted_both_ways(self):
+        session = [rec(0, 1), rec(300, 2), rec(600, 1)]
+        journey = journey_from_session(session, CELLS)
+        assert journey.site_path == (1, 2, 1)
+        assert journey.distance_km == pytest.approx(6.0)
+
+    def test_unknown_cells_skipped(self):
+        session = [rec(0, 1), rec(100, 99), rec(300, 2)]
+        journey = journey_from_session(session, CELLS)
+        assert journey.site_path == (1, 2)
+
+    def test_all_unknown_returns_none(self):
+        assert journey_from_session([rec(0, 98), rec(10, 99)], CELLS) is None
+
+
+class TestReconstructJourneys:
+    def test_splits_by_session_gap(self):
+        batch = CDRBatch(
+            [rec(0, 1), rec(300, 2), rec(50_000, 2), rec(50_300, 3)]
+        )
+        stats = reconstruct_journeys(preprocess(batch), CELLS)
+        assert stats.n_journeys == 2
+        assert stats.journeys[0].site_path == (1, 2)
+        assert stats.journeys[1].site_path == (2, 3)
+
+    def test_stationary_sessions_counted(self):
+        batch = CDRBatch([rec(0, 1), rec(50_000, 1)])
+        stats = reconstruct_journeys(preprocess(batch), CELLS)
+        assert stats.n_journeys == 0
+        assert stats.n_stationary_sessions == 2
+        assert stats.mobility_fraction() == 0.0
+
+    def test_empty_batch(self):
+        stats = reconstruct_journeys(preprocess(CDRBatch([])), CELLS)
+        assert stats.n_journeys == 0
+        assert stats.mobility_fraction() == 0.0
+
+
+class TestOnGeneratedTrace:
+    @pytest.fixture(scope="class")
+    def stats(self, dataset):
+        pre = preprocess(dataset.batch)
+        return reconstruct_journeys(pre, dataset.topology.cells), dataset
+
+    def test_journeys_exist_and_are_mobile(self, stats):
+        journey_stats, _ = stats
+        assert journey_stats.n_journeys > 100
+        assert journey_stats.mobility_fraction() > 0.3
+
+    def test_speeds_physically_plausible(self, stats):
+        journey_stats, _ = stats
+        speeds = journey_stats.speeds_kmh()
+        # Straight-line distances under-estimate, so speeds sit below road
+        # speed; anything implying >150 km/h sustained would be a bug.
+        assert np.median(speeds) > 3.0
+        assert np.percentile(speeds, 99) < 150.0
+
+    def test_distances_within_region(self, stats):
+        journey_stats, dataset = stats
+        assert journey_stats.distances_km().max() < 3 * dataset.topology.config.width_km
+
+    def test_commute_double_hump(self, stats):
+        journey_stats, dataset = stats
+        morning, evening = commute_peak_shares(journey_stats, dataset.clock)
+        hours = journey_stats.departure_hour_histogram(dataset.clock)
+        overnight = hours[0:5].sum() / hours.sum()
+        assert morning > overnight
+        assert evening > overnight

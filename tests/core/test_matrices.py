@@ -1,0 +1,132 @@
+"""Unit tests for 24x7 matrices (Figures 4 and 5)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.timebins import DAY, HOUR, StudyClock
+from repro.cdr.records import ConnectionRecord
+from repro.core.matrices import (
+    matrices_for_all,
+    period_masks,
+    regularity_score,
+    usage_matrix,
+)
+
+
+def rec(start, dur=60.0, car="car-a"):
+    return ConnectionRecord(
+        start=start, car_id=car, cell_id=1, carrier="C3", technology="4G", duration=dur
+    )
+
+
+@pytest.fixture()
+def clock():
+    return StudyClock(start_weekday=0, n_days=14)
+
+
+class TestPeriodMasks:
+    def test_shapes(self):
+        masks = period_masks()
+        for m in (masks.commute_peak, masks.network_peak, masks.weekend):
+            assert m.shape == (24, 7)
+            assert m.dtype == bool
+
+    def test_commute_peak_weekdays_only(self):
+        masks = period_masks()
+        assert masks.commute_peak[8, 0]  # Monday 8am
+        assert not masks.commute_peak[8, 6]  # Sunday 8am
+        assert masks.commute_peak[17, 2]  # Wednesday 5pm
+
+    def test_network_peak_hours(self):
+        masks = period_masks()
+        assert masks.network_peak[14:24].all()
+        assert not masks.network_peak[:14].any()
+
+    def test_weekend_columns(self):
+        masks = period_masks()
+        assert masks.weekend[:, 5:].all()
+        assert not masks.weekend[:, :5].any()
+
+
+class TestUsageMatrix:
+    def test_single_record_single_cell(self, clock):
+        m = usage_matrix("car-a", [rec(8 * HOUR)], clock)
+        assert m.counts[8, 0] == 1
+        assert m.total_connections == 1
+
+    def test_record_spanning_hours(self, clock):
+        # 90-minute connection starting 08:30 Monday touches hours 8 and 9.
+        m = usage_matrix("car-a", [rec(8 * HOUR + 1800, dur=5400.0)], clock)
+        assert m.counts[8, 0] == 1
+        assert m.counts[9, 0] == 1
+
+    def test_end_on_hour_boundary_excluded(self, clock):
+        m = usage_matrix("car-a", [rec(8 * HOUR, dur=3600.0)], clock)
+        assert m.counts[8, 0] == 1
+        assert m.counts[9, 0] == 0
+
+    def test_weekday_column(self, clock):
+        m = usage_matrix("car-a", [rec(3 * DAY + 12 * HOUR)], clock)  # Thursday noon
+        assert m.counts[12, 3] == 1
+
+    def test_multiple_weeks_aggregate(self, clock):
+        records = [rec(w * 7 * DAY + 8 * HOUR) for w in range(2)]
+        m = usage_matrix("car-a", records, clock)
+        assert m.counts[8, 0] == 2
+
+    def test_rejects_foreign_records(self, clock):
+        with pytest.raises(ValueError):
+            usage_matrix("car-b", [rec(0)], clock)
+
+    def test_normalized_bounds(self, clock):
+        m = usage_matrix("car-a", [rec(8 * HOUR), rec(7 * DAY + 8 * HOUR)], clock)
+        norm = m.normalized()
+        assert norm.max() == 1.0
+        assert norm.min() == 0.0
+
+    def test_normalized_empty(self, clock):
+        m = usage_matrix("car-a", [], clock)
+        assert m.normalized().sum() == 0
+
+    def test_overlap_fraction(self, clock):
+        masks = period_masks()
+        records = [rec(15 * HOUR), rec(3 * HOUR)]  # one in network peak, one not
+        m = usage_matrix("car-a", records, clock)
+        assert m.overlap_fraction(masks.network_peak) == pytest.approx(0.5)
+
+    def test_overlap_empty_matrix_zero(self, clock):
+        m = usage_matrix("car-a", [], clock)
+        assert m.overlap_fraction(period_masks().weekend) == 0.0
+
+    def test_render_shape(self, clock):
+        m = usage_matrix("car-a", [rec(8 * HOUR)], clock)
+        lines = m.render().splitlines()
+        assert len(lines) == 25  # header + 24 hours
+
+    def test_active_hours(self, clock):
+        m = usage_matrix("car-a", [rec(8 * HOUR), rec(8 * HOUR + 60)], clock)
+        assert m.active_hours == 1
+
+
+class TestHelpers:
+    def test_matrices_for_all(self, clock):
+        by_car = {"car-a": [rec(0)], "car-b": [rec(DAY, car="car-b")]}
+        mats = matrices_for_all(by_car, clock)
+        assert set(mats) == {"car-a", "car-b"}
+
+    def test_regularity_concentrated_higher_than_spread(self, clock):
+        concentrated = usage_matrix(
+            "car-a", [rec(w * 7 * DAY + 8 * HOUR) for w in range(2)], clock
+        )
+        spread_records = [
+            rec(d * DAY + h * HOUR) for d in range(14) for h in (2, 9, 13, 20)
+        ]
+        spread = usage_matrix("car-a", spread_records, clock)
+        assert regularity_score(concentrated) > regularity_score(spread)
+
+    def test_regularity_empty_zero(self, clock):
+        assert regularity_score(usage_matrix("car-a", [], clock)) == 0.0
+
+    def test_regularity_single_cell_is_one(self, clock):
+        m = usage_matrix("car-a", [rec(8 * HOUR)] * 3, clock)
+        assert regularity_score(m) == pytest.approx(1.0)

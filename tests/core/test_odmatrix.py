@@ -1,0 +1,130 @@
+"""Tests for origin-destination matrix estimation."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.timebins import DAY, HOUR, StudyClock
+from repro.core.journeys import Journey, reconstruct_journeys
+from repro.core.odmatrix import (
+    ODMatrix,
+    ZoneGrid,
+    build_od_matrix,
+    commute_reversal_score,
+)
+from repro.core.preprocess import preprocess
+from repro.network.cells import CARRIERS, Cell
+from repro.network.geometry import Point
+
+
+def cell(cell_id, bs, x, y):
+    return Cell(
+        cell_id=cell_id,
+        base_station_id=bs,
+        sector_index=0,
+        carrier=CARRIERS["C3"],
+        location=Point(x, y),
+        azimuth_deg=0.0,
+    )
+
+
+# Two sites in opposite corners of a 10x10 region.
+CELLS = {1: cell(1, 1, 1.0, 1.0), 2: cell(2, 2, 9.0, 9.0)}
+GRID = ZoneGrid(width_km=10.0, height_km=10.0, n_rows=2, n_cols=2)
+
+
+def journey(start, path=(1, 2)):
+    return Journey(
+        car_id="car-a", start=start, end=start + 900.0, site_path=path,
+        distance_km=5.0,
+    )
+
+
+class TestZoneGrid:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZoneGrid(10, 10, 0, 2)
+        with pytest.raises(ValueError):
+            ZoneGrid(0, 10, 2, 2)
+
+    def test_zone_of_corners(self):
+        assert GRID.zone_of(Point(1.0, 1.0)) == 0
+        assert GRID.zone_of(Point(9.0, 1.0)) == 1
+        assert GRID.zone_of(Point(1.0, 9.0)) == 2
+        assert GRID.zone_of(Point(9.0, 9.0)) == 3
+
+    def test_out_of_bounds_clamped(self):
+        assert GRID.zone_of(Point(-5.0, -5.0)) == 0
+        assert GRID.zone_of(Point(50.0, 50.0)) == 3
+
+    def test_zone_name(self):
+        assert GRID.zone_name(3) == "r1c1"
+
+
+class TestBuildODMatrix:
+    def test_counts_flows(self):
+        journeys = [journey(0.0), journey(100.0), journey(200.0, path=(2, 1))]
+        matrix = build_od_matrix(journeys, CELLS, GRID)
+        assert matrix.total_journeys == 3
+        assert matrix.flow(0, 3) == 2
+        assert matrix.flow(3, 0) == 1
+
+    def test_hour_filter(self):
+        clock = StudyClock(n_days=7)
+        journeys = [journey(8 * HOUR), journey(17 * HOUR)]
+        morning = build_od_matrix(journeys, CELLS, GRID, clock, hours=(6, 10))
+        assert morning.total_journeys == 1
+
+    def test_hour_filter_requires_clock(self):
+        with pytest.raises(ValueError):
+            build_od_matrix([], CELLS, GRID, hours=(6, 10))
+
+    def test_unknown_sites_skipped(self):
+        matrix = build_od_matrix([journey(0.0, path=(7, 8))], CELLS, GRID)
+        assert matrix.total_journeys == 0
+
+    def test_top_pairs_excludes_intra_zone(self):
+        journeys = [journey(0.0, path=(1, 1))]  # degenerate same-site "path"
+        matrix = build_od_matrix(journeys, CELLS, GRID)
+        assert matrix.top_pairs() == []
+
+    def test_directional_asymmetry(self):
+        one_way = build_od_matrix([journey(0.0)] * 4, CELLS, GRID)
+        assert one_way.directional_asymmetry() == 1.0
+        balanced = build_od_matrix(
+            [journey(0.0), journey(1.0, path=(2, 1))], CELLS, GRID
+        )
+        assert balanced.directional_asymmetry() == 0.0
+
+
+class TestCommuteReversal:
+    def test_perfect_reversal(self):
+        morning = build_od_matrix([journey(8 * HOUR)] * 5, CELLS, GRID)
+        evening = build_od_matrix(
+            [journey(17 * HOUR, path=(2, 1))] * 5, CELLS, GRID
+        )
+        assert commute_reversal_score(morning, evening) == pytest.approx(1.0)
+
+    def test_constant_flows_zero(self):
+        empty = build_od_matrix([], CELLS, GRID)
+        assert commute_reversal_score(empty, empty) == 0.0
+
+    def test_on_generated_trace(self, dataset):
+        pre = preprocess(dataset.batch)
+        stats = reconstruct_journeys(pre, dataset.topology.cells)
+        grid = ZoneGrid(
+            width_km=dataset.topology.config.width_km,
+            height_km=dataset.topology.config.height_km,
+            n_rows=3,
+            n_cols=3,
+        )
+        morning = build_od_matrix(
+            stats.journeys, dataset.topology.cells, grid, dataset.clock, hours=(6, 10)
+        )
+        evening = build_od_matrix(
+            stats.journeys, dataset.topology.cells, grid, dataset.clock, hours=(15, 20)
+        )
+        assert morning.total_journeys > 50
+        assert evening.total_journeys > 50
+        # Commute signature: evening reverses morning better than it copies it.
+        reversal = commute_reversal_score(morning, evening)
+        assert reversal > 0.5

@@ -1,0 +1,93 @@
+"""Edge-case and failure-injection tests for the analysis pipeline."""
+
+import pytest
+
+from repro.algorithms.timebins import DAY, StudyClock
+from repro.cdr.records import CDRBatch, ConnectionRecord
+from repro.core.pipeline import AnalysisPipeline
+
+
+def rec(start=0.0, car="car-a", cell=1, dur=60.0, carrier="C3", tech="4G"):
+    return ConnectionRecord(
+        start=start, car_id=car, cell_id=cell, carrier=carrier, technology=tech, duration=dur
+    )
+
+
+@pytest.fixture()
+def pipeline(load_model, clock, topology):
+    return AnalysisPipeline(clock, load_model, topology.cells)
+
+
+class TestDegenerateBatches:
+    def test_empty_batch_raises_cleanly(self, pipeline):
+        with pytest.raises(ValueError, match="no usable records"):
+            pipeline.run(CDRBatch([]), with_clustering=False)
+
+    def test_all_ghost_batch_raises(self, pipeline):
+        batch = CDRBatch([rec(dur=3600.0), rec(start=100.0, dur=3600.0)])
+        with pytest.raises(ValueError, match="2 ghost records"):
+            pipeline.run(batch, with_clustering=False)
+
+    def test_single_record_batch_runs(self, pipeline, topology):
+        cell_id = next(iter(topology.cells))
+        cell = topology.cell(cell_id)
+        batch = CDRBatch(
+            [rec(cell=cell_id, carrier=cell.carrier.name, tech=cell.technology.value)]
+        )
+        report = pipeline.run(batch, with_clustering=False)
+        assert report.presence.n_cars_total == 1
+        assert report.segmentation.n_cars == 1
+        assert report.handovers.n_sessions == 1
+        assert report.handovers.total_handovers == 0
+
+    def test_single_car_many_records(self, pipeline, topology):
+        cell_id = next(iter(topology.cells))
+        cell = topology.cell(cell_id)
+        batch = CDRBatch(
+            [
+                rec(
+                    start=d * DAY + 100.0,
+                    cell=cell_id,
+                    carrier=cell.carrier.name,
+                    tech=cell.technology.value,
+                )
+                for d in range(14)
+            ]
+        )
+        report = pipeline.run(batch, with_clustering=False)
+        assert report.days["car-a"] == 14
+        assert report.segmentation.row("Common (10+ days)").total == 1.0
+
+    def test_records_with_unknown_cells_still_analyze(self, pipeline):
+        # Cells absent from the inventory: handover analysis skips them,
+        # busy exposure treats them as never busy, the rest proceeds.
+        batch = CDRBatch(
+            [rec(cell=10**7), rec(start=200.0, cell=10**7 + 1)]
+        )
+        report = pipeline.run(batch, with_clustering=False)
+        assert report.exposure.busy_share[0] == 0.0
+        assert report.handovers.total_handovers == 0
+
+    def test_zero_duration_records(self, pipeline, topology):
+        cell_id = next(iter(topology.cells))
+        cell = topology.cell(cell_id)
+        batch = CDRBatch(
+            [
+                rec(cell=cell_id, dur=0.0, carrier=cell.carrier.name,
+                    tech=cell.technology.value),
+                rec(start=50.0, cell=cell_id, dur=10.0, carrier=cell.carrier.name,
+                    tech=cell.technology.value),
+            ]
+        )
+        report = pipeline.run(batch, with_clustering=False)
+        assert report.connect_time.full_share[0] >= 0
+
+    def test_clustering_requested_but_impossible_is_noted(self, pipeline, topology):
+        cell_id = next(iter(topology.cells))
+        cell = topology.cell(cell_id)
+        batch = CDRBatch(
+            [rec(cell=cell_id, carrier=cell.carrier.name, tech=cell.technology.value)]
+        )
+        report = pipeline.run(batch, with_clustering=True, cluster_k=10**6)
+        assert report.clusters is None
+        assert any("clustering skipped" in n for n in report.notes)

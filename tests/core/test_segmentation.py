@@ -1,0 +1,119 @@
+"""Unit tests for car segmentation (Figure 6 / Table 2)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.timebins import DAY, StudyClock
+from repro.cdr.records import CDRBatch, ConnectionRecord
+from repro.core.busy import BusyExposure
+from repro.core.segmentation import (
+    BusyClass,
+    classify_busy,
+    days_histogram,
+    days_on_network,
+    segment_cars,
+)
+
+
+def rec(start, car="car-a"):
+    return ConnectionRecord(
+        start=start, car_id=car, cell_id=1, carrier="C3", technology="4G", duration=60.0
+    )
+
+
+def exposure_for(shares: dict[str, float]) -> BusyExposure:
+    cars = sorted(shares)
+    arr = np.asarray([shares[c] for c in cars])
+    return BusyExposure(car_ids=cars, busy_share=arr, nonbusy_share=1 - arr)
+
+
+class TestClassifyBusy:
+    def test_paper_thresholds(self):
+        assert classify_busy(0.70) is BusyClass.BUSY
+        assert classify_busy(0.65) is BusyClass.BUSY
+        assert classify_busy(0.50) is BusyClass.BOTH
+        assert classify_busy(0.35) is BusyClass.NON_BUSY
+        assert classify_busy(0.0) is BusyClass.NON_BUSY
+
+    def test_rejects_inverted_thresholds(self):
+        with pytest.raises(ValueError):
+            classify_busy(0.5, busy_threshold=0.3, nonbusy_threshold=0.4)
+
+
+class TestDaysOnNetwork:
+    def test_distinct_days(self):
+        clock = StudyClock(n_days=10)
+        batch = CDRBatch([rec(0), rec(100), rec(3 * DAY), rec(5 * DAY, car="b")])
+        days = days_on_network(batch, clock)
+        assert days == {"car-a": 2, "b": 1}
+
+    def test_out_of_window_ignored(self):
+        clock = StudyClock(n_days=2)
+        batch = CDRBatch([rec(0), rec(5 * DAY)])
+        assert days_on_network(batch, clock) == {"car-a": 1}
+
+    def test_histogram(self):
+        days = {"a": 1, "b": 1, "c": 5}
+        values, counts = days_histogram(days, n_days=5)
+        assert values[0] == 1 and values[-1] == 5
+        assert counts[0] == 2
+        assert counts[4] == 1
+        assert counts.sum() == 3
+
+
+class TestSegmentCars:
+    def test_table_structure(self):
+        days = {"a": 5, "b": 50}
+        seg = segment_cars(days, exposure_for({"a": 0.1, "b": 0.7}))
+        labels = [r.label for r in seg.rows]
+        assert labels == [
+            "Rare (<= 10 days)",
+            "Common (10+ days)",
+            "Rare (<= 30 days)",
+            "Common (30+ days)",
+        ]
+
+    def test_percentages_sum_to_one_per_threshold(self):
+        days = {f"car-{i}": (i % 60) + 1 for i in range(40)}
+        shares = {f"car-{i}": (i % 10) / 10 for i in range(40)}
+        seg = segment_cars(days, exposure_for(shares))
+        assert seg.rows[0].total + seg.rows[1].total == pytest.approx(1.0)
+        assert seg.rows[2].total + seg.rows[3].total == pytest.approx(1.0)
+
+    def test_rare_common_split(self):
+        days = {"a": 5, "b": 20, "c": 50}
+        seg = segment_cars(days, exposure_for({"a": 0.0, "b": 0.0, "c": 0.0}))
+        assert seg.row("Rare (<= 10 days)").total == pytest.approx(1 / 3)
+        assert seg.row("Common (10+ days)").total == pytest.approx(2 / 3)
+        assert seg.row("Rare (<= 30 days)").total == pytest.approx(2 / 3)
+
+    def test_busy_classification_in_cells(self):
+        days = {"a": 50, "b": 50, "c": 50}
+        seg = segment_cars(
+            days, exposure_for({"a": 0.9, "b": 0.5, "c": 0.1})
+        )
+        common = seg.row("Common (10+ days)")
+        assert common.busy == pytest.approx(1 / 3)
+        assert common.both == pytest.approx(1 / 3)
+        assert common.non_busy == pytest.approx(1 / 3)
+
+    def test_car_missing_from_days_is_rare(self):
+        seg = segment_cars({}, exposure_for({"a": 0.0}))
+        assert seg.row("Rare (<= 10 days)").total == pytest.approx(1.0)
+
+    def test_empty_population_raises(self):
+        with pytest.raises(ValueError):
+            segment_cars({}, exposure_for({}))
+
+    def test_unknown_row_label_raises(self):
+        seg = segment_cars({"a": 5}, exposure_for({"a": 0.0}))
+        with pytest.raises(KeyError):
+            seg.row("nope")
+
+    def test_custom_thresholds(self):
+        days = {"a": 5, "b": 50}
+        seg = segment_cars(
+            days, exposure_for({"a": 0.0, "b": 0.0}), rare_thresholds=(20,)
+        )
+        assert len(seg.rows) == 2
+        assert seg.rows[0].label == "Rare (<= 20 days)"

@@ -1,0 +1,106 @@
+"""Tests for week-over-week stability analysis."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.timebins import DAY, HOUR, StudyClock
+from repro.cdr.records import CDRBatch, ConnectionRecord
+from repro.core.preprocess import preprocess
+from repro.core.stability import (
+    car_stability,
+    fleet_stability,
+    jaccard,
+)
+from repro.mobility.profiles import CarProfile
+
+
+def rec(start, car="car-a"):
+    return ConnectionRecord(
+        start=start, car_id=car, cell_id=1, carrier="C3", technology="4G", duration=60.0
+    )
+
+
+def vec(hours):
+    v = np.zeros(168, dtype=bool)
+    v[list(hours)] = True
+    return v
+
+
+class TestJaccard:
+    def test_identical(self):
+        assert jaccard(vec({1, 2}), vec({1, 2})) == 1.0
+
+    def test_disjoint(self):
+        assert jaccard(vec({1}), vec({2})) == 0.0
+
+    def test_partial(self):
+        assert jaccard(vec({1, 2}), vec({2, 3})) == pytest.approx(1 / 3)
+
+    def test_both_empty_is_one(self):
+        assert jaccard(vec(set()), vec(set())) == 1.0
+
+    def test_one_empty_is_zero(self):
+        assert jaccard(vec({5}), vec(set())) == 0.0
+
+
+class TestCarStability:
+    def test_perfectly_regular_car(self):
+        weeks = {0: vec({8, 17}), 1: vec({8, 17}), 2: vec({8, 17})}
+        stability = car_stability("a", weeks, n_weeks=3)
+        assert stability.mean == 1.0
+        assert stability.pairwise.shape == (2,)
+
+    def test_erratic_car(self):
+        weeks = {0: vec({1}), 1: vec({50}), 2: vec({100})}
+        stability = car_stability("a", weeks, n_weeks=3)
+        assert stability.mean == 0.0
+
+    def test_missing_weeks_lower_stability(self):
+        # Present week 0, absent week 1: similarity 0 for that pair.
+        weeks = {0: vec({8})}
+        stability = car_stability("a", weeks, n_weeks=2)
+        assert stability.mean == 0.0
+
+    def test_single_week_returns_none(self):
+        assert car_stability("a", {0: vec({8})}, n_weeks=1) is None
+
+
+class TestFleetStability:
+    def test_regular_fleet_high_stability(self):
+        clock = StudyClock(start_weekday=0, n_days=21)
+        records = []
+        for w in range(3):
+            for d in range(5):
+                records.append(rec((w * 7 + d) * DAY + 8 * HOUR))
+        fleet = fleet_stability(CDRBatch(records), clock)
+        assert fleet.n_cars == 1
+        assert fleet.fleet_mean() == 1.0
+        assert fleet.fraction_stable() == 1.0
+
+    def test_empty_batch(self):
+        fleet = fleet_stability(CDRBatch([]), StudyClock(n_days=14))
+        assert fleet.n_cars == 0
+        assert fleet.fleet_mean() == 0.0
+        assert fleet.fraction_stable() == 0.0
+
+    def test_generated_commuters_more_stable_than_rare(self, dataset):
+        pre = preprocess(dataset.batch)
+        fleet = fleet_stability(pre.truncated, dataset.clock)
+        by_car = {c.car_id: c.mean for c in fleet.cars}
+        profile_of = {c.car_id: c.profile for c in dataset.cars}
+        commuters = [
+            v for car, v in by_car.items()
+            if profile_of.get(car) is CarProfile.COMMUTER
+        ]
+        rare = [
+            v for car, v in by_car.items()
+            if profile_of.get(car) is CarProfile.RARE
+        ]
+        assert commuters and rare
+        assert np.mean(commuters) > np.mean(rare)
+
+    def test_fleet_has_predictable_majority(self, dataset):
+        # The paper's premise: enough cars are stable to plan against.
+        pre = preprocess(dataset.batch)
+        fleet = fleet_stability(pre.truncated, dataset.clock)
+        assert fleet.fraction_stable(0.2) > 0.5

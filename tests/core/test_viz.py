@@ -1,0 +1,127 @@
+"""Tests for the terminal visualization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.intervals import Interval
+from repro.viz import (
+    SPARK_BLOCKS,
+    cdf_plot,
+    hbar_chart,
+    heatmap,
+    interval_timeline,
+    sparkline,
+)
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series_lowest_block(self):
+        assert sparkline([5, 5, 5]) == SPARK_BLOCKS[0] * 3
+
+    def test_extremes(self):
+        s = sparkline([0, 10])
+        assert s[0] == SPARK_BLOCKS[0]
+        assert s[-1] == SPARK_BLOCKS[-1]
+
+    def test_monotone_series_monotone_blocks(self):
+        s = sparkline(np.arange(8))
+        levels = [SPARK_BLOCKS.index(c) for c in s]
+        assert levels == sorted(levels)
+
+    def test_width_pooling(self):
+        s = sparkline(np.arange(100), width=10)
+        assert len(s) == 10
+
+
+class TestHbarChart:
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            hbar_chart(["a"], [1, 2])
+
+    def test_empty(self):
+        assert hbar_chart([], []) == ""
+
+    def test_bars_scale(self):
+        chart = hbar_chart(["small", "large"], [1.0, 2.0], width=10)
+        small_line, large_line = chart.splitlines()
+        assert large_line.count("#") == 10
+        assert small_line.count("#") == 5
+
+    def test_labels_aligned(self):
+        chart = hbar_chart(["a", "bbb"], [1, 1])
+        lines = chart.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+
+class TestHeatmap:
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            heatmap(np.arange(5))
+
+    def test_shape(self):
+        out = heatmap(np.zeros((24, 7)))
+        assert len(out.splitlines()) == 25  # header + 24 rows
+
+    def test_zero_matrix_all_blank(self):
+        out = heatmap(np.zeros((2, 2)), col_labels="")
+        assert "@" not in out
+
+    def test_peak_darkest(self):
+        m = np.zeros((2, 2))
+        m[1, 1] = 5.0
+        out = heatmap(m, col_labels="")
+        assert "@" in out.splitlines()[1]
+
+
+class TestCdfPlot:
+    def test_validates_input(self):
+        with pytest.raises(ValueError):
+            cdf_plot([], [])
+        with pytest.raises(ValueError):
+            cdf_plot([1, 2], [0.5])
+
+    def test_dimensions(self):
+        x = np.linspace(0, 100, 50)
+        p = np.linspace(0, 1, 50)
+        out = cdf_plot(x, p, width=40, height=10)
+        lines = out.splitlines()
+        assert len(lines) == 12  # height + axis + labels
+        assert all("*" in line for line in lines[:1])  # top row reached (p=1)
+
+    def test_monotone_curve_rises(self):
+        x = np.linspace(0, 10, 30)
+        p = np.linspace(0, 1, 30)
+        lines = cdf_plot(x, p, width=30, height=8).splitlines()
+        first_star_cols = [line.find("*") for line in lines[:8] if "*" in line]
+        # Higher rows (larger p) have stars further right.
+        assert first_star_cols == sorted(first_star_cols, reverse=True)
+
+
+class TestIntervalTimeline:
+    def test_validates_window(self):
+        with pytest.raises(ValueError):
+            interval_timeline({}, 10.0, 10.0)
+
+    def test_rows_rendered(self):
+        rows = {
+            "car-a": [Interval(0, 50)],
+            "car-b": [Interval(50, 100)],
+        }
+        out = interval_timeline(rows, 0.0, 100.0, width=10)
+        a_line, b_line = out.splitlines()
+        assert a_line.startswith("         car-a")
+        assert "-" in a_line.split("|")[1][:5]
+        assert "-" in b_line.split("|")[1][5:]
+
+    def test_max_rows_summarized(self):
+        rows = {f"car-{i}": [Interval(0, 1)] for i in range(10)}
+        out = interval_timeline(rows, 0.0, 10.0, max_rows=3)
+        assert "and 7 more rows" in out
+
+    def test_out_of_window_interval_invisible(self):
+        rows = {"car-a": [Interval(200, 300)]}
+        out = interval_timeline(rows, 0.0, 100.0, width=10)
+        assert "-" not in out.split("|")[1]

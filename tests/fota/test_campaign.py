@@ -1,0 +1,83 @@
+"""Unit tests for campaign config and result metrics."""
+
+import pytest
+
+from repro.fota.campaign import CampaignConfig, CampaignResult, CarOutcome
+
+
+class TestCampaignConfig:
+    def test_window_bounds(self):
+        cfg = CampaignConfig(start_day=2, window_days=5)
+        assert cfg.window_start == 2 * 86400.0
+        assert cfg.window_end == 7 * 86400.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(update_bytes=0)
+        with pytest.raises(ValueError):
+            CampaignConfig(window_days=0)
+        with pytest.raises(ValueError):
+            CampaignConfig(rate_bps=-1)
+        with pytest.raises(ValueError):
+            CampaignConfig(busy_rate_factor=0)
+
+
+def result_with(outcomes):
+    r = CampaignResult(config=CampaignConfig(), policy_name="test")
+    r.outcomes = outcomes
+    return r
+
+
+def outcome(car, done_day=None, transferred=0.0, busy=0.0):
+    o = CarOutcome(car_id=car, transferred_bytes=transferred, busy_bytes=busy)
+    if done_day is not None:
+        o.completion_time = done_day * 86400.0
+    return o
+
+
+class TestCampaignResult:
+    def test_completion_rate(self):
+        r = result_with(
+            {"a": outcome("a", done_day=1), "b": outcome("b"), "c": outcome("c", done_day=3)}
+        )
+        assert r.completion_rate == pytest.approx(2 / 3)
+
+    def test_empty_rates_zero(self):
+        r = result_with({})
+        assert r.completion_rate == 0.0
+        assert r.busy_byte_fraction == 0.0
+
+    def test_busy_byte_fraction(self):
+        r = result_with(
+            {
+                "a": outcome("a", transferred=100.0, busy=30.0),
+                "b": outcome("b", transferred=100.0, busy=10.0),
+            }
+        )
+        assert r.busy_byte_fraction == pytest.approx(0.2)
+
+    def test_completion_days(self):
+        r = result_with({"a": outcome("a", done_day=2), "b": outcome("b")})
+        days = r.completion_days()
+        assert days.tolist() == [2.0]
+
+    def test_time_to_fraction(self):
+        r = result_with(
+            {
+                "a": outcome("a", done_day=1),
+                "b": outcome("b", done_day=5),
+                "c": outcome("c"),
+            }
+        )
+        assert r.time_to_fraction(1 / 3) == pytest.approx(1.0)
+        assert r.time_to_fraction(2 / 3) == pytest.approx(5.0)
+        assert r.time_to_fraction(1.0) is None
+
+    def test_time_to_fraction_validates(self):
+        r = result_with({})
+        with pytest.raises(ValueError):
+            r.time_to_fraction(0.0)
+
+    def test_complete_property(self):
+        assert outcome("a", done_day=1).complete
+        assert not outcome("a").complete

@@ -1,0 +1,87 @@
+"""Unit tests for FOTA delivery policies."""
+
+import numpy as np
+import pytest
+
+from repro.cdr.records import ConnectionRecord
+from repro.fota.policy import (
+    BusyAwarePolicy,
+    NaivePolicy,
+    OffPeakPolicy,
+    RareFirstPolicy,
+)
+
+
+def rec(start=0.0, car="car-a"):
+    return ConnectionRecord(
+        start=start, car_id=car, cell_id=1, carrier="C3", technology="4G", duration=60.0
+    )
+
+
+class TestNaivePolicy:
+    def test_always_transfers(self):
+        policy = NaivePolicy()
+        assert policy.should_transfer("car-a", rec(), cell_busy=True)
+        assert policy.should_transfer("car-a", rec(), cell_busy=False)
+
+
+class TestOffPeakPolicy:
+    def test_skips_busy_cells(self):
+        policy = OffPeakPolicy()
+        assert not policy.should_transfer("car-a", rec(), cell_busy=True)
+        assert policy.should_transfer("car-a", rec(), cell_busy=False)
+
+
+class TestRareFirstPolicy:
+    def _prepared(self, days, window=(0.0, 28 * 86400.0), seed=0):
+        policy = RareFirstPolicy()
+        policy.prepare(
+            sorted(days), days, window[0], window[1], np.random.default_rng(seed)
+        )
+        return policy
+
+    def test_rare_car_eligible_immediately(self):
+        policy = self._prepared({"rare": 3, "common": 60})
+        assert policy.should_transfer("rare", rec(start=0.0, car="rare"), False)
+
+    def test_common_car_delayed(self):
+        # With many common cars, some must be scheduled after day 0.
+        days = {f"common-{i}": 60 for i in range(50)}
+        policy = self._prepared(days)
+        delayed = sum(
+            not policy.should_transfer(c, rec(start=0.0, car=c), False) for c in days
+        )
+        assert delayed > 25
+
+    def test_common_car_eligible_at_assigned_time(self):
+        days = {"common": 60}
+        policy = self._prepared(days)
+        late = rec(start=28 * 86400.0 * 0.9, car="common")
+        assert policy.should_transfer("common", late, False)
+
+    def test_unknown_car_defaults_eligible(self):
+        policy = self._prepared({"a": 60})
+        assert policy.should_transfer("stranger", rec(car="stranger"), False)
+
+    def test_rejects_bad_spread(self):
+        with pytest.raises(ValueError):
+            RareFirstPolicy(spread_fraction=0.0)
+
+
+class TestBusyAwarePolicy:
+    def test_busy_always_blocks(self):
+        policy = BusyAwarePolicy()
+        policy.prepare(["rare"], {"rare": 1}, 0.0, 86400.0, np.random.default_rng(0))
+        assert not policy.should_transfer("rare", rec(car="rare"), cell_busy=True)
+        assert policy.should_transfer("rare", rec(car="rare"), cell_busy=False)
+
+    def test_inherits_wave_scheduling(self):
+        policy = BusyAwarePolicy()
+        days = {f"c-{i}": 60 for i in range(50)}
+        policy.prepare(
+            sorted(days), days, 0.0, 28 * 86400.0, np.random.default_rng(0)
+        )
+        delayed = sum(
+            not policy.should_transfer(c, rec(start=0.0, car=c), False) for c in days
+        )
+        assert delayed > 25

@@ -1,0 +1,138 @@
+"""Integration tests: generate -> analyze, asserting the paper's shapes.
+
+These run the whole stack on the shared 60-car / 14-day dataset and check
+the qualitative findings the paper reports, not its absolute numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.carriers import carrier_usage
+from repro.core.concurrency import cell_timeline
+from repro.core.handover import HandoverType
+from repro.core.matrices import matrices_for_all, period_masks, regularity_score
+from repro.core.pipeline import AnalysisPipeline
+from repro.mobility.profiles import CarProfile
+
+
+@pytest.fixture(scope="module")
+def report(dataset):
+    pipeline = AnalysisPipeline(
+        dataset.clock, dataset.load_model, dataset.topology.cells
+    )
+    return pipeline.run(dataset.batch)
+
+
+class TestPaperShapes:
+    def test_weekend_dip_in_presence(self, report):
+        rows = {r.weekday: r for r in report.weekday_rows}
+        weekday_mean = np.mean(
+            [rows[d].car_mean for d in ("Monday", "Tuesday", "Wednesday", "Thursday")]
+        )
+        assert rows["Saturday"].car_mean < weekday_mean
+        assert rows["Sunday"].car_mean < weekday_mean
+
+    def test_most_cars_common(self, report):
+        # Paper: 97.8% of cars are common at the 10-day bar (over 90 days);
+        # pro-rated to a 14-day study the bar is lower, so just require a
+        # clear majority.
+        rare = report.segmentation.row("Rare (<= 10 days)")
+        assert rare.total < 0.5
+
+    def test_cars_connected_small_fraction_of_time(self, report):
+        # Paper: means ~8% (full) and ~4% (truncated); ours must be "small"
+        # and truncation must shrink it.
+        assert report.connect_time.mean_full < 0.25
+        assert report.connect_time.mean_truncated < report.connect_time.mean_full
+
+    def test_cell_sessions_short(self, report):
+        durations = np.asarray([r.duration for r in report.pre.truncated])
+        assert np.median(durations) < 300  # paper: 105 s
+
+    def test_truncation_shrinks_mean_duration(self, report):
+        full = np.mean([r.duration for r in report.pre.full])
+        trunc = np.mean([r.duration for r in report.pre.truncated])
+        assert full > 1.5 * trunc  # paper: 625 s vs 238 s
+
+    def test_inter_base_station_handovers_dominate(self, report):
+        h = report.handovers
+        assert h.type_fraction(HandoverType.INTER_BASE_STATION) > 0.8
+        for kind in (
+            HandoverType.INTER_SECTOR,
+            HandoverType.INTER_CARRIER,
+            HandoverType.INTER_RAT,
+        ):
+            assert h.type_fraction(kind) < 0.1
+
+    def test_handover_percentiles_small(self, report):
+        assert report.handovers.median <= 5
+        assert report.handovers.percentile(90) <= 15
+
+    def test_carrier_table_shape(self, report):
+        usage = report.carriers
+        # C1-C4 widely used, C5 negligible (paper Table 3).
+        # Paper Table 3: C1/C3 98.7%, C2 89.2%, C4 80.8% of cars.
+        for name in ("C1", "C2", "C3", "C4"):
+            assert usage.cars_fraction[name] > 0.75
+        assert usage.cars_fraction["C5"] < 0.05
+        assert usage.time_fraction["C5"] < 0.01
+        # C3+C4 carry the majority of time.
+        assert usage.combined_time_share(("C3", "C4")) > 0.5
+        assert usage.top_carriers_by_time(1) == ["C3"]
+
+    def test_busy_exposure_skewed_low(self, report):
+        dist = report.exposure.share_distribution()
+        # The first buckets hold the most cars (paper Figure 7a).
+        assert dist[:3].sum() > dist[5:].sum()
+
+    def test_two_concurrency_clusters(self, report):
+        clusters = report.clusters
+        assert clusters.k == 2
+        assert clusters.level_ratio() > 1.5
+        # Sparse 14-day vectors correlate weakly; the 90-day
+        # benchmark observes ~0.95 (paper: clusters 'very similar in shape').
+        assert clusters.shape_correlation() > 0.3
+
+
+class TestBehaviouralStructure:
+    def test_commuters_more_regular_than_errand_cars(self, dataset, report):
+        mats = matrices_for_all(report.pre.truncated.by_car(), dataset.clock)
+        by_profile = {}
+        for car in dataset.cars:
+            if car.car_id in mats:
+                by_profile.setdefault(car.profile, []).append(
+                    regularity_score(mats[car.car_id])
+                )
+        assert np.mean(by_profile[CarProfile.COMMUTER]) > np.mean(
+            by_profile[CarProfile.ERRAND]
+        )
+
+    def test_commuter_usage_overlaps_commute_mask(self, dataset, report):
+        mats = matrices_for_all(report.pre.truncated.by_car(), dataset.clock)
+        masks = period_masks()
+        commuters = [
+            mats[c.car_id]
+            for c in dataset.cars
+            if c.profile is CarProfile.COMMUTER and c.car_id in mats
+        ]
+        overlap = np.mean([m.overlap_fraction(masks.commute_peak) for m in commuters])
+        # Commute peaks are 5 h/24 of weekdays; commuters should exceed the
+        # uniform share.
+        assert overlap > 5 / 24 * 5 / 7
+
+    def test_rare_cars_have_few_days(self, dataset, report):
+        rare_ids = {c.car_id for c in dataset.cars if c.profile is CarProfile.RARE}
+        rare_days = [d for car, d in report.days.items() if car in rare_ids]
+        common_days = [d for car, d in report.days.items() if car not in rare_ids]
+        if rare_days:
+            assert np.mean(rare_days) < np.mean(common_days) / 2
+
+    def test_connections_rare_overnight(self, dataset, report):
+        # Figure 8's observation: connections are rare overnight.
+        busiest_cell = max(
+            report.pre.truncated.by_cell().items(), key=lambda kv: len(kv[1])
+        )[0]
+        tl = cell_timeline(report.pre.truncated, busiest_cell, start_day=1)
+        overnight = tl.concurrency[0:20].sum()  # 00:00-05:00
+        daytime = tl.concurrency[28:92].sum()  # 07:00-23:00
+        assert daytime > overnight

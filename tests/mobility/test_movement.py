@@ -1,0 +1,104 @@
+"""Unit tests for movement and the edge-to-sector index."""
+
+import pytest
+
+from repro.mobility.movement import EdgeCellIndex, route_sector_timeline
+from repro.mobility.routing import Router
+from repro.mobility.trips import Trip, TripPurpose
+
+
+@pytest.fixture(scope="module")
+def edge_index(roads, topology):
+    return EdgeCellIndex(roads, topology)
+
+
+@pytest.fixture(scope="module")
+def sample_route(roads):
+    router = Router(roads)
+    nodes = sorted(roads.graph.nodes)
+    return router.route(nodes[0], nodes[-1])
+
+
+class TestEdgeCellIndex:
+    def test_rejects_bad_sample(self, roads, topology):
+        with pytest.raises(ValueError):
+            EdgeCellIndex(roads, topology, sample_km=0)
+
+    def test_fractions_sum_to_one(self, edge_index, roads):
+        a, b = next(iter(roads.graph.edges))
+        spans = edge_index.edge_spans(a, b)
+        assert sum(f for _, f in spans) == pytest.approx(1.0)
+
+    def test_consecutive_spans_differ(self, edge_index, roads):
+        a, b = next(iter(roads.graph.edges))
+        spans = edge_index.edge_spans(a, b)
+        for (k1, _), (k2, _) in zip(spans, spans[1:]):
+            assert k1 != k2
+
+    def test_reverse_edge_reverses_spans(self, edge_index, roads):
+        a, b = next(iter(roads.graph.edges))
+        fwd = edge_index.edge_spans(a, b)
+        rev = edge_index.edge_spans(b, a)
+        assert rev == tuple(reversed(fwd))
+
+    def test_caching(self, roads, topology):
+        index = EdgeCellIndex(roads, topology)
+        a, b = next(iter(roads.graph.edges))
+        index.edge_spans(a, b)
+        size = index.cache_size
+        index.edge_spans(a, b)
+        assert index.cache_size == size
+
+    def test_sector_keys_valid(self, edge_index, roads, topology):
+        a, b = list(roads.graph.edges)[3]
+        for (bs_id, sector_idx), _ in edge_index.edge_spans(a, b):
+            sector = topology.sector(bs_id, sector_idx)
+            assert sector.sector_index == sector_idx
+
+
+class TestRouteSectorTimeline:
+    def test_contiguous_and_ordered(self, sample_route, edge_index):
+        timeline = route_sector_timeline(sample_route, 1000.0, edge_index)
+        assert timeline
+        assert timeline[0].start == pytest.approx(1000.0)
+        for a, b in zip(timeline, timeline[1:]):
+            assert a.end == pytest.approx(b.start)
+            assert a.sector_key != b.sector_key
+
+    def test_total_duration_is_travel_time(self, sample_route, edge_index):
+        timeline = route_sector_timeline(sample_route, 0.0, edge_index)
+        total = sum(s.duration for s in timeline)
+        assert total == pytest.approx(sample_route.travel_time)
+
+    def test_departure_offsets_times(self, sample_route, edge_index):
+        t0 = route_sector_timeline(sample_route, 0.0, edge_index)
+        t9 = route_sector_timeline(sample_route, 900.0, edge_index)
+        assert len(t0) == len(t9)
+        for a, b in zip(t0, t9):
+            assert b.start == pytest.approx(a.start + 900.0)
+            assert b.sector_key == a.sector_key
+
+    def test_multiple_sectors_crossed(self, sample_route, edge_index):
+        # A corner-to-corner drive must cross several sectors.
+        timeline = route_sector_timeline(sample_route, 0.0, edge_index)
+        assert len({s.sector_key for s in timeline}) >= 3
+
+    def test_span_duration_property(self):
+        from repro.mobility.movement import SectorSpan
+
+        assert SectorSpan((1, 0), 10.0, 25.0).duration == 15.0
+
+
+class TestTrip:
+    def test_rejects_negative_departure(self):
+        with pytest.raises(ValueError):
+            Trip(-1.0, 0, 1)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            Trip(0.0, 3, 3)
+
+    def test_ordering_by_departure(self):
+        t1 = Trip(100.0, 0, 1, TripPurpose.ERRAND)
+        t2 = Trip(50.0, 1, 2, TripPurpose.LEISURE)
+        assert sorted([t1, t2])[0] is t2

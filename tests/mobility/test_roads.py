@@ -1,0 +1,73 @@
+"""Unit tests for the road network."""
+
+import networkx as nx
+import pytest
+
+from repro.mobility.roads import RoadConfig, RoadNetwork, build_road_network
+from repro.network.geometry import Point
+
+
+class TestBuild:
+    def test_connected(self, roads):
+        assert nx.is_connected(roads.graph)
+
+    def test_counts(self, roads):
+        cfg = roads.config
+        n_cols = int(cfg.width_km // cfg.grid_pitch_km) + 1
+        n_rows = int(cfg.height_km // cfg.grid_pitch_km) + 1
+        assert roads.n_nodes == n_rows * n_cols
+        assert roads.n_edges == n_rows * (n_cols - 1) + n_cols * (n_rows - 1)
+
+    def test_edge_attributes(self, roads):
+        for a, b, data in roads.graph.edges(data=True):
+            assert data["length_km"] > 0
+            assert data["speed_kmh"] > 0
+            assert data["travel_time_s"] == pytest.approx(
+                data["length_km"] / data["speed_kmh"] * 3600.0
+            )
+
+    def test_highways_exist_and_faster(self, roads):
+        speeds = {d["speed_kmh"] for _, _, d in roads.graph.edges(data=True)}
+        assert roads.config.highway_speed_kmh in speeds
+        assert roads.config.street_speed_kmh in speeds
+
+    def test_rejects_empty_graph(self):
+        with pytest.raises(ValueError):
+            RoadNetwork(nx.Graph(), RoadConfig())
+
+
+class TestQueries:
+    def test_position_roundtrip(self, roads):
+        node = roads.nearest_node(Point(10.0, 10.0))
+        pos = roads.position(node)
+        assert roads.nearest_node(pos) == node
+
+    def test_nearest_node_is_nearest(self, roads):
+        from repro.network.geometry import distance
+
+        probe = Point(7.3, 12.8)
+        node = roads.nearest_node(probe)
+        best = min(
+            distance(roads.position(n), probe) for n in roads.graph.nodes
+        )
+        assert distance(roads.position(node), probe) == pytest.approx(best)
+
+    def test_random_node_in_graph(self, roads, rng):
+        for _ in range(10):
+            assert roads.random_node(rng) in roads.graph
+
+    def test_random_node_near_respects_radius(self, roads, rng):
+        from repro.network.geometry import distance
+
+        center = Point(24.0, 24.0)
+        for _ in range(20):
+            node = roads.random_node_near(rng, center, 5.0)
+            assert distance(roads.position(node), center) <= 5.0
+
+    def test_random_node_near_empty_disc_falls_back(self, roads, rng):
+        node = roads.random_node_near(rng, Point(-500.0, -500.0), 0.1)
+        assert node in roads.graph
+
+    def test_edge_travel_time(self, roads):
+        a, b = next(iter(roads.graph.edges))
+        assert roads.edge_travel_time(a, b) > 0

@@ -1,0 +1,80 @@
+"""Unit tests for cached routing."""
+
+import pytest
+
+from repro.mobility.routing import Route, Router
+
+
+class TestRoute:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Route(nodes=(), leg_times=())
+
+    def test_rejects_mismatched_legs(self):
+        with pytest.raises(ValueError):
+            Route(nodes=(1, 2, 3), leg_times=(10.0,))
+
+    def test_single_node_route(self):
+        r = Route(nodes=(5,), leg_times=())
+        assert r.travel_time == 0
+        assert r.origin == r.destination == 5
+
+    def test_travel_time_sums_legs(self):
+        r = Route(nodes=(1, 2, 3), leg_times=(10.0, 20.0))
+        assert r.travel_time == 30.0
+
+
+class TestRouter:
+    def test_route_endpoints(self, roads):
+        router = Router(roads)
+        nodes = sorted(roads.graph.nodes)
+        route = router.route(nodes[0], nodes[-1])
+        assert route.origin == nodes[0]
+        assert route.destination == nodes[-1]
+
+    def test_route_follows_edges(self, roads):
+        router = Router(roads)
+        nodes = sorted(roads.graph.nodes)
+        route = router.route(nodes[0], nodes[len(nodes) // 2])
+        for a, b in zip(route.nodes, route.nodes[1:]):
+            assert roads.graph.has_edge(a, b)
+
+    def test_leg_times_match_edges(self, roads):
+        router = Router(roads)
+        nodes = sorted(roads.graph.nodes)
+        route = router.route(nodes[0], nodes[10])
+        for (a, b), leg in zip(zip(route.nodes, route.nodes[1:]), route.leg_times):
+            assert leg == pytest.approx(roads.edge_travel_time(a, b))
+
+    def test_is_shortest_by_travel_time(self, roads):
+        import networkx as nx
+
+        router = Router(roads)
+        nodes = sorted(roads.graph.nodes)
+        o, d = nodes[0], nodes[-1]
+        route = router.route(o, d)
+        best = nx.shortest_path_length(roads.graph, o, d, weight="travel_time_s")
+        assert route.travel_time == pytest.approx(best)
+
+    def test_cache_hit(self, roads):
+        router = Router(roads)
+        nodes = sorted(roads.graph.nodes)
+        r1 = router.route(nodes[0], nodes[5])
+        assert router.cache_size == 1
+        r2 = router.route(nodes[0], nodes[5])
+        assert r2 is r1
+
+    def test_reverse_uses_cache(self, roads):
+        router = Router(roads)
+        nodes = sorted(roads.graph.nodes)
+        fwd = router.route(nodes[0], nodes[5])
+        rev = router.route(nodes[5], nodes[0])
+        assert rev.nodes == tuple(reversed(fwd.nodes))
+        assert rev.travel_time == pytest.approx(fwd.travel_time)
+
+    def test_unknown_node_raises(self, roads):
+        import networkx as nx
+
+        router = Router(roads)
+        with pytest.raises(nx.NodeNotFound):
+            router.route(-1, 0)

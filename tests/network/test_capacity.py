@@ -1,0 +1,96 @@
+"""Tests for the link-capacity model."""
+
+import math
+
+import pytest
+
+from repro.network.capacity import (
+    MAX_EFFICIENCY_BPS_PER_HZ,
+    achievable_rate_bps,
+    download_time_s,
+    fota_cell_budget_bytes,
+    spectral_efficiency,
+)
+from repro.network.cells import CARRIERS, Cell
+from repro.network.geometry import Point
+
+
+def make_cell(carrier="C3"):
+    return Cell(
+        cell_id=1,
+        base_station_id=1,
+        sector_index=0,
+        carrier=CARRIERS[carrier],
+        location=Point(0, 0),
+        azimuth_deg=0.0,
+    )
+
+
+class TestSpectralEfficiency:
+    def test_monotone_in_sinr(self):
+        assert spectral_efficiency(20.0) > spectral_efficiency(10.0) > spectral_efficiency(0.0)
+
+    def test_floor_below_min_sinr(self):
+        assert spectral_efficiency(-15.0) == 0.0
+
+    def test_ceiling_at_high_sinr(self):
+        assert spectral_efficiency(60.0) == MAX_EFFICIENCY_BPS_PER_HZ
+
+    def test_zero_db_value(self):
+        # 0.75 * log2(2) = 0.75 b/s/Hz.
+        assert spectral_efficiency(0.0) == pytest.approx(0.75)
+
+
+class TestAchievableRate:
+    def test_scales_with_bandwidth(self):
+        wide = achievable_rate_bps(make_cell("C3"), 15.0)   # 20 MHz
+        narrow = achievable_rate_bps(make_cell("C4"), 15.0)  # 10 MHz
+        assert wide == pytest.approx(2 * narrow)
+
+    def test_scales_with_prb_share(self):
+        full = achievable_rate_bps(make_cell(), 15.0, prb_share=1.0)
+        half = achievable_rate_bps(make_cell(), 15.0, prb_share=0.5)
+        assert full == pytest.approx(2 * half)
+
+    def test_realistic_peak_rate(self):
+        # A clean 20 MHz carrier at high SINR tops out near 100+ Mbps.
+        rate = achievable_rate_bps(make_cell("C3"), 30.0)
+        assert 5e7 < rate < 1.5e8
+
+    def test_validates_share(self):
+        with pytest.raises(ValueError):
+            achievable_rate_bps(make_cell(), 10.0, prb_share=1.5)
+
+
+class TestDownloadTime:
+    def test_basic(self):
+        assert download_time_s(1e6, 8e6) == pytest.approx(1.0)
+
+    def test_zero_rate_infinite(self):
+        assert download_time_s(1e6, 0.0) == math.inf
+
+    def test_validates_size(self):
+        with pytest.raises(ValueError):
+            download_time_s(-1, 1e6)
+
+
+class TestFotaCellBudget:
+    def test_typical_dwell_moves_bounded_bytes(self):
+        # 105 s median dwell at 15 dB on a half-loaded 20 MHz cell.
+        budget = fota_cell_budget_bytes(make_cell("C3"), 15.0, 105.0, 0.5)
+        # On the order of hundreds of MB at most — a GB update spans cells.
+        assert 1e7 < budget < 1e9
+
+    def test_busy_cell_shrinks_budget(self):
+        quiet = fota_cell_budget_bytes(make_cell(), 15.0, 105.0, 0.2)
+        busy = fota_cell_budget_bytes(make_cell(), 15.0, 105.0, 0.9)
+        assert busy < quiet / 4
+
+    def test_saturated_cell_zero_budget(self):
+        assert fota_cell_budget_bytes(make_cell(), 15.0, 105.0, 1.0) == 0.0
+
+    def test_validates_inputs(self):
+        with pytest.raises(ValueError):
+            fota_cell_budget_bytes(make_cell(), 15.0, -1.0, 0.5)
+        with pytest.raises(ValueError):
+            fota_cell_budget_bytes(make_cell(), 15.0, 10.0, 1.5)

@@ -1,0 +1,95 @@
+"""Unit tests for radio entities: carriers, cells, sectors, base stations."""
+
+import pytest
+
+from repro.network.cells import (
+    CARRIERS,
+    BaseStation,
+    Carrier,
+    Cell,
+    RadioTechnology,
+    Sector,
+)
+from repro.network.geometry import Point
+
+
+class TestCarriers:
+    def test_five_carriers_defined(self):
+        assert sorted(CARRIERS) == ["C1", "C2", "C3", "C4", "C5"]
+
+    def test_c1_is_3g(self):
+        assert CARRIERS["C1"].technology is RadioTechnology.UMTS
+
+    def test_others_are_lte(self):
+        for name in ("C2", "C3", "C4", "C5"):
+            assert CARRIERS[name].technology is RadioTechnology.LTE
+
+    def test_prb_capacity_positive(self):
+        for carrier in CARRIERS.values():
+            assert carrier.prb_capacity > 0
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            Carrier("X", 700, 10, 0, RadioTechnology.LTE)
+
+
+def make_cell(cell_id=1, bs=1, sector=0, carrier="C3"):
+    return Cell(
+        cell_id=cell_id,
+        base_station_id=bs,
+        sector_index=sector,
+        carrier=CARRIERS[carrier],
+        location=Point(0, 0),
+        azimuth_deg=sector * 120.0,
+    )
+
+
+class TestCell:
+    def test_technology_from_carrier(self):
+        assert make_cell(carrier="C1").technology is RadioTechnology.UMTS
+        assert make_cell(carrier="C3").technology is RadioTechnology.LTE
+
+    def test_sector_key(self):
+        assert make_cell(bs=7, sector=2).sector_key == (7, 2)
+
+
+class TestSector:
+    def test_cell_on(self):
+        sector = Sector(1, 0, 0.0, cells=[make_cell(carrier="C1"), make_cell(2, carrier="C3")])
+        assert sector.cell_on("C3").cell_id == 2
+        assert sector.cell_on("C5") is None
+
+    def test_carrier_names(self):
+        sector = Sector(1, 0, 0.0, cells=[make_cell(carrier="C1"), make_cell(2, carrier="C2")])
+        assert sector.carrier_names == ["C1", "C2"]
+
+
+class TestBaseStation:
+    def _site(self):
+        site = BaseStation(1, Point(0, 0))
+        for i, az in enumerate((0.0, 120.0, 240.0)):
+            site.sectors.append(Sector(1, i, az, cells=[make_cell(10 + i, sector=i)]))
+        return site
+
+    def test_cells_flattened(self):
+        assert len(self._site().cells) == 3
+
+    def test_sector_for_bearing_exact(self):
+        site = self._site()
+        assert site.sector_for_bearing(0.0).sector_index == 0
+        assert site.sector_for_bearing(120.0).sector_index == 1
+        assert site.sector_for_bearing(240.0).sector_index == 2
+
+    def test_sector_for_bearing_wraps(self):
+        site = self._site()
+        # 350 degrees is closer to 0 than to 240.
+        assert site.sector_for_bearing(350.0).sector_index == 0
+
+    def test_sector_boundary(self):
+        site = self._site()
+        assert site.sector_for_bearing(59.0).sector_index == 0
+        assert site.sector_for_bearing(61.0).sector_index == 1
+
+    def test_no_sectors_raises(self):
+        with pytest.raises(ValueError):
+            BaseStation(1, Point(0, 0)).sector_for_bearing(0.0)

@@ -1,0 +1,65 @@
+"""Tests for carrier coverage analysis."""
+
+import pytest
+
+from repro.network.coverage import (
+    CoverageResult,
+    carrier_deployment_share,
+    sample_coverage,
+)
+from repro.network.signal import SignalMap
+
+
+class TestDeploymentShare:
+    def test_universal_carriers_everywhere(self, topology):
+        share = carrier_deployment_share(topology)
+        # C1-C3 deploy in every tier.
+        for name in ("C1", "C2", "C3"):
+            assert share[name] == pytest.approx(1.0)
+
+    def test_c5_minority(self, topology):
+        share = carrier_deployment_share(topology)
+        assert 0 < share["C5"] < 0.5  # urban-only
+
+    def test_c4_partial(self, topology):
+        share = carrier_deployment_share(topology)
+        assert share["C5"] < share["C4"] < 1.0  # absent from rural only
+
+
+class TestSampleCoverage:
+    @pytest.fixture(scope="class")
+    def coverage(self, topology):
+        return sample_coverage(SignalMap(topology), grid_pitch_km=6.0)
+
+    def test_validates_pitch(self, topology):
+        with pytest.raises(ValueError):
+            sample_coverage(SignalMap(topology), grid_pitch_km=0)
+
+    def test_fractions_bounded(self, coverage):
+        for fraction in coverage.covered_fraction.values():
+            assert 0 <= fraction <= 1
+
+    def test_wide_deployment_wide_coverage(self, coverage):
+        cf = coverage.covered_fraction
+        # Universal carriers cover most of the region.
+        assert cf["C1"] > 0.8
+        assert cf["C3"] > 0.8
+        # C5 (urban-only, high band) covers far less.
+        assert cf["C5"] < cf["C1"] / 2
+
+    def test_best_covered_is_universal(self, coverage):
+        assert coverage.best_covered() in ("C1", "C2", "C3")
+
+    def test_stricter_threshold_less_coverage(self, topology):
+        loose = sample_coverage(
+            SignalMap(topology), grid_pitch_km=8.0, rsrp_threshold_dbm=-120.0
+        )
+        strict = sample_coverage(
+            SignalMap(topology), grid_pitch_km=8.0, rsrp_threshold_dbm=-95.0
+        )
+        for name in loose.covered_fraction:
+            assert strict.covered_fraction[name] <= loose.covered_fraction[name] + 1e-9
+
+    def test_empty_result_raises(self):
+        with pytest.raises(ValueError):
+            CoverageResult({}, -110.0, 0).best_covered()

@@ -1,0 +1,124 @@
+"""Unit tests for the PRB scheduler (Figure 1 substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.timebins import BIN_SECONDS
+from repro.network.scheduler import (
+    DEFAULT_BPS_PER_PRB,
+    DownloadFlow,
+    PRBScheduler,
+)
+
+
+def flat_background(n_bins=8, level=0.3):
+    return np.full(n_bins, level)
+
+
+class TestValidation:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            PRBScheduler(0, flat_background())
+
+    def test_rejects_bad_step(self):
+        with pytest.raises(ValueError):
+            PRBScheduler(100, flat_background(), step_seconds=0)
+        with pytest.raises(ValueError):
+            PRBScheduler(100, flat_background(), step_seconds=BIN_SECONDS + 1)
+
+    def test_rejects_out_of_range_background(self):
+        with pytest.raises(ValueError):
+            PRBScheduler(100, np.asarray([0.5, 1.2]))
+        with pytest.raises(ValueError):
+            PRBScheduler(100, np.asarray([]))
+
+
+class TestBackgroundOnly:
+    def test_utilization_equals_background(self):
+        bg = flat_background(level=0.4)
+        result = PRBScheduler(100, bg).run()
+        assert result.bin_utilization == pytest.approx(bg)
+
+    def test_no_saturated_bins(self):
+        result = PRBScheduler(100, flat_background(level=0.4)).run()
+        assert result.saturated_bins().size == 0
+
+
+class TestGreedyFlow:
+    def test_full_buffer_saturates(self):
+        bg = flat_background(n_bins=8, level=0.3)
+        flow = DownloadFlow("greedy", start_time=0.0)
+        result = PRBScheduler(100, bg).run([flow])
+        assert result.bin_utilization == pytest.approx(np.ones(8))
+        assert result.saturated_bins().size == 8
+
+    def test_flow_starts_midway(self):
+        bg = flat_background(n_bins=8, level=0.3)
+        flow = DownloadFlow("greedy", start_time=4 * BIN_SECONDS)
+        result = PRBScheduler(100, bg).run([flow])
+        assert result.bin_utilization[:4] == pytest.approx(bg[:4])
+        assert result.bin_utilization[4:] == pytest.approx(np.ones(4))
+
+    def test_stop_time_respected(self):
+        bg = flat_background(n_bins=8, level=0.2)
+        flow = DownloadFlow("greedy", start_time=0.0, stop_time=2 * BIN_SECONDS)
+        result = PRBScheduler(100, bg).run([flow])
+        assert result.bin_utilization[:2] == pytest.approx(np.ones(2))
+        assert result.bin_utilization[2:] == pytest.approx(bg[2:])
+
+    def test_finite_download_completes(self):
+        bg = flat_background(n_bins=8, level=0.0)
+        # Residual capacity: 100 PRB * DEFAULT rate; a download sized to one
+        # bin of full capacity should finish within the first bin.
+        size = 100 * DEFAULT_BPS_PER_PRB * BIN_SECONDS / 8.0
+        flow = DownloadFlow("dl", start_time=0.0, size_bytes=size)
+        result = PRBScheduler(100, bg).run([flow])
+        assert flow.completion_time is not None
+        assert flow.completion_time <= BIN_SECONDS + 60.0
+        assert flow.transferred_bytes == pytest.approx(size, rel=1e-6)
+
+    def test_background_slows_download(self):
+        size = 100 * DEFAULT_BPS_PER_PRB * BIN_SECONDS / 8.0
+        f_idle = DownloadFlow("a", 0.0, size_bytes=size)
+        f_busy = DownloadFlow("b", 0.0, size_bytes=size)
+        PRBScheduler(100, flat_background(level=0.0)).run([f_idle])
+        PRBScheduler(100, flat_background(level=0.8)).run([f_busy])
+        assert f_busy.completion_time > f_idle.completion_time
+
+    def test_two_flows_share_residual(self):
+        bg = flat_background(n_bins=20, level=0.5)
+        size = 100 * DEFAULT_BPS_PER_PRB * BIN_SECONDS / 8.0 * 0.5
+        solo = DownloadFlow("solo", 0.0, size_bytes=size)
+        PRBScheduler(100, bg).run([solo])
+        pair = [
+            DownloadFlow("p1", 0.0, size_bytes=size),
+            DownloadFlow("p2", 0.0, size_bytes=size),
+        ]
+        PRBScheduler(100, bg).run(pair)
+        assert pair[0].completion_time == pytest.approx(
+            pair[1].completion_time, rel=0.01
+        )
+        assert pair[0].completion_time > solo.completion_time
+
+    def test_saturated_while_active_only(self):
+        bg = flat_background(n_bins=8, level=0.3)
+        size = 100 * DEFAULT_BPS_PER_PRB * BIN_SECONDS / 8.0 * 0.7 * 2
+        flow = DownloadFlow("dl", 0.0, size_bytes=size)
+        result = PRBScheduler(100, bg).run([flow])
+        # Takes ~2 bins of residual; later bins fall back to background.
+        assert result.bin_utilization[-1] == pytest.approx(0.3)
+
+
+class TestFlowState:
+    def test_active_at(self):
+        flow = DownloadFlow("f", start_time=100.0, stop_time=200.0)
+        assert not flow.active_at(50)
+        assert flow.active_at(150)
+        assert not flow.active_at(200)
+
+    def test_remaining_infinite_for_full_buffer(self):
+        assert DownloadFlow("f", 0.0).remaining_bytes() == float("inf")
+
+    def test_horizon(self):
+        sched = PRBScheduler(100, flat_background(n_bins=4))
+        assert sched.horizon_seconds == 4 * BIN_SECONDS

@@ -1,0 +1,123 @@
+"""Tests for next-appearance (inter-arrival) prediction."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.intervals import Interval
+from repro.algorithms.timebins import DAY, HOUR
+from repro.core.preprocess import preprocess
+from repro.prediction.interarrival import (
+    GapModel,
+    evaluate_gap_models,
+    fit_gap_models,
+    gaps_from_sessions,
+)
+
+
+def sessions_every(gap_s, n=10, duration=600.0, start=0.0):
+    out = []
+    t = start
+    for _ in range(n):
+        out.append(Interval(t, t + duration))
+        t += duration + gap_s
+    return out
+
+
+class TestGapsFromSessions:
+    def test_gaps(self):
+        sessions = sessions_every(1000.0, n=3)
+        gaps = gaps_from_sessions(sessions)
+        assert gaps.tolist() == [1000.0, 1000.0]
+
+    def test_unsorted_input(self):
+        sessions = sessions_every(500.0, n=3)
+        gaps = gaps_from_sessions(list(reversed(sessions)))
+        assert gaps.tolist() == [500.0, 500.0]
+
+    def test_fewer_than_two_sessions(self):
+        assert gaps_from_sessions([]).size == 0
+        assert gaps_from_sessions([Interval(0, 10)]).size == 0
+
+
+class TestGapModel:
+    def test_quantiles_and_prediction(self):
+        model = GapModel(np.asarray([100.0, 200.0, 300.0]))
+        assert model.predict_next_gap() == 200.0
+        assert model.quantile(1.0) == 300.0
+
+    def test_probability_within(self):
+        model = GapModel(np.asarray([100.0, 200.0, 300.0, 400.0]))
+        assert model.probability_within(250.0) == pytest.approx(0.5)
+
+    def test_empty_model_raises(self):
+        with pytest.raises(ValueError):
+            GapModel(np.zeros(0)).predict_next_gap()
+        with pytest.raises(ValueError):
+            GapModel(np.zeros(0)).probability_within(10)
+
+    def test_quantile_bounds(self):
+        with pytest.raises(ValueError):
+            GapModel(np.asarray([1.0])).quantile(1.5)
+
+
+class TestFitGapModels:
+    def test_min_gaps_filter(self):
+        sessions = {
+            "regular": sessions_every(HOUR, n=10),
+            "sparse": sessions_every(HOUR, n=3),
+        }
+        models, fleet = fit_gap_models(sessions, min_gaps=5)
+        assert "regular" in models
+        assert "sparse" not in models
+        # The fleet model pools everyone's gaps, including sparse cars'.
+        assert fleet.n_gaps == 9 + 2
+
+    def test_empty_input(self):
+        models, fleet = fit_gap_models({})
+        assert models == {}
+        assert fleet.n_gaps == 0
+
+
+class TestEvaluateGapModels:
+    def test_per_car_beats_baseline_on_heterogeneous_fleet(self):
+        # Two populations with very different rhythms: hourly vs daily.
+        train = {}
+        test = {}
+        for i in range(5):
+            train[f"fast-{i}"] = sessions_every(HOUR, n=10)
+            test[f"fast-{i}"] = sessions_every(HOUR, n=5, start=10 * DAY)
+            train[f"slow-{i}"] = sessions_every(DAY, n=10)
+            test[f"slow-{i}"] = sessions_every(DAY, n=5, start=30 * DAY)
+        result = evaluate_gap_models(train, test)
+        assert result.n_cars == 10
+        assert result.per_car_mae_s < result.baseline_mae_s
+        assert result.improvement > 0.5
+
+    def test_homogeneous_fleet_no_improvement(self):
+        train = {f"car-{i}": sessions_every(HOUR, n=10) for i in range(4)}
+        test = {f"car-{i}": sessions_every(HOUR, n=4, start=5 * DAY) for i in range(4)}
+        result = evaluate_gap_models(train, test)
+        assert result.improvement == pytest.approx(0.0, abs=1e-9)
+
+    def test_no_training_gaps_raises(self):
+        with pytest.raises(ValueError):
+            evaluate_gap_models({}, {})
+
+    def test_no_overlapping_cars_raises(self):
+        train = {"a": sessions_every(HOUR, n=10)}
+        test = {"b": sessions_every(HOUR, n=10)}
+        with pytest.raises(ValueError):
+            evaluate_gap_models(train, test)
+
+    def test_on_generated_trace(self, dataset):
+        pre = preprocess(dataset.batch)
+        half = dataset.clock.duration / 2
+        train, test = {}, {}
+        for car_id in pre.truncated.car_ids():
+            sessions = pre.aggregate_sessions(car_id)
+            train[car_id] = [s for s in sessions if s.end <= half]
+            test[car_id] = [s for s in sessions if s.start >= half]
+        result = evaluate_gap_models(train, test, min_gaps=8)
+        assert result.n_cars > 10
+        # Per-car rhythm knowledge must not hurt, and usually helps.
+        assert result.per_car_mae_s <= result.baseline_mae_s * 1.05

@@ -1,0 +1,101 @@
+"""Unit tests for presence predictors."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.timebins import DAY, HOUR, StudyClock
+from repro.cdr.records import ConnectionRecord
+from repro.prediction.model import (
+    AlwaysPredictor,
+    HourOfDayPredictor,
+    HourOfWeekPredictor,
+    presence_by_week,
+)
+
+
+def rec(start, dur=60.0, car="car-a"):
+    return ConnectionRecord(
+        start=start, car_id=car, cell_id=1, carrier="C3", technology="4G", duration=dur
+    )
+
+
+def week_vec(hours):
+    v = np.zeros(168, dtype=bool)
+    v[list(hours)] = True
+    return v
+
+
+class TestPresenceByWeek:
+    def test_single_record(self):
+        clock = StudyClock(start_weekday=0, n_days=14)
+        weeks = presence_by_week([rec(8 * HOUR)], clock)
+        assert set(weeks) == {0}
+        assert weeks[0][8]
+        assert weeks[0].sum() == 1
+
+    def test_multi_week(self):
+        clock = StudyClock(start_weekday=0, n_days=14)
+        weeks = presence_by_week([rec(8 * HOUR), rec(7 * DAY + 8 * HOUR)], clock)
+        assert set(weeks) == {0, 1}
+        assert weeks[0][8] and weeks[1][8]
+
+    def test_record_spanning_hours(self):
+        clock = StudyClock(start_weekday=0, n_days=7)
+        weeks = presence_by_week([rec(8 * HOUR + 1800, dur=3600.0)], clock)
+        assert weeks[0][8] and weeks[0][9]
+
+    def test_start_weekday_shifts_hour_of_week(self):
+        clock = StudyClock(start_weekday=2, n_days=7)  # starts Wednesday
+        weeks = presence_by_week([rec(8 * HOUR)], clock)
+        assert weeks[0][2 * 24 + 8]
+
+
+class TestHourOfWeekPredictor:
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            HourOfWeekPredictor(threshold=0.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            HourOfWeekPredictor().predict_week()
+
+    def test_learns_consistent_hours(self):
+        model = HourOfWeekPredictor(threshold=0.5)
+        model.fit([week_vec({8, 17}), week_vec({8}), week_vec({8, 17})])
+        pred = model.predict_week()
+        assert pred[8]
+        assert pred[17]  # 2/3 >= 0.5
+        assert not pred[3]
+
+    def test_threshold_filters_noise(self):
+        model = HourOfWeekPredictor(threshold=0.9)
+        model.fit([week_vec({8, 17}), week_vec({8}), week_vec({8})])
+        pred = model.predict_week()
+        assert pred[8]
+        assert not pred[17]
+
+    def test_empty_training_predicts_nothing(self):
+        model = HourOfWeekPredictor().fit([])
+        assert not model.predict_week().any()
+
+
+class TestHourOfDayPredictor:
+    def test_collapses_weekday_structure(self):
+        # Present at hour 8 on all 5 weekdays -> hour-of-day frequency 5/7.
+        weekday_hours = {d * 24 + 8 for d in range(5)}
+        model = HourOfDayPredictor(threshold=0.5)
+        model.fit([week_vec(weekday_hours)] * 2)
+        pred = model.predict_week()
+        # Predicts hour 8 on every day, including weekends (its blind spot).
+        assert pred[8]
+        assert pred[5 * 24 + 8]
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            HourOfDayPredictor().predict_week()
+
+
+class TestAlwaysPredictor:
+    def test_predicts_everything(self):
+        model = AlwaysPredictor().fit([])
+        assert model.predict_week().all()

@@ -1,0 +1,69 @@
+"""Tests for predictor threshold tuning."""
+
+import numpy as np
+import pytest
+
+from repro.core.preprocess import preprocess
+from repro.prediction.evaluate import train_test_split_weeks
+from repro.prediction.tuning import (
+    best_by_f1,
+    format_sweep,
+    frontier_is_monotone,
+    threshold_sweep,
+)
+
+
+def week_vec(hours):
+    v = np.zeros(168, dtype=bool)
+    v[list(hours)] = True
+    return v
+
+
+@pytest.fixture()
+def toy_split():
+    # A car present at hour 8 in all weeks and hour 17 in two-thirds of them.
+    train = {"a": [week_vec({8, 17}), week_vec({8, 17}), week_vec({8})]}
+    test = {"a": [week_vec({8, 17})]}
+    return train, test
+
+
+class TestSweep:
+    def test_rejects_empty_thresholds(self, toy_split):
+        with pytest.raises(ValueError):
+            threshold_sweep(*toy_split, thresholds=())
+
+    def test_points_per_threshold(self, toy_split):
+        points = threshold_sweep(*toy_split, thresholds=(0.5, 0.9))
+        assert [p.threshold for p in points] == [0.5, 0.9]
+
+    def test_low_threshold_higher_recall(self, toy_split):
+        points = threshold_sweep(*toy_split, thresholds=(0.5, 0.9))
+        low, high = points
+        assert low.result.recall >= high.result.recall
+        # At 0.5 the model also predicts hour 17 (2/3 of weeks): recall 1.
+        assert low.result.recall == 1.0
+        assert high.result.recall == 0.5
+
+    def test_best_by_f1(self, toy_split):
+        points = threshold_sweep(*toy_split, thresholds=(0.5, 0.9))
+        assert best_by_f1(points).threshold == 0.5
+
+    def test_best_by_f1_empty_raises(self):
+        with pytest.raises(ValueError):
+            best_by_f1([])
+
+    def test_format_sweep(self, toy_split):
+        points = threshold_sweep(*toy_split, thresholds=(0.5,))
+        text = format_sweep(points)
+        assert "threshold" in text
+        assert "0.50" in text
+
+
+class TestOnGeneratedTrace:
+    def test_frontier_monotone_on_fleet(self, dataset):
+        pre = preprocess(dataset.batch)
+        train, test = train_test_split_weeks(pre.truncated, dataset.clock, 1)
+        points = threshold_sweep(train, test, thresholds=(0.3, 0.6, 0.9))
+        assert frontier_is_monotone(points)
+        best = best_by_f1(points)
+        assert 0 < best.f1 <= 1

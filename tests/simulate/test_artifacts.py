@@ -1,0 +1,122 @@
+"""Unit tests for measurement-artifact injection."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.timebins import DAY
+from repro.cdr.errors import TraceGenerationError
+from repro.cdr.records import ConnectionRecord
+from repro.simulate.artifacts import (
+    GHOST_DURATION_S,
+    ArtifactConfig,
+    apply_data_loss,
+    apply_stuck_modems,
+    inject_ghost_hour_records,
+)
+
+
+def make_records(n=500, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        ConnectionRecord(
+            start=float(rng.uniform(0, 10 * DAY)),
+            car_id=f"car-{i % 20}",
+            cell_id=int(rng.integers(1, 50)),
+            carrier="C3",
+            technology="4G",
+            duration=float(rng.uniform(5, 300)),
+        )
+        for i in range(n)
+    ]
+
+
+class TestArtifactConfig:
+    def test_rejects_bad_rates(self):
+        with pytest.raises(TraceGenerationError):
+            ArtifactConfig(ghost_hour_rate=1.5)
+        with pytest.raises(TraceGenerationError):
+            ArtifactConfig(stuck_modem_rate=-0.1)
+        with pytest.raises(TraceGenerationError):
+            ArtifactConfig(data_loss_fraction=2.0)
+
+
+class TestGhostRecords:
+    def test_adds_exactly_one_hour_twins(self, rng):
+        records = make_records()
+        out = inject_ghost_hour_records(records, 0.05, rng)
+        ghosts = [r for r in out if r.duration == GHOST_DURATION_S]
+        assert len(out) == len(records) + len(ghosts)
+        assert len(ghosts) == pytest.approx(len(records) * 0.05, abs=15)
+
+    def test_ghost_clones_car_and_cell(self, rng):
+        records = make_records(50)
+        out = inject_ghost_hour_records(records, 1.0, rng)
+        originals = {(r.car_id, r.cell_id, r.start) for r in records}
+        for ghost in out[len(records) :]:
+            assert (ghost.car_id, ghost.cell_id, ghost.start) in originals
+
+    def test_zero_rate_noop(self, rng):
+        records = make_records(20)
+        assert inject_ghost_hour_records(records, 0.0, rng) == records
+
+    def test_does_not_mutate_input(self, rng):
+        records = make_records(20)
+        before = list(records)
+        inject_ghost_hour_records(records, 1.0, rng)
+        assert records == before
+
+    def test_rejects_bad_rate(self, rng):
+        with pytest.raises(TraceGenerationError):
+            inject_ghost_hour_records([], 1.1, rng)
+
+
+class TestStuckModems:
+    def test_inflates_subset(self, rng):
+        records = make_records()
+        out = apply_stuck_modems(records, 0.3, rng)
+        assert len(out) == len(records)
+        inflated = sum(1 for a, b in zip(records, out) if b.duration > a.duration)
+        assert inflated == pytest.approx(len(records) * 0.3, abs=40)
+
+    def test_never_shrinks(self, rng):
+        records = make_records(200)
+        out = apply_stuck_modems(records, 0.5, rng)
+        for a, b in zip(records, out):
+            assert b.duration >= a.duration
+            assert (b.start, b.car_id, b.cell_id) == (a.start, a.car_id, a.cell_id)
+
+    def test_avoids_exact_hour(self, rng):
+        records = make_records(2000)
+        out = apply_stuck_modems(records, 1.0, rng)
+        for r in out:
+            assert abs(r.duration - GHOST_DURATION_S) >= 1.0
+
+    def test_zero_rate_identity(self, rng):
+        records = make_records(20)
+        assert apply_stuck_modems(records, 0.0, rng) == records
+
+
+class TestDataLoss:
+    def test_drops_only_on_loss_days(self, rng):
+        records = make_records()
+        out = apply_data_loss(records, (2, 3), 1.0, rng)
+        kept_days = {int(r.start // DAY) for r in out}
+        assert 2 not in kept_days and 3 not in kept_days
+        # All records from other days survive.
+        expected = [r for r in records if int(r.start // DAY) not in (2, 3)]
+        assert len(out) == len(expected)
+
+    def test_partial_fraction(self, rng):
+        records = make_records(2000)
+        day0 = [r for r in records if int(r.start // DAY) == 0]
+        out = apply_data_loss(records, (0,), 0.5, rng)
+        out_day0 = [r for r in out if int(r.start // DAY) == 0]
+        assert len(out_day0) == pytest.approx(len(day0) * 0.5, rel=0.3)
+
+    def test_no_days_noop(self, rng):
+        records = make_records(20)
+        assert apply_data_loss(records, (), 0.5, rng) == records
+
+    def test_rejects_bad_fraction(self, rng):
+        with pytest.raises(TraceGenerationError):
+            apply_data_loss([], (0,), 1.5, rng)

@@ -1,0 +1,111 @@
+"""Tests for venue-event injection."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.timebins import DAY, HOUR, StudyClock
+from repro.cdr.errors import TraceGenerationError
+from repro.core.concurrency import cell_timeline
+from repro.core.preprocess import preprocess
+from repro.mobility.trips import TripPurpose
+from repro.simulate.config import SimulationConfig
+from repro.simulate.events import EventConfig, event_trips, venue_node
+from repro.simulate.generator import TraceGenerator
+
+
+class TestEventConfig:
+    def test_validation(self):
+        with pytest.raises(TraceGenerationError):
+            EventConfig(day=-1)
+        with pytest.raises(TraceGenerationError):
+            EventConfig(day=0, start_hour=24.0)
+        with pytest.raises(TraceGenerationError):
+            EventConfig(day=0, duration_h=0)
+        with pytest.raises(TraceGenerationError):
+            EventConfig(day=0, attendee_fraction=1.5)
+
+
+class TestVenueNode:
+    def test_default_is_metro_core(self, roads):
+        event = EventConfig(day=0)
+        node = venue_node(event, roads)
+        pos = roads.position(node)
+        center = roads.config.width_km / 2.0
+        assert abs(pos.x - center) <= roads.config.grid_pitch_km
+        assert abs(pos.y - center) <= roads.config.grid_pitch_km
+
+    def test_explicit_venue(self, roads):
+        event = EventConfig(day=0, venue_xy=(2.0, 2.0))
+        node = venue_node(event, roads)
+        pos = roads.position(node)
+        assert pos.x <= 4.0 and pos.y <= 4.0
+
+
+class TestEventTrips:
+    def test_round_trip_structure(self, rng):
+        event = EventConfig(day=3, start_hour=19.0, duration_h=3.0)
+        trips = event_trips(event, home=1, venue=2, travel_time_s=900.0, rng=rng)
+        assert len(trips) == 2
+        out, back = trips
+        assert (out.origin, out.destination) == (1, 2)
+        assert (back.origin, back.destination) == (2, 1)
+        assert out.purpose is TripPurpose.LEISURE
+        # Arrives around the start, leaves after the event.
+        start_s = 3 * DAY + 19 * HOUR
+        assert out.departure + 900.0 <= start_s + 1e-6
+        assert back.departure >= start_s + 3 * HOUR
+
+    def test_same_node_no_trips(self, rng):
+        assert event_trips(EventConfig(day=0), 5, 5, 100.0, rng) == []
+
+    def test_departure_within_event_day(self, rng):
+        event = EventConfig(day=2, start_hour=0.5, duration_h=2.0)
+        trips = event_trips(event, 1, 2, 7200.0, rng)
+        assert trips[0].departure >= 2 * DAY
+
+
+class TestEventInGeneratedTrace:
+    @pytest.fixture(scope="class")
+    def event_dataset(self):
+        event = EventConfig(day=9, start_hour=19.0, duration_h=3.0,
+                            attendee_fraction=0.5)
+        config = SimulationConfig(
+            n_cars=60, seed=77, clock=StudyClock(n_days=14), events=(event,)
+        )
+        return TraceGenerator(config).generate(), event
+
+    def test_event_creates_concurrency_spike_at_venue(self, event_dataset):
+        dataset, event = event_dataset
+        pre = preprocess(dataset.batch)
+        # Find the cells near the venue: the sector serving the metro core.
+        from repro.network.geometry import Point
+
+        center = dataset.topology.config.center
+        venue_site = dataset.topology.nearest_site(center)
+        venue_cells = [c.cell_id for c in venue_site.cells]
+        by_cell = pre.truncated.by_cell()
+
+        def evening_peak(cell_id, day):
+            tl = cell_timeline(pre.truncated, cell_id, day)
+            return int(tl.concurrency[18 * 4 : 23 * 4].max())
+
+        event_peak = max(
+            evening_peak(c, event.day) for c in venue_cells if c in by_cell
+        )
+        baseline_peak = max(
+            evening_peak(c, event.day - 7) for c in venue_cells if c in by_cell
+        )
+        assert event_peak > baseline_peak
+
+    def test_attendees_connect_near_event_time(self, event_dataset):
+        dataset, event = event_dataset
+        window_start = event.day * DAY + (event.start_hour - 1.5) * HOUR
+        window_end = event.day * DAY + (event.start_hour + event.duration_h + 1.5) * HOUR
+        in_window = {
+            r.car_id
+            for r in dataset.batch
+            if window_start <= r.start <= window_end
+        }
+        # With a 50% attendee fraction, a large share of the fleet shows up
+        # in the event window.
+        assert len(in_window) > 0.3 * len(dataset.cars)

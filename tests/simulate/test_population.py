@@ -1,0 +1,55 @@
+"""Unit tests for fleet synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.mobility.profiles import PROFILE_MIX, CarProfile
+from repro.simulate.population import BASE_CAPABILITIES, build_population
+
+
+class TestBuildPopulation:
+    def test_count_and_unique_ids(self, roads, clock, rng):
+        cars = build_population(100, roads, clock, rng)
+        assert len(cars) == 100
+        assert len({c.car_id for c in cars}) == 100
+
+    def test_ids_zero_padded_sortable(self, roads, clock, rng):
+        cars = build_population(12, roads, clock, rng)
+        ids = [c.car_id for c in cars]
+        assert ids == sorted(ids)
+
+    def test_base_capabilities(self, roads, clock, rng):
+        cars = build_population(50, roads, clock, rng, c5_capable_fraction=0.0)
+        for car in cars:
+            assert car.capabilities == BASE_CAPABILITIES
+            assert not car.c5_capable
+
+    def test_c5_fraction(self, roads, clock, rng):
+        cars = build_population(400, roads, clock, rng, c5_capable_fraction=0.5)
+        frac = sum(c.c5_capable for c in cars) / len(cars)
+        assert frac == pytest.approx(0.5, abs=0.1)
+
+    def test_profile_mix_respected(self, roads, clock, rng):
+        cars = build_population(2000, roads, clock, rng)
+        frac = sum(c.profile is CarProfile.COMMUTER for c in cars) / len(cars)
+        assert frac == pytest.approx(PROFILE_MIX[CarProfile.COMMUTER], abs=0.04)
+
+    def test_infotainment_factor_positive(self, roads, clock, rng):
+        for car in build_population(100, roads, clock, rng):
+            assert car.infotainment_factor > 0
+
+    def test_heavy_cars_stream_more_than_rare(self, roads, clock, rng):
+        cars = build_population(2000, roads, clock, rng)
+        heavy = np.mean(
+            [c.infotainment_factor for c in cars if c.profile is CarProfile.HEAVY]
+        )
+        rare = np.mean(
+            [c.infotainment_factor for c in cars if c.profile is CarProfile.RARE]
+        )
+        assert heavy > rare
+
+    def test_deterministic_given_rng_seed(self, roads, clock):
+        a = build_population(30, roads, clock, np.random.default_rng(9))
+        b = build_population(30, roads, clock, np.random.default_rng(9))
+        assert [c.profile for c in a] == [c.profile for c in b]
+        assert [c.itinerary.home for c in a] == [c.itinerary.home for c in b]

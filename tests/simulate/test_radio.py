@@ -1,0 +1,161 @@
+"""Unit tests for radio session synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.mobility.movement import SectorSpan
+from repro.simulate.config import ActivityConfig
+from repro.simulate.population import BASE_CAPABILITIES, Car
+from repro.simulate.radio import (
+    MIN_RECORD_S,
+    _merge_same_site,
+    generate_bursts,
+    records_for_trip,
+)
+from repro.mobility.profiles import CarItinerary, CarProfile
+
+WEIGHTS = {"C1": 0.2, "C2": 0.1, "C3": 0.5, "C4": 0.2}
+
+
+def make_car(capabilities=BASE_CAPABILITIES, infotainment=1.0):
+    return Car(
+        car_id="car-000001",
+        profile=CarProfile.COMMUTER,
+        itinerary=CarItinerary(
+            profile=CarProfile.COMMUTER,
+            home=0,
+            work=1,
+            depart_out_hour=8.0,
+            depart_back_hour=17.0,
+        ),
+        capabilities=frozenset(capabilities),
+        infotainment_factor=infotainment,
+    )
+
+
+class TestGenerateBursts:
+    def test_empty_for_zero_duration(self, rng):
+        assert generate_bursts(0.0, make_car(), ActivityConfig(), rng) == []
+
+    def test_bursts_sorted_disjoint(self, rng):
+        bursts = generate_bursts(1800.0, make_car(), ActivityConfig(), rng)
+        assert bursts
+        for a, b in zip(bursts, bursts[1:]):
+            assert a.end < b.start
+
+    def test_first_burst_at_engine_start(self, rng):
+        bursts = generate_bursts(1800.0, make_car(), ActivityConfig(), rng)
+        assert bursts[0].start == 0.0
+
+    def test_bursts_extended_by_timeout(self, rng):
+        cfg = ActivityConfig()
+        bursts = generate_bursts(600.0, make_car(infotainment=0.0), cfg, rng)
+        # Every burst carries at least the minimum idle timeout past its data.
+        assert all(b.duration >= cfg.idle_timeout_s[0] for b in bursts)
+
+    def test_bursts_bounded_by_trip_plus_timeout(self, rng):
+        cfg = ActivityConfig()
+        for _ in range(10):
+            bursts = generate_bursts(900.0, make_car(), cfg, rng)
+            assert bursts[-1].end <= 900.0 + cfg.idle_timeout_s[1] + 1e-6
+
+    def test_longer_trips_more_bursts(self, rng):
+        car = make_car(infotainment=0.0)
+        cfg = ActivityConfig()
+        short = np.mean(
+            [len(generate_bursts(300.0, car, cfg, rng)) for _ in range(30)]
+        )
+        long = np.mean(
+            [len(generate_bursts(3600.0, car, cfg, rng)) for _ in range(30)]
+        )
+        assert long > short
+
+
+class TestMergeSameSite:
+    def test_merges_consecutive_same_site(self):
+        spans = [
+            SectorSpan((1, 0), 0.0, 10.0),
+            SectorSpan((1, 2), 10.0, 20.0),
+            SectorSpan((2, 0), 20.0, 30.0),
+        ]
+        merged = _merge_same_site(spans)
+        assert len(merged) == 2
+        assert merged[0] == SectorSpan((1, 0), 0.0, 20.0)
+
+    def test_preserves_alternation(self):
+        spans = [
+            SectorSpan((1, 0), 0.0, 10.0),
+            SectorSpan((2, 0), 10.0, 20.0),
+            SectorSpan((1, 1), 20.0, 30.0),
+        ]
+        assert _merge_same_site(spans) == spans
+
+
+class TestRecordsForTrip:
+    def _timeline(self, topology, departure=1000.0):
+        keys = []
+        for site in topology.sites[:3]:
+            keys.append((site.base_station_id, 0))
+        spans = []
+        t = departure
+        for key in keys:
+            spans.append(SectorSpan(key, t, t + 300.0))
+            t += 300.0
+        return spans
+
+    def test_records_within_burst_windows(self, topology, rng):
+        car = make_car()
+        timeline = self._timeline(topology)
+        records = records_for_trip(
+            car, 1000.0, timeline, topology, WEIGHTS, ActivityConfig(), rng
+        )
+        assert records
+        for rec in records:
+            assert rec.start >= 1000.0
+            assert rec.duration >= MIN_RECORD_S
+            assert rec.car_id == car.car_id
+
+    def test_records_cells_belong_to_timeline_sites(self, topology, rng):
+        car = make_car()
+        timeline = self._timeline(topology)
+        site_ids = {k.sector_key[0] for k in timeline}
+        records = records_for_trip(
+            car, 1000.0, timeline, topology, WEIGHTS, ActivityConfig(), rng
+        )
+        for rec in records:
+            assert topology.cell(rec.cell_id).base_station_id in site_ids
+
+    def test_carrier_respects_capabilities(self, topology, rng):
+        car = make_car(capabilities={"C3"})
+        timeline = self._timeline(topology)
+        records = records_for_trip(
+            car, 1000.0, timeline, topology, {"C3": 1.0}, ActivityConfig(), rng
+        )
+        assert records
+        assert {r.carrier for r in records} == {"C3"}
+
+    def test_technology_matches_carrier(self, topology, rng):
+        car = make_car()
+        records = records_for_trip(
+            car, 1000.0, self._timeline(topology), topology, WEIGHTS, ActivityConfig(), rng
+        )
+        for rec in records:
+            assert rec.technology == ("3G" if rec.carrier == "C1" else "4G")
+
+    def test_empty_timeline_no_records(self, topology, rng):
+        assert (
+            records_for_trip(
+                make_car(), 0.0, [], topology, WEIGHTS, ActivityConfig(), rng
+            )
+            == []
+        )
+
+    def test_burst_crossing_sites_splits_records(self, topology, rng):
+        # With a high-duty activity config, at least one burst spans several
+        # sites and must emit one record per site (the handover).
+        car = make_car(infotainment=5.0)
+        cfg = ActivityConfig(infotainment_prob=1.0, infotainment_mean_s=5000.0)
+        timeline = self._timeline(topology)
+        records = records_for_trip(car, 1000.0, timeline, topology, WEIGHTS, cfg, rng)
+        cells = {topology.cell(r.cell_id).base_station_id for r in records}
+        assert len(cells) >= 2

@@ -1,0 +1,75 @@
+"""Property-based tests for the radio session synthesizer."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mobility.profiles import CarItinerary, CarProfile
+from repro.simulate.config import ActivityConfig
+from repro.simulate.population import BASE_CAPABILITIES, Car
+from repro.simulate.radio import generate_bursts
+
+
+def make_car(factor: float) -> Car:
+    return Car(
+        car_id="car-p",
+        profile=CarProfile.COMMUTER,
+        itinerary=CarItinerary(
+            profile=CarProfile.COMMUTER,
+            home=0,
+            work=1,
+            depart_out_hour=8.0,
+            depart_back_hour=17.0,
+        ),
+        capabilities=BASE_CAPABILITIES,
+        infotainment_factor=factor,
+    )
+
+
+@given(
+    duration=st.floats(min_value=0, max_value=3 * 3600, allow_nan=False),
+    factor=st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=80)
+def test_bursts_sorted_disjoint_and_bounded(duration, factor, seed):
+    rng = np.random.default_rng(seed)
+    cfg = ActivityConfig()
+    bursts = generate_bursts(duration, make_car(factor), cfg, rng)
+    if duration <= 0:
+        assert bursts == []
+        return
+    assert bursts, "a trip always produces at least the startup burst"
+    lo, hi = cfg.idle_timeout_s
+    for burst in bursts:
+        assert burst.start >= 0
+        # Data stops by trip end; only the idle-timeout tail extends past.
+        assert burst.end <= duration + hi + 1e-6
+        assert burst.duration > 0
+    for a, b in zip(bursts, bursts[1:]):
+        assert a.end < b.start  # merged output is strictly disjoint
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=30)
+def test_bursts_deterministic_in_rng(seed):
+    cfg = ActivityConfig()
+    a = generate_bursts(1800.0, make_car(1.0), cfg, np.random.default_rng(seed))
+    b = generate_bursts(1800.0, make_car(1.0), cfg, np.random.default_rng(seed))
+    assert a == b
+
+
+@given(
+    duration=st.floats(min_value=300, max_value=2 * 3600, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=40)
+def test_total_burst_time_bounded_by_trip(duration, seed):
+    cfg = ActivityConfig()
+    rng = np.random.default_rng(seed)
+    bursts = generate_bursts(duration, make_car(1.0), cfg, rng)
+    covered = sum(b.duration for b in bursts)
+    # Disjoint bursts within [0, duration + timeout] cannot cover more.
+    assert covered <= duration + cfg.idle_timeout_s[1] + 1e-6
