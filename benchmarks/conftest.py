@@ -11,6 +11,7 @@ survive pytest's output capture.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -57,3 +58,25 @@ def emit(request):
         print(f"\n=== {name} ===\n{text}")
 
     return _emit
+
+
+@pytest.fixture()
+def emit_json(request):
+    """Persist a machine-readable result under benchmarks/out/<name>.json.
+
+    The companion of ``emit`` for dashboards and CI trend tracking: the
+    payload is written as indented JSON and echoed to stdout.
+    """
+
+    def _emit_json(name: str, payload: dict, merge: bool = False) -> None:
+        OUT_DIR.mkdir(exist_ok=True)
+        path = OUT_DIR / f"{name}.json"
+        if merge and path.exists():
+            merged = json.loads(path.read_text())
+            merged.update(payload)
+            payload = merged
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        path.write_text(text + "\n")
+        print(f"\n=== {name}.json ===\n{text}")
+
+    return _emit_json

@@ -18,6 +18,7 @@ from repro.cdr.io import (
     write_records_daily,
     write_records_jsonl,
 )
+from repro.cdr.columnar import ColumnarCDRBatch
 from repro.cdr.records import CDRBatch, ConnectionRecord
 from repro.cdr.validate import TraceValidator, ValidationReport
 
@@ -25,6 +26,7 @@ __all__ = [
     "Anonymizer",
     "CDRBatch",
     "CDRValidationError",
+    "ColumnarCDRBatch",
     "ConnectionRecord",
     "QualityReport",
     "TraceValidator",

@@ -11,12 +11,19 @@ from __future__ import annotations
 from collections import defaultdict
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
+from operator import attrgetter
 
 from repro.algorithms.intervals import Interval
 from repro.cdr.errors import CDRValidationError
 
+#: Key function matching :class:`ConnectionRecord`'s field ordering; sorting
+#: with an extracted key is ~2x faster than per-comparison tuple building.
+_RECORD_SORT_KEY = attrgetter(
+    "start", "car_id", "cell_id", "carrier", "technology", "duration"
+)
 
-@dataclass(frozen=True, order=True)
+
+@dataclass(frozen=True, order=True, slots=True)
 class ConnectionRecord:
     """One radio connection from a car to a cell.
 
@@ -68,12 +75,27 @@ class CDRBatch:
 
     The batch owns its list; iterate it or use the grouping helpers, which
     are what every analysis in :mod:`repro.core` consumes.
+
+    ``assume_sorted=True`` skips the construction sort.  It is for callers
+    that can prove order is preserved — preprocessing drops/truncates rows
+    of an already-sorted batch without reordering them — and makes batch
+    construction O(n).  Passing unsorted records with ``assume_sorted=True``
+    is a contract violation; grouping helpers would silently misbehave.
     """
 
-    def __init__(self, records: Iterable[ConnectionRecord]) -> None:
-        self._records: list[ConnectionRecord] = sorted(records)
+    def __init__(
+        self,
+        records: Iterable[ConnectionRecord],
+        *,
+        assume_sorted: bool = False,
+    ) -> None:
+        if assume_sorted:
+            self._records: list[ConnectionRecord] = list(records)
+        else:
+            self._records = sorted(records, key=_RECORD_SORT_KEY)
         self._by_car: dict[str, list[ConnectionRecord]] | None = None
         self._by_cell: dict[int, list[ConnectionRecord]] | None = None
+        self._columnar = None
 
     def __len__(self) -> int:
         return len(self._records)
@@ -89,13 +111,35 @@ class CDRBatch:
         """The sorted record list (not a copy; treat as read-only)."""
         return self._records
 
+    def columnar(self):
+        """This batch's columnar view, built once and cached.
+
+        Returns a :class:`repro.cdr.columnar.ColumnarCDRBatch` sharing the
+        batch's row order; vectorized cleaning and grouping go through it.
+        """
+        if self._columnar is None:
+            from repro.cdr.columnar import ColumnarCDRBatch
+
+            self._columnar = ColumnarCDRBatch.from_records(self._records)
+        return self._columnar
+
     def by_car(self) -> dict[str, list[ConnectionRecord]]:
         """Records grouped per car, each group chronological."""
         if self._by_car is None:
-            groups: dict[str, list[ConnectionRecord]] = defaultdict(list)
-            for rec in self._records:
-                groups[rec.car_id].append(rec)
-            self._by_car = dict(groups)
+            if self._columnar is not None:
+                # One stable argsort over the car codes replaces a python
+                # dict append per record; chronological order within each
+                # group survives because the batch rows are time-sorted.
+                recs = self._records
+                self._by_car = {
+                    car: [recs[i] for i in idx]
+                    for car, idx in self._columnar.group_rows_by_car().items()
+                }
+            else:
+                groups: dict[str, list[ConnectionRecord]] = defaultdict(list)
+                for rec in self._records:
+                    groups[rec.car_id].append(rec)
+                self._by_car = dict(groups)
         return self._by_car
 
     def by_cell(self) -> dict[int, list[ConnectionRecord]]:
@@ -117,7 +161,11 @@ class CDRBatch:
 
     def filtered(self, predicate) -> "CDRBatch":
         """New batch keeping records for which ``predicate(record)`` is true."""
-        return CDRBatch(rec for rec in self._records if predicate(rec))
+        # Filtering a sorted list preserves its order, so the copy need not
+        # re-sort.
+        return CDRBatch(
+            [rec for rec in self._records if predicate(rec)], assume_sorted=True
+        )
 
     def validate(self, study_duration: float | None = None) -> None:
         """Raise :class:`CDRValidationError` on ill-formed batches.

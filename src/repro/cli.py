@@ -41,6 +41,13 @@ def _add_generate(subparsers) -> None:
     p.add_argument("--cars", type=int, default=200)
     p.add_argument("--days", type=int, default=28)
     p.add_argument("--seed", type=int, default=None, help="override the root seed")
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for generation; output is identical at any "
+        "count (1 = serial, 0 = one per CPU)",
+    )
     p.add_argument("--out", required=True, help="output CSV path")
     p.add_argument(
         "--anonymize-key",
@@ -119,7 +126,13 @@ def cmd_generate(args) -> int:
         from dataclasses import replace
 
         config = replace(config, seed=args.seed)
-    dataset = TraceGenerator(config).generate()
+    if args.workers == 1:
+        dataset = TraceGenerator(config).generate()
+    else:
+        from repro.simulate.parallel import ParallelTraceGenerator
+
+        n_workers = args.workers if args.workers > 0 else None
+        dataset = ParallelTraceGenerator(config, n_workers=n_workers).generate()
     records = dataset.batch.records
     if args.anonymize_key:
         records = Anonymizer(key=args.anonymize_key).anonymize(records)

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.algorithms.intervals import Interval, concatenate_gaps
 from repro.cdr.records import CDRBatch, ConnectionRecord
 
@@ -95,15 +97,44 @@ def is_ghost_record(record: ConnectionRecord) -> bool:
 def preprocess(
     batch: CDRBatch, config: PreprocessConfig | None = None
 ) -> PreprocessResult:
-    """Apply the Section 3 cleaning rules to a raw batch."""
+    """Apply the Section 3 cleaning rules to a raw batch.
+
+    Both rules run on the batch's columnar view: the ghost mask and the
+    truncation are single vectorized array operations, and because dropping
+    or capping rows of a time-sorted batch never reorders it, the cleaned
+    batches are built with ``assume_sorted=True`` — no re-sort, no
+    per-record Python predicates.
+    """
     cfg = config or PreprocessConfig()
-    kept = [rec for rec in batch if not is_ghost_record(rec)]
-    truncated = [rec.truncated(cfg.truncate_s) for rec in kept]
+    records = batch.records
+    col = batch.columnar()
+    ghost_mask = np.abs(col.duration - GHOST_DURATION_S) <= GHOST_TOLERANCE_S
+    n_ghosts = int(np.count_nonzero(ghost_mask))
+    if n_ghosts:
+        keep_idx = np.flatnonzero(~ghost_mask)
+        kept = [records[i] for i in keep_idx.tolist()]
+        kept_col = col.take(keep_idx)
+    else:
+        kept = records
+        kept_col = col
+
+    # Only the over-cap records need a fresh object; the rest are shared
+    # with ``full``.  Capping durations cannot break the sort order because
+    # min(d, cap) is monotone in d and duration is the last sort key.
+    over_idx = np.flatnonzero(kept_col.duration > cfg.truncate_s)
+    truncated = list(kept)
+    for i in over_idx.tolist():
+        truncated[i] = kept[i].truncated(cfg.truncate_s)
+
+    full = CDRBatch(kept, assume_sorted=True)
+    full._columnar = kept_col
+    truncated_batch = CDRBatch(truncated, assume_sorted=True)
+    truncated_batch._columnar = kept_col.truncated(cfg.truncate_s)
     return PreprocessResult(
         config=cfg,
-        full=CDRBatch(kept),
-        truncated=CDRBatch(truncated),
-        n_dropped_ghosts=len(batch) - len(kept),
+        full=full,
+        truncated=truncated_batch,
+        n_dropped_ghosts=n_ghosts,
     )
 
 

@@ -17,7 +17,6 @@ import numpy as np
 
 from repro.mobility.roads import RoadNetwork
 from repro.mobility.routing import Route
-from repro.network.geometry import interpolate
 from repro.network.topology import NetworkTopology
 
 
@@ -60,6 +59,12 @@ class EdgeCellIndex:
         self.topology = topology
         self.sample_km = sample_km
         self._spans: dict[tuple[int, int], tuple[tuple[tuple[int, int], float], ...]] = {}
+        #: n_samples -> linspace(0, 1, n_samples); edges share few counts.
+        self._fractions: dict[int, np.ndarray] = {}
+        #: Per-route flattened sector runs (see :meth:`route_runs`).
+        self._route_runs: dict[
+            tuple[int, ...], tuple[tuple[tuple[int, int], tuple[float, ...]], ...]
+        ] = {}
 
     def edge_spans(
         self, a: int, b: int
@@ -81,11 +86,15 @@ class EdgeCellIndex:
         pb = self.roads.position(b)
         length = float(self.roads.graph.edges[a, b]["length_km"])
         n_samples = max(2, int(np.ceil(length / self.sample_km)) + 1)
-        fractions = np.linspace(0.0, 1.0, n_samples)
-        keys = []
-        for f in fractions:
-            sector = self.topology.serving_sector(interpolate(pa, pb, float(f)))
-            keys.append((sector.base_station_id, sector.sector_index))
+        fractions = self._fractions.get(n_samples)
+        if fractions is None:
+            fractions = np.linspace(0.0, 1.0, n_samples)
+            self._fractions[n_samples] = fractions
+        # One batched nearest-site query for all samples of the edge; the
+        # per-point arithmetic matches interpolate()/serving_sector exactly.
+        xs = pa.x + (pb.x - pa.x) * fractions
+        ys = pa.y + (pb.y - pa.y) * fractions
+        keys = self.topology.serving_sector_keys(xs, ys)
 
         spans: list[tuple[tuple[int, int], float]] = []
         run_start = 0
@@ -99,10 +108,61 @@ class EdgeCellIndex:
         self._spans[(a, b)] = result
         return result
 
+    def route_runs(
+        self, route: Route
+    ) -> tuple[tuple[tuple[int, int], tuple[float, ...]], ...]:
+        """Flattened sector runs for a whole route, cached per node sequence.
+
+        Each run is ``(sector_key, increments)``: the contiguous stretch of
+        the route spent under one sector, as the sequence of per-sample time
+        increments (``leg_time * fraction``) that advance the clock through
+        it.  Expanding a trip is then a flat walk over precomputed floats —
+        no per-trip edge lookups — and, because the increments are the very
+        products the unbatched path multiplies, accumulating them reproduces
+        its timeline bit-for-bit.
+        """
+        cached = self._route_runs.get(route.nodes)
+        if cached is not None:
+            return cached
+        runs: list[tuple[tuple[int, int], list[float]]] = []
+        for a, b, leg_time in zip(route.nodes, route.nodes[1:], route.leg_times):
+            for sector_key, fraction in self.edge_spans(a, b):
+                inc = leg_time * fraction
+                if runs and runs[-1][0] == sector_key:
+                    runs[-1][1].append(inc)
+                else:
+                    runs.append((sector_key, [inc]))
+        result = tuple((key, tuple(incs)) for key, incs in runs)
+        self._route_runs[route.nodes] = result
+        return result
+
     @property
     def cache_size(self) -> int:
         """Number of directed edges sampled so far."""
         return len(self._spans)
+
+
+def route_span_arrays(
+    route: Route, departure: float, index: EdgeCellIndex
+) -> tuple[list[tuple[int, int]], list[float], list[float]]:
+    """Sector keys and span start/end times for a routed trip, as lists.
+
+    The columnar twin of :func:`route_sector_timeline` — identical values
+    (the same increments accumulate in the same order), without building a
+    :class:`SectorSpan` per stretch.  The per-car record loop runs on this
+    form; the object timeline remains for callers that want one.
+    """
+    keys: list[tuple[int, int]] = []
+    starts: list[float] = []
+    ends: list[float] = []
+    t = departure
+    for sector_key, increments in index.route_runs(route):
+        starts.append(t)
+        for inc in increments:
+            t = t + inc
+        ends.append(t)
+        keys.append(sector_key)
+    return keys, starts, ends
 
 
 def route_sector_timeline(
@@ -114,15 +174,7 @@ def route_sector_timeline(
     so the result is the car's camping history: one span per stretch under a
     single sector.
     """
-    timeline: list[SectorSpan] = []
-    t = departure
-    for a, b, leg_time in zip(route.nodes, route.nodes[1:], route.leg_times):
-        for sector_key, fraction in index.edge_spans(a, b):
-            end = t + leg_time * fraction
-            if timeline and timeline[-1].sector_key == sector_key:
-                last = timeline[-1]
-                timeline[-1] = SectorSpan(sector_key, last.start, end)
-            else:
-                timeline.append(SectorSpan(sector_key, t, end))
-            t = end
-    return timeline
+    keys, starts, ends = route_span_arrays(route, departure, index)
+    return [
+        SectorSpan(key, start, end) for key, start, end in zip(keys, starts, ends)
+    ]

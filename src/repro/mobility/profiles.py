@@ -162,8 +162,8 @@ class DailyTripPlanner:
             profile=profile,
             home=home,
             work=work,
-            depart_out_hour=float(np.clip(rng.normal(7.8, 0.8), 5.5, 10.5)),
-            depart_back_hour=float(np.clip(rng.normal(17.2, 1.0), 14.5, 21.0)),
+            depart_out_hour=float(min(max(rng.normal(7.8, 0.8), 5.5), 10.5)),
+            depart_back_hour=float(min(max(rng.normal(17.2, 1.0), 14.5), 21.0)),
             errand_window=errand_window,
             activation_day=activation_day,
             rare_days=rare_days,
@@ -213,9 +213,9 @@ class DailyTripPlanner:
         back_depart = day_start + (
             itinerary.depart_back_hour + float(rng.normal(0.0, 0.4))
         ) * HOUR
-        out_depart = float(np.clip(out_depart, day_start, day_start + DAY - 2 * HOUR))
+        out_depart = float(min(max(out_depart, day_start), day_start + DAY - 2 * HOUR))
         back_depart = float(
-            np.clip(back_depart, out_depart + HOUR, day_start + DAY - HOUR)
+            min(max(back_depart, out_depart + HOUR), day_start + DAY - HOUR)
         )
         return [
             Trip(out_depart, itinerary.home, itinerary.work, TripPurpose.COMMUTE_OUT),
@@ -235,7 +235,7 @@ class DailyTripPlanner:
         trips: list[Trip] = []
         origin = itinerary.home
         lo, hi = itinerary.errand_window
-        t = day_start + float(rng.uniform(lo, hi)) * HOUR
+        t = day_start + float(lo + (hi - lo) * rng.random()) * HOUR
         for _ in range(n_out):
             dest = self.roads.random_node_near(
                 rng, self.roads.position(origin), radius_km=12.0
@@ -243,13 +243,13 @@ class DailyTripPlanner:
             if dest == origin:
                 continue
             trips.append(Trip(t, origin, dest, TripPurpose.LEISURE))
-            dwell = float(rng.uniform(0.5, 2.5)) * HOUR
+            dwell = float(0.5 + (2.5 - 0.5) * rng.random()) * HOUR
             t_back = min(t + dwell, day_start + DAY - 30 * 60)
             if t_back <= trips[-1].departure:
                 t_back = trips[-1].departure + 20 * 60
             trips.append(Trip(t_back, dest, origin, TripPurpose.LEISURE))
             origin = itinerary.home
-            t = t_back + float(rng.uniform(0.5, 2.0)) * HOUR
+            t = t_back + float(0.5 + (2.0 - 0.5) * rng.random()) * HOUR
             if t >= day_start + DAY - HOUR:
                 break
         return trips

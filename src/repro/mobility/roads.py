@@ -48,6 +48,8 @@ class RoadNetwork:
         self._coords = np.asarray(
             [(graph.nodes[n]["pos"].x, graph.nodes[n]["pos"].y) for n in self._node_ids]
         )
+        #: (x, y, radius_km) -> node ids within the disc, for errand draws.
+        self._near_cache: dict[tuple[float, float, float], np.ndarray] = {}
 
     @property
     def n_nodes(self) -> int:
@@ -78,10 +80,19 @@ class RoadNetwork:
         """Random node within ``radius_km`` of ``center``.
 
         Falls back to the single nearest node when the disc is empty, so
-        callers always get a valid destination.
+        callers always get a valid destination.  Candidate discs are cached
+        per (center, radius): errand destinations are drawn around the same
+        home nodes all study long, and the draw itself consumes the RNG the
+        same way whether or not the disc was cached.
         """
-        d = np.hypot(self._coords[:, 0] - center.x, self._coords[:, 1] - center.y)
-        candidates = self._node_ids[d <= radius_km]
+        cache_key = (center.x, center.y, radius_km)
+        candidates = self._near_cache.get(cache_key)
+        if candidates is None:
+            d = np.hypot(
+                self._coords[:, 0] - center.x, self._coords[:, 1] - center.y
+            )
+            candidates = self._node_ids[d <= radius_km]
+            self._near_cache[cache_key] = candidates
         if candidates.size == 0:
             return self.nearest_node(center)
         return int(candidates[int(rng.integers(candidates.size))])

@@ -8,6 +8,8 @@ sends longer trips onto the highways exactly as real commutes do.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from heapq import heappop, heappush
+from itertools import count
 
 import networkx as nx
 
@@ -56,6 +58,108 @@ class Router:
     def __init__(self, roads: RoadNetwork) -> None:
         self.roads = roads
         self._cache: dict[tuple[int, int], Route] = {}
+        self._adj: tuple[list, dict, list] | None = None
+
+    def _adjacency(self) -> tuple[list, dict, list]:
+        """Index-compacted neighbour lists with pre-extracted travel times.
+
+        Nodes are relabelled to dense indices in the graph's iteration
+        order and each neighbour list keeps that order, so a search over
+        these lists relaxes edges exactly as networkx would.  Returns
+        ``(adj, index_of, labels)`` where ``adj[i]`` is a list of
+        ``(neighbour_index, travel_time)`` pairs.
+        """
+        if self._adj is None:
+            g_adj = self.roads.graph._adj
+            labels = list(g_adj)
+            index_of = {u: i for i, u in enumerate(labels)}
+            adj = [
+                [
+                    (index_of[v], data.get("travel_time_s", 1))
+                    for v, data in g_adj[u].items()
+                ]
+                for u in labels
+            ]
+            self._adj = (adj, index_of, labels)
+        return self._adj
+
+    def _fastest_path(self, source: int, target: int) -> list[int]:
+        """Bidirectional Dijkstra over the pre-extracted adjacency.
+
+        A specialization of :func:`networkx.bidirectional_dijkstra` for an
+        undirected graph with scalar edge weights: same heap discipline,
+        same tie-breaking counter, same meet-point bookkeeping, so it
+        returns the identical path.  Distances and predecessors live in
+        flat arrays over the compact node indices instead of dicts; the
+        relabelling cannot change the search because heap entries carry a
+        unique counter, so node values are never compared.
+        """
+        adj, index_of, labels = self._adjacency()
+        s = index_of.get(source)
+        if s is None:
+            raise nx.NodeNotFound(f"Source {source} is not in G")
+        t = index_of.get(target)
+        if t is None:
+            raise nx.NodeNotFound(f"Target {target} is not in G")
+        if s == t:
+            return [source]
+        n = len(adj)
+        dists: tuple[list, list] = ([None] * n, [None] * n)
+        seen: tuple[list, list] = ([None] * n, [None] * n)
+        #: -1 marks the search roots; every other visited node gets a pred.
+        preds: tuple[list, list] = ([-1] * n, [-1] * n)
+        fringe: tuple[list, list] = ([], [])
+        seen[0][s] = 0
+        seen[1][t] = 0
+        c = count()
+        heappush(fringe[0], (0, next(c), s))
+        heappush(fringe[1], (0, next(c), t))
+
+        def path(curr: int, direction: int) -> list[int]:
+            ret: list[int] = []
+            p = preds[direction]
+            while curr != -1:
+                ret.append(labels[curr])
+                curr = p[curr]
+            return ret[::-1] if direction == 0 else ret
+
+        finaldist: float | None = None
+        meetnode: int = -1
+        direction = 1
+        while fringe[0] and fringe[1]:
+            direction = 1 - direction
+            dist, _, v = heappop(fringe[direction])
+            d_dists = dists[direction]
+            if d_dists[v] is not None:
+                continue
+            d_dists[v] = dist
+            if dists[1 - direction][v] is not None:
+                return path(meetnode, 0) + path(preds[1][meetnode], 1)
+            d_seen = seen[direction]
+            o_seen = seen[1 - direction]
+            d_fringe = fringe[direction]
+            d_preds = preds[direction]
+            for w, cost in adj[v]:
+                vw_length = dist + cost
+                w_dist = d_dists[w]
+                if w_dist is not None:
+                    if vw_length < w_dist:
+                        raise ValueError(
+                            "Contradictory paths found: negative weights?"
+                        )
+                    continue
+                w_seen = d_seen[w]
+                if w_seen is None or vw_length < w_seen:
+                    d_seen[w] = vw_length
+                    heappush(d_fringe, (vw_length, next(c), w))
+                    d_preds[w] = v
+                    o = o_seen[w]
+                    if o is not None:
+                        total = vw_length + o
+                        if finaldist is None or finaldist > total:
+                            finaldist = total
+                            meetnode = w
+        raise nx.NetworkXNoPath(f"No path between {source} and {target}.")
 
     def route(self, origin: int, destination: int) -> Route:
         """Fastest route between two road nodes.
@@ -76,9 +180,7 @@ class Router:
             )
             self._cache[key] = result
             return result
-        path = nx.shortest_path(
-            self.roads.graph, origin, destination, weight="travel_time_s"
-        )
+        path = self._fastest_path(origin, destination)
         legs = tuple(
             self.roads.edge_travel_time(a, b) for a, b in zip(path, path[1:])
         )

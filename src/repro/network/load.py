@@ -141,13 +141,13 @@ class CellLoadModel:
             tier = self.topology.config.tier_of(cell.location)
             hot = hot_sites[cell.base_station_id]
             if hot:
-                ceiling = float(np.clip(rng.normal(0.96, 0.02), 0.88, 1.0))
-                floor = float(np.clip(rng.normal(0.68, 0.04), 0.55, 0.78))
+                ceiling = float(min(max(rng.normal(0.96, 0.02), 0.88), 1.0))
+                floor = float(min(max(rng.normal(0.68, 0.04), 0.55), 0.78))
             else:
                 ceiling = float(
-                    np.clip(rng.normal(_TIER_CEILING[tier], 0.10), 0.10, 0.92)
+                    min(max(rng.normal(_TIER_CEILING[tier], 0.10), 0.10), 0.92)
                 )
-                floor = float(np.clip(rng.normal(0.12, 0.04), 0.02, 0.30))
+                floor = float(min(max(rng.normal(0.12, 0.04), 0.02), 0.30))
             if floor > ceiling:
                 floor, ceiling = ceiling, floor
             self._profiles[cell_id] = LoadProfile(floor=floor, ceiling=ceiling, hot=hot)

@@ -11,6 +11,7 @@ carriers appear only in the urban core, like the paper's barely-used C5).
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -85,12 +86,29 @@ class NetworkTopology:
     sites: list[BaseStation]
     cells: dict[int, Cell] = field(default_factory=dict)
     _tree: cKDTree | None = field(default=None, repr=False)
+    #: Per-site (x, y, base_station_id, ((azimuth, sector_index), ...)) rows
+    #: for the allocation-free fast path in :meth:`serving_sector_keys`.
+    _site_rows: list | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if not self.cells:
             self.cells = {c.cell_id: c for site in self.sites for c in site.cells}
         coords = np.asarray([(s.location.x, s.location.y) for s in self.sites])
         self._tree = cKDTree(coords)
+        self._site_rows = [
+            (
+                s.location.x,
+                s.location.y,
+                s.base_station_id,
+                tuple((sec.azimuth_deg, sec.sector_index) for sec in s.sectors),
+            )
+            for s in self.sites
+        ]
+        #: (sector_key, carrier) -> (sector, cell_or_None) memo.
+        self._sector_cell_cache: dict = {}
+        #: Cached usable-cell lists and draw CDFs for the fallback pick in
+        #: :meth:`choose_cell_in_sector`.
+        self._choice_cache: dict = {}
 
     @property
     def n_cells(self) -> int:
@@ -112,12 +130,59 @@ class NetworkTopology:
         site = self.nearest_site(location)
         return site.sector_for_bearing(bearing_deg(site.location, location))
 
+    def serving_sector_keys(
+        self, xs: np.ndarray, ys: np.ndarray
+    ) -> list[tuple[int, int]]:
+        """Serving ``(base station id, sector index)`` for many locations.
+
+        Equivalent to :meth:`serving_sector` per point, but with a single
+        batched nearest-site query — the fast path for sampling road edges.
+        """
+        _, idxs = self._tree.query(np.column_stack((xs, ys)))
+        rows = self._site_rows
+        atan2 = math.atan2
+        degrees = math.degrees
+        keys: list[tuple[int, int]] = []
+        for i, x, y in zip(np.atleast_1d(idxs).tolist(), xs.tolist(), ys.tolist()):
+            sx, sy, bs_id, sectors = rows[i]
+            # Inlined bearing_deg/sector_for_bearing: same arithmetic and
+            # the same first-minimum tie-breaking as min(key=angular_gap),
+            # without Point/closure allocations per sample.
+            bearing = degrees(atan2(x - sx, y - sy)) % 360.0
+            best_gap = 361.0
+            best_idx = 0
+            for az, s_idx in sectors:
+                diff = abs(bearing - az) % 360.0
+                gap = 360.0 - diff if diff > 180.0 else diff
+                if gap < best_gap:
+                    best_gap = gap
+                    best_idx = s_idx
+            keys.append((bs_id, best_idx))
+        return keys
+
     def sector(self, base_station_id: int, sector_index: int) -> Sector:
         """Sector by its ``(base station id, sector index)`` key."""
         site = self.sites[base_station_id - 1]
         if site.base_station_id != base_station_id:
             raise KeyError(f"unknown base station id {base_station_id}")
         return site.sectors[sector_index]
+
+    def sector_cell(
+        self, sector_key: tuple[int, int], carrier: str
+    ) -> tuple[Sector, Cell | None]:
+        """The sector for a key and its cell on ``carrier``, memoized.
+
+        Trace generation resolves the same few thousand (sector, carrier)
+        pairs millions of times; the memo turns each resolution into one
+        dict hit.
+        """
+        cache_key = (sector_key, carrier)
+        entry = self._sector_cell_cache.get(cache_key)
+        if entry is None:
+            sector = self.sector(*sector_key)
+            entry = (sector, sector.cell_on(carrier))
+            self._sector_cell_cache[cache_key] = entry
+        return entry
 
     def choose_cell_in_sector(
         self,
@@ -132,19 +197,40 @@ class NetworkTopology:
         by geometry, the carrier within it is a weighted draw.  Returns
         ``None`` when the device supports none of the sector's carriers.
         """
-        usable = [c for c in sector.cells if c.carrier.name in capabilities]
+        caps = (
+            capabilities
+            if isinstance(capabilities, frozenset)
+            else frozenset(capabilities)
+        )
+        wkey = None if carrier_weights is None else tuple(carrier_weights.items())
+        cache_key = (sector.base_station_id, sector.sector_index, caps, wkey)
+        entry = self._choice_cache.get(cache_key)
+        if entry is None:
+            usable = [c for c in sector.cells if c.carrier.name in caps]
+            if usable:
+                if carrier_weights is None:
+                    weights = np.ones(len(usable))
+                else:
+                    weights = np.asarray(
+                        [carrier_weights.get(c.carrier.name, 0.0) for c in usable],
+                        dtype=float,
+                    )
+                    if weights.sum() <= 0:
+                        weights = np.ones(len(usable))
+                weights = weights / weights.sum()
+                # rng.choice(n, p=p) draws one uniform and inverts this same
+                # CDF, so the cached-CDF draw below consumes the stream and
+                # picks the index bit-identically.
+                cdf = weights.cumsum()
+                cdf /= cdf[-1]
+            else:
+                cdf = None
+            entry = (usable, cdf)
+            self._choice_cache[cache_key] = entry
+        usable, cdf = entry
         if not usable:
             return None
-        if carrier_weights is None:
-            weights = np.ones(len(usable))
-        else:
-            weights = np.asarray(
-                [carrier_weights.get(c.carrier.name, 0.0) for c in usable], dtype=float
-            )
-            if weights.sum() <= 0:
-                weights = np.ones(len(usable))
-        weights = weights / weights.sum()
-        return usable[int(rng.choice(len(usable), p=weights))]
+        return usable[int(cdf.searchsorted(rng.random(), side="right"))]
 
     def serving_cell(
         self,

@@ -19,6 +19,7 @@ from repro.simulate.artifacts import (
 from repro.simulate.config import SimulationConfig
 from repro.simulate.events import EventConfig
 from repro.simulate.generator import TraceDataset, TraceGenerator
+from repro.simulate.parallel import ParallelTraceGenerator
 from repro.simulate.population import Car, build_population
 from repro.simulate.scenarios import SCENARIOS, scenario
 
@@ -26,6 +27,7 @@ __all__ = [
     "ArtifactConfig",
     "Car",
     "EventConfig",
+    "ParallelTraceGenerator",
     "SCENARIOS",
     "SimulationConfig",
     "TraceDataset",

@@ -109,25 +109,24 @@ def apply_stuck_modems(
         raise TraceGenerationError(f"stuck rate must be in [0, 1], got {rate}")
     if rate == 0 or not records:
         return list(records)
-    out: list[ConnectionRecord] = []
+    out = list(records)
     mask = rng.random(len(records)) < rate
-    for rec, stuck in zip(records, mask):
-        if not stuck:
-            out.append(rec)
-            continue
-        extra = float(rng.lognormal(log_mean, log_sigma))
+    stuck_idx = np.flatnonzero(mask)
+    # One batched draw consumes the RNG exactly like per-record scalar
+    # draws in record order, so traces are unchanged — just faster.
+    extras = rng.lognormal(log_mean, log_sigma, size=len(stuck_idx))
+    for idx, extra in zip(stuck_idx.tolist(), extras.tolist()):
+        rec = records[idx]
         duration = rec.duration + extra
         if abs(duration - GHOST_DURATION_S) < 1.0:
             duration += 2.0
-        out.append(
-            ConnectionRecord(
-                start=rec.start,
-                car_id=rec.car_id,
-                cell_id=rec.cell_id,
-                carrier=rec.carrier,
-                technology=rec.technology,
-                duration=duration,
-            )
+        out[idx] = ConnectionRecord(
+            start=rec.start,
+            car_id=rec.car_id,
+            cell_id=rec.cell_id,
+            carrier=rec.carrier,
+            technology=rec.technology,
+            duration=duration,
         )
     return out
 
@@ -144,9 +143,11 @@ def apply_data_loss(
     if not loss_days or fraction == 0:
         return list(records)
     lost = set(loss_days)
-    out: list[ConnectionRecord] = []
-    for rec in records:
-        if int(rec.start // DAY) in lost and rng.random() < fraction:
-            continue
-        out.append(rec)
-    return out
+    candidates = [i for i, rec in enumerate(records) if int(rec.start // DAY) in lost]
+    if not candidates:
+        return list(records)
+    # Batched draw, one per candidate in record order: identical RNG
+    # consumption to the scalar-per-record loop it replaces.
+    dropped = rng.random(len(candidates)) < fraction
+    drop = {i for i, d in zip(candidates, dropped.tolist()) if d}
+    return [rec for i, rec in enumerate(records) if i not in drop]

@@ -91,3 +91,36 @@ class TestCDRBatch:
         assert len(batch) == 0
         assert batch.car_ids() == []
         assert batch.by_cell() == {}
+
+
+class TestAssumeSorted:
+    def _sorted_records(self):
+        return sorted(
+            [
+                rec(start=30.0, car="car-b", cell=2),
+                rec(start=10.0, car="car-a", cell=1),
+                rec(start=20.0, car="car-a", cell=2),
+            ]
+        )
+
+    def test_preserves_given_order(self):
+        records = self._sorted_records()
+        batch = CDRBatch(records, assume_sorted=True)
+        assert batch.records == records
+
+    def test_matches_sorting_constructor(self):
+        records = self._sorted_records()
+        fast = CDRBatch(records, assume_sorted=True)
+        slow = CDRBatch(list(reversed(records)))
+        assert fast.records == slow.records
+        assert fast.by_car().keys() == slow.by_car().keys()
+
+    def test_filtered_batches_stay_sorted(self):
+        # filtered() uses the fast path: dropping rows keeps order.
+        batch = CDRBatch(self._sorted_records()).filtered(lambda r: r.cell_id == 2)
+        starts = [r.start for r in batch]
+        assert starts == sorted(starts)
+
+    def test_columnar_view_matches_row_order(self):
+        batch = CDRBatch(self._sorted_records(), assume_sorted=True)
+        assert batch.columnar().to_records() == batch.records

@@ -8,6 +8,8 @@ from repro.simulate.config import ActivityConfig
 from repro.simulate.population import BASE_CAPABILITIES, Car
 from repro.simulate.radio import (
     MIN_RECORD_S,
+    CarrierSampler,
+    _draw_carrier,
     _merge_same_site,
     generate_bursts,
     records_for_trip,
@@ -31,6 +33,32 @@ def make_car(capabilities=BASE_CAPABILITIES, infotainment=1.0):
         capabilities=frozenset(capabilities),
         infotainment_factor=infotainment,
     )
+
+
+class TestCarrierSampler:
+    def test_draw_matches_uncached_choice_stream(self):
+        """The cached CDF draw is bit-identical to rng.choice(n, p=p)."""
+        car = make_car()
+        sampler = CarrierSampler(WEIGHTS)
+        for seed in range(50):
+            rng_a = np.random.default_rng(seed)
+            rng_b = np.random.default_rng(seed)
+            assert sampler.draw(car.capabilities, rng_a) == _draw_carrier(
+                car, WEIGHTS, rng_b
+            )
+            # Both paths must consume the stream identically too.
+            assert rng_a.random() == rng_b.random()
+
+    def test_zero_weight_capabilities_uniform(self):
+        sampler = CarrierSampler({})
+        caps = frozenset({"C1", "C2"})
+        draws = {sampler.draw(caps, np.random.default_rng(s)) for s in range(40)}
+        assert draws == {"C1", "C2"}
+
+    def test_table_cached_per_capability_set(self):
+        sampler = CarrierSampler(WEIGHTS)
+        caps = frozenset({"C1", "C3"})
+        assert sampler.table(caps) is sampler.table(caps)
 
 
 class TestGenerateBursts:
