@@ -7,7 +7,6 @@ shares, and cross-checks the clusters against the generator's ground-truth
 profiles (which the clustering never sees).
 """
 
-import numpy as np
 
 from repro.core.carclusters import choose_k, cluster_cars
 from repro.mobility.profiles import CarProfile

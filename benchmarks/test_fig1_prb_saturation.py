@@ -4,7 +4,6 @@ Paper: downloads start at 20:45 UTC in two cells, last 4 hours and consume
 nearly all available resources (U_PRB ~ 100% for the test window).
 """
 
-import numpy as np
 
 from repro.algorithms.timebins import BIN_SECONDS, StudyClock
 from repro.network.load import CellLoadModel

@@ -6,7 +6,6 @@ Saturday, nearly-flat OLS trend lines (slopes ~1e-4/day, tiny R^2), and a
 visible dip on 3 data-loss days in the second half.
 """
 
-import numpy as np
 
 from repro.core.presence import daily_presence
 

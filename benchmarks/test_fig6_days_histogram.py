@@ -5,7 +5,6 @@ past ~30 days towards a large mass of cars present on most study days —
 which is what justifies the 10- and 30-day rare/common thresholds.
 """
 
-import numpy as np
 
 from repro.core.segmentation import days_histogram, days_on_network
 

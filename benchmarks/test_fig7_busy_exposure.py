@@ -6,7 +6,6 @@ cells"); about 2.4% of cars spend more than 50% of connected time on busy
 radios and ~1% spend essentially all of it there.
 """
 
-import numpy as np
 
 from repro.core.busy import busy_exposure
 

@@ -10,7 +10,6 @@ results on the same data.
 import numpy as np
 
 from repro.core.connect_time import connect_time_analysis
-from repro.core.preprocess import preprocess
 from repro.core.streaming import StreamingAnalyzer
 
 

@@ -18,7 +18,6 @@ import sys
 import numpy as np
 
 from repro import AnalysisPipeline, TraceGenerator
-from repro.core.handover import HandoverType
 from repro.simulate.scenarios import scenario
 
 

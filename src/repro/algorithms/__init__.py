@@ -14,12 +14,6 @@ from repro.algorithms.intervals import (
     total_duration,
 )
 from repro.algorithms.kmeans import KMeans, KMeansResult, silhouette_score
-from repro.algorithms.streaming import (
-    HyperLogLog,
-    P2Quantile,
-    RunningMoments,
-    StreamingHistogram,
-)
 from repro.algorithms.stats import (
     TrendLine,
     deciles,
@@ -27,6 +21,12 @@ from repro.algorithms.stats import (
     linear_trend,
     percentile,
     summarize,
+)
+from repro.algorithms.streaming import (
+    HyperLogLog,
+    P2Quantile,
+    RunningMoments,
+    StreamingHistogram,
 )
 from repro.algorithms.timebins import (
     BIN_SECONDS,

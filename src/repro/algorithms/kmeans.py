@@ -124,7 +124,8 @@ class KMeans:
             result = self._fit_once(x)
             if best is None or result.inertia < best.inertia:
                 best = result
-        assert best is not None
+        if best is None:
+            raise RuntimeError("k-means produced no fit despite n_init >= 1")
         return best
 
     def _fit_once(self, x: np.ndarray) -> KMeansResult:
@@ -179,5 +180,6 @@ def silhouette_score(data: np.ndarray, labels: np.ndarray) -> float:
             continue
         a = dist[i, same].sum() / (n_same - 1)
         b = min(dist[i, lab == other].mean() for other in uniq if other != lab[i])
-        scores[i] = 0.0 if max(a, b) == 0 else (b - a) / max(a, b)
+        denom = max(a, b)
+        scores[i] = 0.0 if denom <= 0.0 else (b - a) / denom
     return float(scores.mean())

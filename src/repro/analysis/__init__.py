@@ -1,0 +1,38 @@
+"""``repro-lint``: determinism- and correctness-focused static analysis.
+
+The pipeline's headline guarantee is *byte-identical output at any worker
+count* (see ``docs/ARCHITECTURE.md``).  Nothing about that guarantee is
+visible in any single diff: an unseeded ``default_rng()``, a wall-clock
+call, or set-iteration order leaking into record emission would only show
+up later as a flaky parity checksum.  This package turns those invariants
+into machine-checked rules.
+
+The framework is deliberately small: a rule registry
+(:mod:`repro.analysis.registry`), per-rule AST visitors under
+:mod:`repro.analysis.rules`, findings with ``file:line`` locations and fix
+hints (:mod:`repro.analysis.findings`), path-scoped severity
+(:mod:`repro.analysis.config`), a baseline file for grandfathered findings
+(:mod:`repro.analysis.baseline`) and JSON/text reporting
+(:mod:`repro.analysis.reporting`).  The ``repro-lint`` console script wraps
+it all (:mod:`repro.analysis.cli`); CI runs it over ``src/`` as a hard
+gate.
+"""
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.config import LintConfig
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, all_rules, get_rule, register
+from repro.analysis.runner import LintResult, lint_paths
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "register",
+]

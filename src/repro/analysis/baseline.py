@@ -1,0 +1,76 @@
+"""Baseline file: grandfathered findings that do not fail the gate.
+
+The baseline lets the lint gate turn on *now* while pre-existing findings
+are paid down incrementally — without it, the first CI run either blocks
+every PR or the rules get watered down.  Entries are keyed by the
+line-number-free fingerprints of :mod:`repro.analysis.findings`, so
+baselined findings stay suppressed through unrelated edits but resurface
+as soon as the offending line changes.
+
+The shipped baseline is empty: every finding the first full run surfaced
+was fixed instead of grandfathered (see ``docs/STATIC_ANALYSIS.md``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Finding, sort_key
+
+_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Set of suppressed fingerprints, with human-readable context."""
+
+    entries: dict[str, dict[str, object]] = field(default_factory=dict)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Baseline from disk; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.is_file():
+            return cls()
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ValueError(f"unreadable baseline at {path}: {exc}") from exc
+        if not isinstance(data, dict) or data.get("version") != _VERSION:
+            raise ValueError(
+                f"baseline at {path} has unsupported format "
+                f"(expected version {_VERSION})"
+            )
+        entries = data.get("findings", {})
+        if not isinstance(entries, dict):
+            raise ValueError(f"baseline at {path}: 'findings' must be a mapping")
+        return cls(entries=entries)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        """Baseline covering exactly the given findings."""
+        entries: dict[str, dict[str, object]] = {}
+        for finding in sorted(findings, key=sort_key):
+            entries[finding.fingerprint] = {
+                "rule": finding.rule_id,
+                "path": finding.path,
+                "line": finding.line,
+                "message": finding.message,
+            }
+        return cls(entries=entries)
+
+    def write(self, path: str | Path) -> None:
+        """Serialize deterministically (sorted keys, stable layout)."""
+        payload = {
+            "version": _VERSION,
+            "findings": dict(sorted(self.entries.items())),
+        }
+        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

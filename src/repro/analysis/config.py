@@ -1,0 +1,110 @@
+"""Lint configuration: scanned paths, exclusions, path-scoped severity.
+
+Severity is scoped by *where* a finding lands, not just which rule fired.
+The packages that feed record emission — ``simulate/``, ``cdr/``,
+``core/`` (and this package itself) — carry the byte-identical-parallelism
+guarantee, so every finding inside them is escalated to an error.
+Elsewhere a rule's default severity applies, which lets advisory rules
+warn on analysis-side code without blocking CI.
+
+Defaults can be overridden from ``[tool.repro-lint]`` in ``pyproject.toml``:
+
+.. code-block:: toml
+
+    [tool.repro-lint]
+    paths = ["src"]
+    baseline = ".repro-lint-baseline.json"
+    strict-prefixes = ["src/repro/simulate", "src/repro/cdr"]
+    ignore = ["RL005"]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+try:
+    import tomllib
+except ModuleNotFoundError:  # Python 3.10: no stdlib TOML parser.
+    tomllib = None  # type: ignore[assignment]
+
+from repro.analysis.findings import Severity
+
+#: Packages whose findings are always errors: they feed record emission,
+#: so any nondeterminism there breaks trace regenerability.
+DEFAULT_STRICT_PREFIXES = (
+    "src/repro/simulate",
+    "src/repro/cdr",
+    "src/repro/core",
+    "src/repro/analysis",
+)
+
+#: Directory names never scanned.
+DEFAULT_EXCLUDE_PARTS = (
+    ".git",
+    "__pycache__",
+    ".venv",
+    "build",
+    "dist",
+    "fixtures",
+)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Everything the runner needs besides the rule set."""
+
+    paths: tuple[str, ...] = ("src",)
+    baseline_path: str = ".repro-lint-baseline.json"
+    strict_prefixes: tuple[str, ...] = DEFAULT_STRICT_PREFIXES
+    exclude_parts: tuple[str, ...] = DEFAULT_EXCLUDE_PARTS
+    ignore: tuple[str, ...] = ()
+    #: Treat warnings as errors everywhere (the CLI ``--strict`` flag).
+    strict: bool = False
+    root: Path = field(default_factory=Path.cwd)
+
+    def severity_for(self, rule_severity: Severity, relpath: str) -> Severity:
+        """Effective severity of a finding at ``relpath``."""
+        if self.strict:
+            return Severity.ERROR
+        posix = relpath.replace("\\", "/")
+        for prefix in self.strict_prefixes:
+            if posix == prefix or posix.startswith(prefix.rstrip("/") + "/"):
+                return Severity.ERROR
+        return rule_severity
+
+    def is_excluded(self, path: Path) -> bool:
+        """Whether a file sits under an excluded directory."""
+        return any(part in self.exclude_parts for part in path.parts)
+
+
+def load_config(root: Path | None = None) -> LintConfig:
+    """Config from ``pyproject.toml``'s ``[tool.repro-lint]``, else defaults.
+
+    Missing file, missing table and unknown keys all degrade to defaults —
+    the linter must run in a bare checkout.
+    """
+    root = Path.cwd() if root is None else root
+    cfg = LintConfig(root=root)
+    pyproject = root / "pyproject.toml"
+    if tomllib is None or not pyproject.is_file():
+        return cfg
+    try:
+        table = tomllib.loads(pyproject.read_text())
+    except (OSError, tomllib.TOMLDecodeError):
+        return cfg
+    section = table.get("tool", {}).get("repro-lint", {})
+    if not isinstance(section, dict):
+        return cfg
+    if isinstance(section.get("paths"), list):
+        cfg = replace(cfg, paths=tuple(str(p) for p in section["paths"]))
+    if isinstance(section.get("baseline"), str):
+        cfg = replace(cfg, baseline_path=section["baseline"])
+    if isinstance(section.get("strict-prefixes"), list):
+        cfg = replace(
+            cfg,
+            strict_prefixes=tuple(str(p) for p in section["strict-prefixes"]),
+        )
+    if isinstance(section.get("ignore"), list):
+        cfg = replace(cfg, ignore=tuple(str(r) for r in section["ignore"]))
+    return cfg

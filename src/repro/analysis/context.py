@@ -1,0 +1,117 @@
+"""Per-file analysis context shared by every rule.
+
+The interesting part is *import resolution*: rules match canonical dotted
+names (``numpy.random.default_rng``, ``time.time``) rather than surface
+syntax, so ``import numpy as np``, ``from numpy import random as npr`` and
+``from numpy.random import default_rng as rng_factory`` all resolve to the
+same canonical names.  A parent map supports "is this call wrapped in
+``sorted(...)``" style queries without re-walking the tree per node.
+"""
+
+from __future__ import annotations
+
+import ast
+from functools import cached_property
+
+
+class FileContext:
+    """One parsed file: path, source, alias table, parent links."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+
+    @cached_property
+    def aliases(self) -> dict[str, str]:
+        """Local name -> canonical dotted path, from every import statement.
+
+        Function-local imports count too: an alias table keyed on the whole
+        module is a deliberate over-approximation — precise scoping buys
+        nothing for lint rules and costs a symbol table.
+        """
+        table: dict[str, str] = {}
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    table[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+                    if alias.asname is None and "." in alias.name:
+                        # ``import numpy.random`` binds ``numpy``.
+                        table[alias.name.split(".")[0]] = alias.name.split(".")[0]
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    table[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+        return table
+
+    @cached_property
+    def parents(self) -> dict[ast.AST, ast.AST]:
+        """Child node -> parent node for the whole tree."""
+        table: dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(node):
+                table[child] = node
+        return table
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Canonical dotted name of a Name/Attribute chain, if resolvable.
+
+        ``np.random.default_rng`` with ``import numpy as np`` resolves to
+        ``numpy.random.default_rng``; anything rooted in a local variable
+        resolves to ``None``.
+        """
+        parts: list[str] = []
+        current: ast.expr = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        canonical = self.aliases.get(current.id)
+        if canonical is None:
+            return None
+        parts.append(canonical)
+        return ".".join(reversed(parts))
+
+    def call_name(self, node: ast.Call) -> str | None:
+        """Canonical dotted name of a call's callee, if resolvable."""
+        return self.resolve(node.func)
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        """Innermost function containing ``node``, if any."""
+        current = self.parents.get(node)
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return current
+            current = self.parents.get(current)
+        return None
+
+    def wrapped_in(self, node: ast.AST, callee_names: frozenset[str]) -> bool:
+        """Whether ``node`` sits inside a call to one of ``callee_names``.
+
+        The walk stops at statement boundaries: being *somewhere* in a
+        function that also calls ``sorted`` does not count, being an
+        argument (possibly via a comprehension) of a ``sorted(...)`` call
+        does.
+        """
+        current = self.parents.get(node)
+        while current is not None and not isinstance(current, ast.stmt):
+            if isinstance(current, ast.Call):
+                func = current.func
+                if isinstance(func, ast.Name) and func.id in callee_names:
+                    return True
+            current = self.parents.get(current)
+        return False
+
+
+def parse_file_context(path: str, source: str) -> FileContext:
+    """Parse ``source`` into a :class:`FileContext` (raises SyntaxError)."""
+    return FileContext(path=path, source=source, tree=ast.parse(source))

@@ -1,0 +1,90 @@
+"""Findings: what a rule reports, and how findings are fingerprinted.
+
+A :class:`Finding` pins a rule violation to a ``path:line:col`` location
+and carries a fix hint so the report is actionable.  The *fingerprint* is
+deliberately line-number free — it hashes the rule id, the file path, the
+normalized source line text and the occurrence index of that text within
+the file — so a baseline entry survives unrelated edits above the finding
+but is invalidated the moment the offending line itself changes.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field, replace
+
+
+class Severity(enum.Enum):
+    """How a finding affects the exit code.
+
+    ``ERROR`` findings fail the run; ``WARNING`` findings are reported but
+    only fail under ``--strict``.  Path scoping in
+    :mod:`repro.analysis.config` escalates warnings to errors inside the
+    determinism-critical packages.
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+    hint: str = ""
+    severity: Severity = Severity.ERROR
+    #: Line-number-free identity used for baseline matching; filled in by
+    #: the runner once the file's source lines are known.
+    fingerprint: str = field(default="", compare=False)
+
+    def located(self) -> str:
+        """``path:line:col`` prefix used by the text reporter."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def with_severity(self, severity: Severity) -> "Finding":
+        """Copy of this finding at a different severity."""
+        return replace(self, severity=severity)
+
+    def with_fingerprint(self, fingerprint: str) -> "Finding":
+        """Copy of this finding carrying its baseline fingerprint."""
+        return replace(self, fingerprint=fingerprint)
+
+
+def sort_key(finding: Finding) -> tuple[str, int, int, str]:
+    """Deterministic report order: path, then location, then rule."""
+    return (finding.path, finding.line, finding.col, finding.rule_id)
+
+
+def fingerprint_findings(
+    findings: list[Finding], source_lines: list[str]
+) -> list[Finding]:
+    """Attach baseline fingerprints to a single file's findings.
+
+    Two findings of the same rule on byte-identical lines (a duplicated
+    violation) get distinct occurrence indices, so baselining one does not
+    silently suppress the other.
+    """
+    seen: dict[tuple[str, str], int] = {}
+    out: list[Finding] = []
+    for finding in sorted(findings, key=sort_key):
+        if 1 <= finding.line <= len(source_lines):
+            text = source_lines[finding.line - 1].strip()
+        else:
+            text = ""
+        key = (finding.rule_id, text)
+        index = seen.get(key, 0)
+        seen[key] = index + 1
+        digest = hashlib.sha256(
+            f"{finding.rule_id}\x1f{finding.path}\x1f{text}\x1f{index}".encode()
+        ).hexdigest()[:16]
+        out.append(finding.with_fingerprint(digest))
+    return out

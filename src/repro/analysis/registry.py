@@ -1,0 +1,90 @@
+"""Rule registry.
+
+Rules self-register at import time via the :func:`register` decorator;
+importing :mod:`repro.analysis.rules` pulls in every built-in rule module.
+Registration validates id uniqueness and shape up front so a malformed
+rule fails the whole run loudly instead of silently checking nothing.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Iterator
+from typing import ClassVar, TypeVar
+
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding, Severity
+
+_REGISTRY: dict[str, type["Rule"]] = {}
+
+
+class Rule(abc.ABC):
+    """One lint rule: an id, a rationale and an AST check.
+
+    ``rationale`` states which pipeline invariant the rule protects — it is
+    surfaced by ``repro-lint --list-rules`` and in the docs, keeping the
+    "why is this banned" answer next to the ban itself.
+    """
+
+    rule_id: ClassVar[str]
+    name: ClassVar[str]
+    rationale: ClassVar[str]
+    default_severity: ClassVar[Severity] = Severity.ERROR
+
+    @abc.abstractmethod
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield every violation in one parsed file."""
+
+    def finding(
+        self,
+        ctx: FileContext,
+        line: int,
+        col: int,
+        message: str,
+        hint: str = "",
+    ) -> Finding:
+        """Build a finding for this rule at a location in ``ctx``."""
+        return Finding(
+            rule_id=self.rule_id,
+            path=ctx.path,
+            line=line,
+            col=col,
+            message=message,
+            hint=hint,
+            severity=self.default_severity,
+        )
+
+
+R = TypeVar("R", bound=type[Rule])
+
+
+def register(cls: R) -> R:
+    """Class decorator adding a rule to the global registry."""
+    rule_id = getattr(cls, "rule_id", "")
+    if not rule_id or not rule_id.startswith("RL"):
+        raise ValueError(f"rule {cls.__name__} needs a rule_id like 'RL001'")
+    if rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_id}")
+    for attr in ("name", "rationale"):
+        if not getattr(cls, attr, ""):
+            raise ValueError(f"rule {rule_id} is missing {attr!r}")
+    _REGISTRY[rule_id] = cls
+    return cls
+
+
+def all_rules(ignore: tuple[str, ...] = ()) -> list[Rule]:
+    """Instances of every registered rule, sorted by id."""
+    import repro.analysis.rules  # noqa: F401  (triggers registration)
+
+    return [
+        _REGISTRY[rule_id]()
+        for rule_id in sorted(_REGISTRY)
+        if rule_id not in ignore
+    ]
+
+
+def get_rule(rule_id: str) -> Rule:
+    """A single rule instance by id; raises ``KeyError`` for unknown ids."""
+    import repro.analysis.rules  # noqa: F401  (triggers registration)
+
+    return _REGISTRY[rule_id]()

@@ -1,0 +1,75 @@
+"""Report rendering: human text for terminals, JSON for CI artifacts.
+
+Both renderings are deterministic (findings arrive pre-sorted from the
+runner; JSON keys are sorted) so reports diff cleanly between runs.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from repro.analysis.findings import Finding
+from repro.analysis.runner import LintResult
+
+
+def render_text(result: LintResult, verbose_hints: bool = True) -> str:
+    """Human-readable report, one ``path:line:col`` block per finding."""
+    lines: list[str] = []
+    for failure in result.failures:
+        lines.append(f"{failure.path}: PARSE ERROR: {failure.error}")
+    for finding in result.findings:
+        lines.append(
+            f"{finding.located()}: {finding.severity} "
+            f"[{finding.rule_id}] {finding.message}"
+        )
+        if verbose_hints and finding.hint:
+            lines.append(f"    hint: {finding.hint}")
+    lines.append(_summary_line(result))
+    return "\n".join(lines)
+
+
+def _summary_line(result: LintResult) -> str:
+    per_rule = Counter(f.rule_id for f in result.findings)
+    breakdown = (
+        " (" + ", ".join(f"{rid}: {n}" for rid, n in sorted(per_rule.items())) + ")"
+        if per_rule
+        else ""
+    )
+    return (
+        f"{result.files_checked} files checked: "
+        f"{len(result.errors)} errors, {len(result.warnings)} warnings, "
+        f"{len(result.baselined)} baselined{breakdown}"
+    )
+
+
+def _finding_payload(finding: Finding) -> dict[str, object]:
+    return {
+        "rule": finding.rule_id,
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "severity": str(finding.severity),
+        "message": finding.message,
+        "hint": finding.hint,
+        "fingerprint": finding.fingerprint,
+    }
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report (the CI artifact format)."""
+    payload = {
+        "version": 1,
+        "files_checked": result.files_checked,
+        "counts": {
+            "errors": len(result.errors),
+            "warnings": len(result.warnings),
+            "baselined": len(result.baselined),
+        },
+        "findings": [_finding_payload(f) for f in result.findings],
+        "baselined": [_finding_payload(f) for f in result.baselined],
+        "failures": [
+            {"path": f.path, "error": f.error} for f in result.failures
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,26 @@
+"""Built-in rules.
+
+Importing this package registers every rule; :func:`repro.analysis.registry
+.all_rules` does so lazily.  Each module groups the rules of one invariant
+family — see ``docs/STATIC_ANALYSIS.md`` for the rule-by-rule rationale.
+"""
+
+from repro.analysis.rules import (  # noqa: F401  (import for side effects)
+    asserts,
+    defaults,
+    exceptions,
+    floats,
+    ordering,
+    rng,
+    wallclock,
+)
+
+__all__ = [
+    "asserts",
+    "defaults",
+    "exceptions",
+    "floats",
+    "ordering",
+    "rng",
+    "wallclock",
+]

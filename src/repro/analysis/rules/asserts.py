@@ -1,0 +1,63 @@
+"""Assert-as-validation rule.
+
+``assert`` compiles away under ``python -O``: library code relying on it
+for runtime validation has two behaviours, one of which skips the check.
+For a pipeline whose selling point is "the same config always produces
+the same bytes", even the *error behaviour* must be deterministic across
+deployment modes.  Tests are exempt by construction — ``repro-lint`` runs
+over ``src/`` — and the rule ignores ``assert`` inside
+``if TYPE_CHECKING:`` blocks, which never execute.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, register
+
+
+def _under_type_checking(node: ast.AST, ctx: FileContext) -> bool:
+    current = ctx.parents.get(node)
+    while current is not None:
+        if isinstance(current, ast.If):
+            test = current.test
+            if isinstance(test, ast.Name) and test.id == "TYPE_CHECKING":
+                return True
+            if isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING":
+                return True
+        current = ctx.parents.get(current)
+    return False
+
+
+@register
+class AssertValidationRule(Rule):
+    """RL008: no ``assert`` for runtime validation in library code."""
+
+    rule_id = "RL008"
+    name = "assert-validation"
+    rationale = (
+        "assert vanishes under python -O, so a validation expressed as "
+        "assert gives the library two behaviours; invariant checks must "
+        "raise a real exception in every deployment mode."
+    )
+    default_severity = Severity.ERROR
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Assert):
+                continue
+            if _under_type_checking(node, ctx):
+                continue
+            yield self.finding(
+                ctx,
+                node.lineno,
+                node.col_offset,
+                "assert used for runtime validation",
+                hint=(
+                    "raise ValueError/RuntimeError (or a repro error type) "
+                    "so the check survives python -O"
+                ),
+            )

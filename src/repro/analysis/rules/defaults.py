@@ -1,0 +1,68 @@
+"""Mutable-default-argument rule.
+
+A mutable default is one shared object across every call of the function —
+state that accumulates across calls and, in this codebase, across the
+worker boundary in ways that depend on scheduling.  The sibling hazard for
+determinism: a default that caches draws or records couples independent
+car streams.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, register
+
+_MUTABLE_FACTORIES = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "Counter", "deque"}
+)
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, (ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _MUTABLE_FACTORIES:
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in _MUTABLE_FACTORIES:
+            return True
+    return False
+
+
+@register
+class MutableDefaultRule(Rule):
+    """RL006: no mutable default arguments."""
+
+    rule_id = "RL006"
+    name = "mutable-default-arg"
+    rationale = (
+        "A mutable default is shared across all calls: hidden state that "
+        "makes a function's output depend on call history, not arguments "
+        "— unreproducible by construction.  Default to None and build the "
+        "container inside."
+    )
+    default_severity = Severity.ERROR
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = [
+                *node.args.defaults,
+                *[d for d in node.args.kw_defaults if d is not None],
+            ]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    yield self.finding(
+                        ctx,
+                        default.lineno,
+                        default.col_offset,
+                        f"mutable default argument in `{node.name}`",
+                        hint="default to None; construct the container in the body",
+                    )

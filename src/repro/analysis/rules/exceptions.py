@@ -1,0 +1,66 @@
+"""Overbroad-exception rule.
+
+A bare ``except:`` or ``except Exception:`` on a pipeline path converts
+"this shard failed" into "this shard silently produced different output",
+which the byte-parity checks then attribute to nondeterminism.  Handlers
+that re-raise are allowed: catch-log-reraise is a legitimate pattern.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, register
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler body contains a bare ``raise``."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise) and node.exc is None:
+            return True
+    return False
+
+
+def _broad_name(handler: ast.ExceptHandler) -> str | None:
+    if handler.type is None:
+        return "bare except"
+    types = (
+        handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    )
+    for type_node in types:
+        if isinstance(type_node, ast.Name) and type_node.id in _BROAD:
+            return f"except {type_node.id}"
+    return None
+
+
+@register
+class OverbroadExceptRule(Rule):
+    """RL007: no bare or catch-everything exception handlers."""
+
+    rule_id = "RL007"
+    name = "overbroad-except"
+    rationale = (
+        "Swallowing Exception turns a failed computation into silently "
+        "different output; the parity checksum then reports phantom "
+        "nondeterminism.  Catch the specific error, or re-raise."
+    )
+    default_severity = Severity.WARNING
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            label = _broad_name(node)
+            if label is not None and not _reraises(node):
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"{label} swallows every error",
+                    hint="catch the specific exception types, or re-raise",
+                )

@@ -1,0 +1,76 @@
+"""Float-equality rule.
+
+``==``/``!=`` between floats encodes an assumption that two computations
+produce bit-identical values.  Sometimes that is even true — until a
+refactor reassociates an accumulation or vectorizes a loop, at which point
+an analysis threshold silently flips.  Comparisons against float literals,
+``float(...)`` conversions, ``math.inf``/``math.nan`` and division results
+are the statically recognizable spellings.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, register
+
+_MATH_FLOAT_CONSTANTS = frozenset(
+    {"math.inf", "math.nan", "math.pi", "math.e", "math.tau"}
+)
+
+
+def _is_floatish(node: ast.expr, ctx: FileContext) -> bool:
+    """Whether an expression is recognizably float-valued."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp):
+        return _is_floatish(node.operand, ctx)
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return True
+        return _is_floatish(node.left, ctx) or _is_floatish(node.right, ctx)
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "float":
+            return True
+    if isinstance(node, ast.Attribute):
+        return ctx.resolve(node) in _MATH_FLOAT_CONSTANTS
+    return False
+
+
+@register
+class FloatEqualityRule(Rule):
+    """RL005: no exact equality on float-valued expressions."""
+
+    rule_id = "RL005"
+    name = "float-equality"
+    rationale = (
+        "Exact float equality freezes one evaluation order into program "
+        "logic; vectorizing or parallelizing a sum then flips thresholds "
+        "and changes emitted records.  Compare with math.isclose / "
+        "math.isinf / an epsilon, or restructure to integers."
+    )
+    default_severity = Severity.WARNING
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_floatish(left, ctx) or _is_floatish(right, ctx):
+                    yield self.finding(
+                        ctx,
+                        left.lineno,
+                        left.col_offset,
+                        "exact ==/!= on a float-valued expression",
+                        hint=(
+                            "use math.isclose / math.isinf / an explicit "
+                            "tolerance, or compare integers"
+                        ),
+                    )

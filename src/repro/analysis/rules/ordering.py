@@ -1,0 +1,121 @@
+"""Iteration-order rule: nothing order-dependent may iterate an
+unordered collection.
+
+Set iteration order varies with hash seed and insertion history, and
+``os.listdir``/``glob`` return directory order, which differs across
+filesystems.  Either one upstream of record emission reorders output rows
+between runs or machines — exactly the class of bug the parallel
+generator's byte-parity checksum exists to catch, caught here before it
+ships.  Python dicts are insertion-ordered, so ``dict``/``dict.keys()``
+iteration is deliberately *not* flagged: it is deterministic whenever the
+insertions are, which this rule cannot see.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, register
+
+#: Calls returning filesystem entries in filesystem order.
+_FS_ORDER_CALLS = frozenset(
+    {
+        "os.listdir",
+        "os.scandir",
+        "glob.glob",
+        "glob.iglob",
+    }
+)
+
+#: Consumers whose result does not depend on element order; a flagged
+#: expression nested (arbitrarily deep, within the statement) inside one
+#: of these calls is safe.
+_ORDER_INSENSITIVE = frozenset(
+    {
+        "sorted",
+        "set",
+        "frozenset",
+        "len",
+        "sum",
+        "min",
+        "max",
+        "any",
+        "all",
+        "Counter",
+    }
+)
+
+
+def _iterables_of(node: ast.AST) -> list[ast.expr]:
+    """Expressions iterated by a ``for`` statement or a comprehension."""
+    if isinstance(node, (ast.For, ast.AsyncFor)):
+        return [node.iter]
+    if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+        return [gen.iter for gen in node.generators]
+    return []
+
+
+def _is_set_expression(node: ast.expr, ctx: FileContext) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return True
+        # set(...).union(...), a | b on set builders, etc.: only the
+        # directly recognizable spellings are flagged; deeper dataflow is
+        # out of scope for an AST pass.
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in ("union", "intersection", "difference", "symmetric_difference")
+            and _is_set_expression(func.value, ctx)
+        ):
+            return True
+    return False
+
+
+@register
+class UnorderedIterationRule(Rule):
+    """RL004: no iteration over sets or raw directory listings."""
+
+    rule_id = "RL004"
+    name = "unordered-iteration"
+    rationale = (
+        "Set and directory-listing order varies across runs, hash seeds "
+        "and filesystems; iterating one on a path that feeds record "
+        "emission reorders output bytes.  Wrap in sorted() or iterate a "
+        "deterministic structure."
+    )
+    default_severity = Severity.WARNING
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            for iterable in _iterables_of(node):
+                if _is_set_expression(iterable, ctx) and not ctx.wrapped_in(
+                    node, _ORDER_INSENSITIVE
+                ):
+                    yield self.finding(
+                        ctx,
+                        iterable.lineno,
+                        iterable.col_offset,
+                        "iteration over a set has no deterministic order",
+                        hint="iterate sorted(<set>) or a list/dict instead",
+                    )
+            if isinstance(node, ast.Call):
+                name = ctx.call_name(node)
+                is_fs_call = name in _FS_ORDER_CALLS or (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "iterdir"
+                )
+                if is_fs_call and not ctx.wrapped_in(node, _ORDER_INSENSITIVE):
+                    label = name or "Path.iterdir"
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        f"`{label}` yields entries in filesystem order",
+                        hint="wrap the listing in sorted(...)",
+                    )

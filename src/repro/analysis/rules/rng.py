@@ -1,0 +1,172 @@
+"""RNG rules: every random draw must come from an explicitly seeded,
+explicitly threaded ``numpy.random.Generator``.
+
+The trace generator's parallelism contract (see ``simulate/parallel.py``)
+is that each car's record stream depends only on its own child generator.
+Global RNG state (``random.*`` module functions, the legacy ``np.random.*``
+API) is shared mutable state that any import can perturb; an argless
+``default_rng()`` seeds from the OS; and a helper that re-creates a
+generator instead of using the one it was handed forks the stream in a way
+that silently changes with refactors.  Any of the three makes two runs of
+the same config disagree byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, register
+
+#: ``numpy.random`` attributes that are *not* the legacy global-state API.
+_NP_RANDOM_ALLOWED = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "MT19937",
+        "SFC64",
+    }
+)
+
+#: ``random`` module attributes that do not touch the shared global stream.
+_RANDOM_MODULE_ALLOWED = frozenset({"Random", "SystemRandom", "getstate"})
+
+
+def _is_rng_factory(name: str | None) -> bool:
+    return name in ("numpy.random.default_rng", "random.Random")
+
+
+@register
+class UnseededRngRule(Rule):
+    """RL001: no global or OS-seeded random state."""
+
+    rule_id = "RL001"
+    name = "unseeded-rng"
+    rationale = (
+        "Global RNG state (random.*, legacy np.random.*) and argless "
+        "default_rng() make record streams depend on import order or the "
+        "OS entropy pool, breaking byte-identical regeneration."
+    )
+    default_severity = Severity.ERROR
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.call_name(node)
+            if name is None:
+                continue
+            parts = name.split(".")
+            if parts[0] == "random" and len(parts) == 2:
+                if parts[1] not in _RANDOM_MODULE_ALLOWED:
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        f"call to global-state RNG `{name}`",
+                        hint=(
+                            "draw from an explicitly seeded "
+                            "numpy.random.Generator threaded in as a "
+                            "parameter"
+                        ),
+                    )
+                continue
+            if (
+                parts[:2] == ["numpy", "random"]
+                and len(parts) == 3
+                and parts[2] not in _NP_RANDOM_ALLOWED
+            ):
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"call to legacy global-state RNG `{name}`",
+                    hint="use an explicitly seeded numpy.random.Generator",
+                )
+                continue
+            if _is_rng_factory(name) or name == "numpy.random.Generator":
+                if not node.args and not node.keywords:
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        f"`{name}()` without a seed draws entropy from the OS",
+                        hint="pass a seed derived from the config's root seed",
+                    )
+                elif node.args and _is_none(node.args[0]):
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        f"`{name}(None)` is an OS-entropy seed spelled loudly",
+                        hint="pass a seed derived from the config's root seed",
+                    )
+
+
+def _is_none(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+@register
+class RngRecreatedRule(Rule):
+    """RL002: helpers take a generator, they do not mint one."""
+
+    rule_id = "RL002"
+    name = "rng-recreated-in-helper"
+    rationale = (
+        "A function that accepts a Generator but constructs a fresh one "
+        "forks the random stream at a refactor-sensitive point; the draw "
+        "sequence then changes whenever the helper's call pattern does."
+    )
+    default_severity = Severity.ERROR
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.call_name(node)
+            if not (_is_rng_factory(name) or name == "numpy.random.Generator"):
+                continue
+            func = ctx.enclosing_function(node)
+            if func is None:
+                continue
+            rng_params = [
+                arg.arg
+                for arg in (
+                    *func.args.posonlyargs,
+                    *func.args.args,
+                    *func.args.kwonlyargs,
+                )
+                if _is_rng_param(arg, ctx)
+            ]
+            if rng_params:
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    (
+                        f"`{func.name}` receives a generator "
+                        f"(`{rng_params[0]}`) but creates a new one"
+                    ),
+                    hint=(
+                        "use the generator that was passed in, or spawn a "
+                        "child from it at the caller"
+                    ),
+                )
+
+
+def _is_rng_param(arg: ast.arg, ctx: FileContext) -> bool:
+    if arg.arg == "rng" or arg.arg.endswith("_rng"):
+        return True
+    if arg.annotation is not None:
+        resolved = ctx.resolve(arg.annotation)
+        if resolved == "numpy.random.Generator":
+            return True
+    return False

@@ -1,0 +1,64 @@
+"""Wall-clock rule: simulation time is seconds from study start, never
+the host's clock.
+
+The architecture pins every timestamp to the study calendar
+(``StudyClock``); a ``time.time()`` or ``datetime.now()`` anywhere on a
+record-producing path stamps host state into the output, so the same
+config generates different bytes on every run.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, register
+
+#: Canonical names whose *call* reads the host clock.
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.localtime",
+        "time.gmtime",
+        "time.ctime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+@register
+class WallClockRule(Rule):
+    """RL003: no host-clock reads."""
+
+    rule_id = "RL003"
+    name = "wall-clock"
+    rationale = (
+        "Output must be a pure function of config and seed; a host-clock "
+        "read on any path that feeds records or reports makes reruns "
+        "differ.  (perf_counter/monotonic are allowed: duration "
+        "measurement does not enter outputs.)"
+    )
+    default_severity = Severity.WARNING
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = ctx.call_name(node)
+            if name in _WALL_CLOCK_CALLS:
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"wall-clock read `{name}()`",
+                    hint=(
+                        "derive timestamps from StudyClock / config; for "
+                        "perf timing use time.perf_counter"
+                    ),
+                )

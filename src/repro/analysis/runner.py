@@ -1,0 +1,132 @@
+"""Lint runner: file discovery, per-file rule execution, baseline split.
+
+Discovery is sorted — the linter obeys its own RL004 — so two runs over
+the same tree report findings in the same order byte for byte, which the
+CI artifact diffing relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.config import LintConfig
+from repro.analysis.context import FileContext, parse_file_context
+from repro.analysis.findings import (
+    Finding,
+    Severity,
+    fingerprint_findings,
+    sort_key,
+)
+from repro.analysis.registry import Rule, all_rules
+
+
+@dataclass(frozen=True)
+class ParseFailure:
+    """A file the runner could not analyze (syntax or IO error)."""
+
+    path: str
+    error: str
+
+
+@dataclass
+class LintResult:
+    """Outcome of one run: active findings, suppressed findings, failures."""
+
+    findings: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    failures: list[ParseFailure] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    def exit_code(self) -> int:
+        """0 clean, 1 findings at error severity, 2 unanalyzable files."""
+        if self.failures:
+            return 2
+        return 1 if self.errors else 0
+
+
+def discover_files(paths: tuple[str, ...], cfg: LintConfig) -> list[Path]:
+    """Python files under ``paths``, sorted, exclusions applied.
+
+    Explicitly named files are always linted, even under an excluded
+    directory — that is how the fixture tests exercise rules on snippets
+    living in an excluded ``fixtures/`` tree.
+    """
+    out: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if not path.is_absolute():
+            path = cfg.root / path
+        if path.is_file():
+            out.append(path)
+        elif path.is_dir():
+            out.extend(
+                p
+                for p in sorted(path.rglob("*.py"))
+                if not cfg.is_excluded(p.relative_to(path))
+            )
+    unique = sorted(set(out))
+    return unique
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_file(
+    path: Path, root: Path, rules: list[Rule], cfg: LintConfig
+) -> tuple[list[Finding], ParseFailure | None]:
+    """All findings of every rule in one file, fingerprinted and scoped."""
+    relpath = _relpath(path, root)
+    try:
+        source = path.read_text()
+        ctx: FileContext = parse_file_context(relpath, source)
+    except (OSError, SyntaxError, UnicodeDecodeError) as exc:
+        return [], ParseFailure(path=relpath, error=str(exc))
+    findings: list[Finding] = []
+    for rule in rules:
+        for finding in rule.check(ctx):
+            findings.append(
+                finding.with_severity(
+                    cfg.severity_for(finding.severity, relpath)
+                )
+            )
+    return fingerprint_findings(findings, ctx.lines), None
+
+
+def lint_paths(
+    paths: tuple[str, ...],
+    cfg: LintConfig,
+    baseline: Baseline | None = None,
+) -> LintResult:
+    """Run every registered rule over ``paths``."""
+    rules = all_rules(ignore=cfg.ignore)
+    baseline = baseline if baseline is not None else Baseline()
+    result = LintResult()
+    for path in discover_files(paths, cfg):
+        findings, failure = lint_file(path, cfg.root, rules, cfg)
+        result.files_checked += 1
+        if failure is not None:
+            result.failures.append(failure)
+            continue
+        for finding in findings:
+            if finding.fingerprint in baseline:
+                result.baselined.append(finding)
+            else:
+                result.findings.append(finding)
+    result.findings.sort(key=sort_key)
+    result.baselined.sort(key=sort_key)
+    result.failures.sort(key=lambda f: f.path)
+    return result

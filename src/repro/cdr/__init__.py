@@ -8,7 +8,7 @@ keyed anonymization of car identifiers.
 """
 
 from repro.cdr.anonymize import Anonymizer
-from repro.cdr.quality import QualityReport, assess_quality
+from repro.cdr.columnar import ColumnarCDRBatch
 from repro.cdr.errors import CDRValidationError, ReproError
 from repro.cdr.io import (
     read_records_csv,
@@ -18,7 +18,7 @@ from repro.cdr.io import (
     write_records_daily,
     write_records_jsonl,
 )
-from repro.cdr.columnar import ColumnarCDRBatch
+from repro.cdr.quality import QualityReport, assess_quality
 from repro.cdr.records import CDRBatch, ConnectionRecord
 from repro.cdr.validate import TraceValidator, ValidationReport
 

@@ -17,8 +17,10 @@ technology, duration) via one stable lexsort.
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
+from typing import Any
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.cdr.errors import CDRValidationError
 from repro.cdr.records import CDRBatch, ConnectionRecord
@@ -46,14 +48,24 @@ class ColumnarCDRBatch:
         "technologies",
     )
 
+    start: npt.NDArray[np.float64]
+    duration: npt.NDArray[np.float64]
+    cell_id: npt.NDArray[np.int64]
+    car_code: npt.NDArray[np.int32]
+    carrier_code: npt.NDArray[np.int16]
+    tech_code: npt.NDArray[np.int16]
+    car_ids: tuple[str, ...]
+    carriers: tuple[str, ...]
+    technologies: tuple[str, ...]
+
     def __init__(
         self,
-        start: np.ndarray,
-        duration: np.ndarray,
-        cell_id: np.ndarray,
-        car_code: np.ndarray,
-        carrier_code: np.ndarray,
-        tech_code: np.ndarray,
+        start: npt.ArrayLike,
+        duration: npt.ArrayLike,
+        cell_id: npt.ArrayLike,
+        car_code: npt.ArrayLike,
+        carrier_code: npt.ArrayLike,
+        tech_code: npt.ArrayLike,
         car_ids: Sequence[str],
         carriers: Sequence[str],
         technologies: Sequence[str],
@@ -190,7 +202,7 @@ class ColumnarCDRBatch:
     def __len__(self) -> int:
         return len(self.start)
 
-    def take(self, indices: np.ndarray) -> "ColumnarCDRBatch":
+    def take(self, indices: npt.NDArray[np.intp]) -> "ColumnarCDRBatch":
         """Row subset/permutation by index array; vocabularies are shared."""
         return ColumnarCDRBatch(
             self.start[indices],
@@ -218,13 +230,13 @@ class ColumnarCDRBatch:
             self.technologies,
         )
 
-    def sort_order(self) -> np.ndarray:
+    def sort_order(self) -> npt.NDArray[np.intp]:
         """Stable permutation applying the record ordering.
 
         Matches ``sorted(records)`` exactly: codes compare like their
         strings because the vocabularies are sorted.
         """
-        return np.lexsort(
+        order: npt.NDArray[np.intp] = np.lexsort(
             (
                 self.duration,
                 self.tech_code,
@@ -234,12 +246,13 @@ class ColumnarCDRBatch:
                 self.start,
             )
         )
+        return order
 
     def sorted(self) -> "ColumnarCDRBatch":
         """Copy in record order (start, car, cell, carrier, tech, duration)."""
         return self.take(self.sort_order())
 
-    def group_rows_by_car(self) -> dict[str, np.ndarray]:
+    def group_rows_by_car(self) -> dict[str, npt.NDArray[np.intp]]:
         """Row indices per car id, preserving row order inside each group.
 
         One stable argsort over the car codes replaces per-record dict
@@ -268,12 +281,12 @@ class ColumnarCDRBatch:
             and np.array_equal(self.tech_code, other.tech_code)
         )
 
-    __hash__ = None  # mutable arrays; not hashable
+    __hash__ = None  # type: ignore[assignment]  # mutable arrays; not hashable
 
     @property
     def nbytes(self) -> int:
         """Total array storage in bytes (excluding vocabularies)."""
-        return sum(
+        total: int = sum(
             getattr(self, name).nbytes
             for name in (
                 "start",
@@ -284,9 +297,10 @@ class ColumnarCDRBatch:
                 "tech_code",
             )
         )
+        return total
 
 
-def _encode(values: list[str]) -> tuple[list[str], np.ndarray]:
+def _encode(values: list[str]) -> tuple[list[str], npt.NDArray[Any]]:
     """Sorted vocabulary plus per-row codes for a string column."""
     if not values:
         return [], np.empty(0, dtype=np.int64)
@@ -295,12 +309,12 @@ def _encode(values: list[str]) -> tuple[list[str], np.ndarray]:
 
 
 def _remap(
-    codes: np.ndarray, vocab: Sequence[str], union: Sequence[str]
-) -> np.ndarray:
+    codes: npt.NDArray[Any], vocab: Sequence[str], union: Sequence[str]
+) -> npt.NDArray[Any]:
     """Re-express ``codes`` over ``vocab`` as codes over ``union``."""
     if not len(vocab) or tuple(vocab) == tuple(union):
         return codes
-    mapping = np.searchsorted(
+    mapping: npt.NDArray[np.intp] = np.searchsorted(
         np.asarray(union, dtype=object), np.asarray(vocab, dtype=object)
     )
     return mapping[codes]

@@ -11,8 +11,9 @@ from __future__ import annotations
 import csv
 import gzip
 import json
-from collections.abc import Iterable, Iterator
+from collections.abc import Iterable, Iterator, Mapping
 from pathlib import Path
+from typing import IO, Any, cast
 
 from repro.cdr.errors import CDRValidationError
 from repro.cdr.records import ConnectionRecord
@@ -20,11 +21,12 @@ from repro.cdr.records import ConnectionRecord
 _CSV_FIELDS = ("start", "car_id", "cell_id", "carrier", "technology", "duration")
 
 
-def _open_text(path: str | Path, mode: str):
+def _open_text(path: str | Path, mode: str) -> IO[str]:
     """Open a text file, transparently gzipped when the suffix is .gz."""
+    newline = "" if "csv" in str(path) else None
     if str(path).endswith(".gz"):
-        return gzip.open(path, mode + "t", newline="" if "csv" in str(path) else None)
-    return open(path, mode, newline="" if "csv" in str(path) else None)
+        return cast("IO[str]", gzip.open(path, mode + "t", newline=newline))
+    return open(path, mode, newline=newline)
 
 
 def write_records_csv(path: str | Path, records: Iterable[ConnectionRecord]) -> int:
@@ -91,7 +93,7 @@ def read_records_jsonl(path: str | Path) -> Iterator[ConnectionRecord]:
             yield _record_from_mapping(obj, source=f"{path}:{line_no}")
 
 
-def _record_from_mapping(obj: dict, source: str) -> ConnectionRecord:
+def _record_from_mapping(obj: Mapping[str, Any], source: str) -> ConnectionRecord:
     try:
         return ConnectionRecord(
             start=float(obj["start"]),

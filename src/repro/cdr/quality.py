@@ -14,6 +14,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.algorithms.timebins import StudyClock
 from repro.cdr.records import CDRBatch
@@ -55,7 +56,9 @@ class QualityReport:
     duration_spikes: list[DurationSpike] = field(default_factory=list)
     long_tail_fraction: float = 0.0
     loss_days: list[LossDayFinding] = field(default_factory=list)
-    records_per_day: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    records_per_day: npt.NDArray[np.int64] = field(
+        default_factory=lambda: np.zeros(0, dtype=np.int64)
+    )
 
     @property
     def clean(self) -> bool:
@@ -143,14 +146,14 @@ def detect_loss_days(
     batch: CDRBatch,
     clock: StudyClock,
     deficit_threshold: float = 0.25,
-) -> tuple[list[LossDayFinding], np.ndarray]:
+) -> tuple[list[LossDayFinding], npt.NDArray[np.int64]]:
     """Flag days whose record volume falls short of the same-weekday median.
 
     Comparing against same-weekday peers keeps ordinary weekend dips from
     triggering; only days missing ``deficit_threshold`` or more of their
     expected volume are reported.
     """
-    per_day = np.zeros(clock.n_days, dtype=int)
+    per_day = np.zeros(clock.n_days, dtype=np.int64)
     for rec in batch:
         day = clock.day_index(rec.start)
         if 0 <= day < clock.n_days:

@@ -9,12 +9,16 @@ deliberately carries no data volume, which the paper's data set lacks.
 from __future__ import annotations
 
 from collections import defaultdict
-from collections.abc import Iterable, Iterator
+from collections.abc import Callable, Iterable, Iterator
 from dataclasses import dataclass
 from operator import attrgetter
+from typing import TYPE_CHECKING
 
 from repro.algorithms.intervals import Interval
 from repro.cdr.errors import CDRValidationError
+
+if TYPE_CHECKING:
+    from repro.cdr.columnar import ColumnarCDRBatch
 
 #: Key function matching :class:`ConnectionRecord`'s field ordering; sorting
 #: with an extracted key is ~2x faster than per-comparison tuple building.
@@ -95,7 +99,7 @@ class CDRBatch:
             self._records = sorted(records, key=_RECORD_SORT_KEY)
         self._by_car: dict[str, list[ConnectionRecord]] | None = None
         self._by_cell: dict[int, list[ConnectionRecord]] | None = None
-        self._columnar = None
+        self._columnar: ColumnarCDRBatch | None = None
 
     def __len__(self) -> int:
         return len(self._records)
@@ -111,7 +115,7 @@ class CDRBatch:
         """The sorted record list (not a copy; treat as read-only)."""
         return self._records
 
-    def columnar(self):
+    def columnar(self) -> ColumnarCDRBatch:
         """This batch's columnar view, built once and cached.
 
         Returns a :class:`repro.cdr.columnar.ColumnarCDRBatch` sharing the
@@ -159,7 +163,7 @@ class CDRBatch:
         """Distinct cell ids, sorted."""
         return sorted(self.by_cell())
 
-    def filtered(self, predicate) -> "CDRBatch":
+    def filtered(self, predicate: Callable[[ConnectionRecord], bool]) -> "CDRBatch":
         """New batch keeping records for which ``predicate(record)`` is true."""
         # Filtering a sorted list preserves its order, so the copy need not
         # re-sort.

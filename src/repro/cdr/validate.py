@@ -46,7 +46,7 @@ class ValidationReport:
     findings: list[ValidationFinding] = field(default_factory=list)
 
     @property
-    def counts(self) -> Counter:
+    def counts(self) -> Counter[FindingKind]:
         """Number of findings per kind."""
         return Counter(f.kind for f in self.findings)
 
@@ -95,7 +95,7 @@ class TraceValidator:
     def validate(self, batch: CDRBatch) -> ValidationReport:
         """Check every record; returns the full report."""
         report = ValidationReport(n_records=len(batch))
-        seen: set[tuple] = set()
+        seen: set[tuple[float, str, int, float]] = set()
         for rec in batch:
             if len(report.findings) >= self.max_findings:
                 break

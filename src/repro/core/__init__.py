@@ -16,16 +16,14 @@ from repro.core.connect_time import ConnectTimeResult, connect_time_analysis
 from repro.core.handover import HandoverStats, handover_analysis
 from repro.core.hograph import build_handover_graph, top_corridors
 from repro.core.journeys import JourneyStats, reconstruct_journeys
-from repro.core.odmatrix import ODMatrix, ZoneGrid, build_od_matrix
-from repro.core.stability import FleetStability, fleet_stability
 from repro.core.matrices import (
     PeriodMasks,
     UsageMatrix,
     period_masks,
     usage_matrix,
 )
+from repro.core.odmatrix import ODMatrix, ZoneGrid, build_od_matrix
 from repro.core.pipeline import AnalysisPipeline, AnalysisReport
-from repro.core.streaming import StreamingAnalyzer, StreamingResult
 from repro.core.preprocess import PreprocessConfig, PreprocessResult, preprocess
 from repro.core.presence import DailyPresence, daily_presence, weekday_table
 from repro.core.segmentation import (
@@ -33,6 +31,8 @@ from repro.core.segmentation import (
     days_on_network,
     segment_cars,
 )
+from repro.core.stability import FleetStability, fleet_stability
+from repro.core.streaming import StreamingAnalyzer, StreamingResult
 
 __all__ = [
     "AnalysisPipeline",

@@ -11,6 +11,8 @@ busy cells).
 """
 
 from repro.fota.campaign import CampaignConfig, CampaignResult, CarOutcome
+from repro.fota.impact import ImpactReport, assess_impact
+from repro.fota.planner import CampaignPlanner, DeliveryPlan, PlannedPolicy
 from repro.fota.policy import (
     BusyAwarePolicy,
     DeliveryPolicy,
@@ -18,8 +20,6 @@ from repro.fota.policy import (
     OffPeakPolicy,
     RareFirstPolicy,
 )
-from repro.fota.impact import ImpactReport, assess_impact
-from repro.fota.planner import CampaignPlanner, DeliveryPlan, PlannedPolicy
 from repro.fota.simulator import CampaignSimulator
 
 __all__ = [

@@ -18,8 +18,8 @@ import numpy as np
 
 from repro.algorithms.timebins import DAY, HOUR, StudyClock
 from repro.mobility.roads import RoadNetwork
-from repro.network.geometry import Point
 from repro.mobility.trips import Trip, TripPurpose
+from repro.network.geometry import Point
 
 
 class CarProfile(enum.Enum):

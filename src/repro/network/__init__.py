@@ -9,6 +9,7 @@ into ~120-degree sectors, each sector hosting one cell per radio carrier
 saturation experiment.
 """
 
+from repro.network.capacity import achievable_rate_bps, spectral_efficiency
 from repro.network.cells import (
     CARRIERS,
     BaseStation,
@@ -17,10 +18,9 @@ from repro.network.cells import (
     RadioTechnology,
     Sector,
 )
+from repro.network.coverage import carrier_deployment_share, sample_coverage
 from repro.network.geometry import Point, bearing_deg, distance, hex_grid
 from repro.network.load import CellLoadModel, LoadProfile
-from repro.network.capacity import achievable_rate_bps, spectral_efficiency
-from repro.network.coverage import carrier_deployment_share, sample_coverage
 from repro.network.scheduler import DownloadFlow, PRBScheduler, SchedulerResult
 from repro.network.signal import PathLossModel, SignalMap, hysteresis_handover
 from repro.network.topology import NetworkTopology, TopologyConfig, build_topology

@@ -172,7 +172,11 @@ class CellLoadModel:
             shape = self._we_shape if weekday >= 5 else self._wd_shape
             days.append(prof.floor + (prof.ceiling - prof.floor) * shape)
         template = np.concatenate(days)
-        assert template.shape == (BINS_PER_WEEK,)
+        if template.shape != (BINS_PER_WEEK,):
+            raise RuntimeError(
+                f"weekly template has shape {template.shape}, "
+                f"expected ({BINS_PER_WEEK},)"
+            )
         self._templates[cell_id] = template
         return template
 

@@ -11,6 +11,7 @@ full-buffer downloads absorb whatever is left.  Utilization is reported per
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -142,8 +143,8 @@ class PRBScheduler:
                         # PRB-seconds needed to move them this step.
                         rem = f.remaining_bytes()
                         need = (
-                            float("inf")
-                            if rem == float("inf")
+                            math.inf
+                            if math.isinf(rem)
                             else rem * 8.0 / self.bps_per_prb
                         )
                         got = min(share, need)

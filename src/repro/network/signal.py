@@ -15,6 +15,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.network.cells import Cell
 from repro.network.geometry import Point, bearing_deg, distance
 from repro.network.topology import NetworkTopology
@@ -113,9 +115,8 @@ class SignalMap:
         considered), matching how real measurement reports only contain a
         handful of neighbours.
         """
-        assert self.topology._tree is not None
-        import numpy as np
-
+        if self.topology._tree is None:
+            raise RuntimeError("topology has no spatial index (no sites?)")
         k = min(n_sites, len(self.topology.sites))
         _, idx = self.topology._tree.query([location.x, location.y], k=k)
         idx = np.atleast_1d(idx)

@@ -121,7 +121,8 @@ class NetworkTopology:
 
     def nearest_site(self, location: Point) -> BaseStation:
         """The geographically closest base station to ``location``."""
-        assert self._tree is not None
+        if self._tree is None:
+            raise RuntimeError("topology has no spatial index (no sites?)")
         _, idx = self._tree.query([location.x, location.y])
         return self.sites[int(idx)]
 

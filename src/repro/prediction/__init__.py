@@ -10,13 +10,13 @@ and a train/test evaluation harness.
 
 from repro.prediction.evaluate import EvaluationResult, evaluate_predictor, train_test_split_weeks
 from repro.prediction.interarrival import GapModel, evaluate_gap_models, fit_gap_models
-from repro.prediction.tuning import SweepPoint, best_by_f1, threshold_sweep
 from repro.prediction.model import (
     AlwaysPredictor,
     HourOfDayPredictor,
     HourOfWeekPredictor,
     PresencePredictor,
 )
+from repro.prediction.tuning import SweepPoint, best_by_f1, threshold_sweep
 
 __all__ = [
     "AlwaysPredictor",

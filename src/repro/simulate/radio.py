@@ -19,7 +19,7 @@ from bisect import bisect_right
 
 import numpy as np
 
-from repro.algorithms.intervals import Interval, merge_intervals
+from repro.algorithms.intervals import Interval
 from repro.cdr.records import ConnectionRecord
 from repro.mobility.movement import SectorSpan
 from repro.network.topology import NetworkTopology

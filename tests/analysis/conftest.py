@@ -1,0 +1,30 @@
+"""Helpers for the repro-lint test suite."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.config import LintConfig
+from repro.analysis.findings import Finding
+from repro.analysis.registry import all_rules
+from repro.analysis.runner import lint_file
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="session")
+def fixture_findings():
+    """Callable linting one fixture file with every rule."""
+
+    def _lint(name: str) -> list[Finding]:
+        path = FIXTURES / name
+        cfg = LintConfig(root=FIXTURES)
+        findings, failure = lint_file(path, FIXTURES, all_rules(), cfg)
+        if failure is not None:
+            raise AssertionError(f"fixture {name} failed to parse: {failure.error}")
+        return findings
+
+    return _lint

@@ -1,0 +1,27 @@
+"""RL001 true negatives: explicitly seeded, threaded generators."""
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def seeded_root(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def seeded_from_import(seed: int) -> np.random.Generator:
+    return default_rng(seed)
+
+
+def draws(rng: np.random.Generator) -> float:
+    # Methods on a threaded Generator are the sanctioned API.
+    return float(rng.normal(0.0, 1.0)) + float(rng.integers(10))
+
+
+def local_variable_named_random() -> int:
+    # A local object happening to be called `random` is not the module.
+    class _Box:
+        def random(self) -> int:
+            return 4
+
+    box = _Box()
+    return box.random()

@@ -1,0 +1,22 @@
+"""RL001 true positives: global-state and OS-seeded RNG."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def module_random():
+    random.seed(1)  # RL001: global stream
+    return random.choice([1, 2, 3])  # RL001
+
+
+def legacy_numpy():
+    np.random.seed(0)  # RL001: legacy global API
+    return np.random.rand(3)  # RL001
+
+
+def os_seeded():
+    a = np.random.default_rng()  # RL001: argless -> OS entropy
+    b = default_rng(None)  # RL001: explicit None seed
+    return a, b

@@ -1,0 +1,18 @@
+"""RL002 true negatives: root seeding and proper threading."""
+
+import numpy as np
+
+
+def root_seeding(seed: int):
+    # No generator parameter: this *is* the sanctioned place to mint one.
+    root = np.random.default_rng(seed)
+    return np.random.default_rng(root.integers(2**63))
+
+
+def threads_properly(values, rng: np.random.Generator):
+    return [v + rng.normal() for v in values]
+
+
+def spawns_at_caller(car_seeds):
+    # Per-shard child generators from explicit seeds, no rng param.
+    return [np.random.default_rng(int(s)) for s in car_seeds]

@@ -1,0 +1,19 @@
+"""RL002 true positives: helpers re-creating the generator they were given."""
+
+import numpy as np
+
+
+def helper_reseeds(values, rng: np.random.Generator):
+    local = np.random.default_rng(1234)  # RL002: ignores the threaded rng
+    return [v + local.normal() for v in values], rng
+
+
+def annotated_param(gen: np.random.Generator):
+    fresh = np.random.default_rng(7)  # RL002: param annotated Generator
+    return fresh.random() + gen.random()
+
+
+def suffixed_param(day_rng: np.random.Generator):
+    import random
+
+    return random.Random(3).random() + day_rng.random()  # RL002

@@ -1,0 +1,22 @@
+"""RL003 true negatives: perf timing and simulated time."""
+
+import time
+
+
+def measures_duration():
+    # Duration measurement never enters outputs; perf_counter is fine.
+    t0 = time.perf_counter()
+    t1 = time.monotonic()
+    return t1 - t0
+
+
+def simulated_time(clock, t: float) -> int:
+    # Study-relative seconds via the clock abstraction.
+    return clock.day_index(t)
+
+
+def datetime_arithmetic():
+    # Constructing datetimes from explicit values reads no clock.
+    from datetime import datetime
+
+    return datetime(2017, 1, 1).isoformat()

@@ -1,0 +1,17 @@
+"""RL003 true positives: host-clock reads."""
+
+import time
+from datetime import date, datetime
+
+
+def stamps_records():
+    started = time.time()  # RL003
+    nanos = time.time_ns()  # RL003
+    return started, nanos
+
+
+def calendar_from_host():
+    a = datetime.now()  # RL003
+    b = datetime.utcnow()  # RL003
+    c = date.today()  # RL003
+    return a, b, c

@@ -1,0 +1,32 @@
+"""RL004 true negatives: sorted wrappers and order-insensitive consumers."""
+
+import os
+from pathlib import Path
+
+
+def sorted_listing(d):
+    out = []
+    for name in sorted(os.listdir(d)):
+        out.append(name)
+    return out
+
+
+def sorted_set():
+    return [x for x in sorted({3, 1, 2})]
+
+
+def sorted_genexp_over_iterdir(d):
+    # The flagged call may sit arbitrarily deep inside the sorted(...) arg.
+    return sorted(p.name for p in Path(d).iterdir() if p.suffix == ".csv")
+
+
+def order_insensitive_consumers(d, items):
+    n = len(os.listdir(d))
+    total = sum(set(items))
+    biggest = max({x for x in items})
+    return n, total, biggest
+
+
+def dict_iteration_is_ordered(mapping):
+    # Python dicts preserve insertion order; not flagged.
+    return [mapping[k] for k in mapping.keys()]

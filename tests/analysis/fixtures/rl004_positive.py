@@ -1,0 +1,32 @@
+"""RL004 true positives: order-sensitive iteration of unordered sources."""
+
+import glob
+import os
+from pathlib import Path
+
+
+def iterates_set_literal():
+    out = []
+    for x in {3, 1, 2}:  # RL004
+        out.append(x)
+    return out
+
+
+def iterates_set_call(items):
+    return [x * 2 for x in set(items)]  # RL004
+
+
+def lists_directory(d):
+    out = []
+    for name in os.listdir(d):  # RL004
+        out.append(name)
+    return out
+
+
+def globs(pattern):
+    return [p for p in glob.glob(pattern)]  # RL004
+
+
+def walks_path(d):
+    for p in Path(d).iterdir():  # RL004
+        yield p.name

@@ -1,0 +1,23 @@
+"""RL005 true negatives: integer equality, tolerances, predicates."""
+
+import math
+
+
+def integer_compare(n: int) -> bool:
+    return n == 0
+
+
+def ordering_is_fine(x: float) -> bool:
+    return 0.0 <= x <= 1.0
+
+
+def tolerant_compare(a: float, b: float) -> bool:
+    return math.isclose(a, b, rel_tol=1e-9)
+
+
+def inf_predicate(rem: float) -> bool:
+    return math.isinf(rem)
+
+
+def string_compare(name: str) -> bool:
+    return name == "C1"

@@ -1,0 +1,23 @@
+"""RL005 true positives: exact equality on float-valued expressions."""
+
+import math
+
+
+def literal_compare(x):
+    return x == 1.0  # RL005
+
+
+def inf_sentinel(rem):
+    return rem != float("inf")  # RL005
+
+
+def division_result(a, b, c):
+    return a / b == c  # RL005
+
+
+def math_constant(theta):
+    return theta == math.pi  # RL005
+
+
+def chained(x, y):
+    return 0.5 == x == y  # RL005 (first comparison is float)

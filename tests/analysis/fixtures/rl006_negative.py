@@ -1,0 +1,15 @@
+"""RL006 true negatives: None defaults and immutable defaults."""
+
+
+def none_default(items=None):
+    items = [] if items is None else items
+    items.append(1)
+    return items
+
+
+def immutable_defaults(n=3, name="x", pair=(1, 2), caps=frozenset({"C1"})):
+    return n, name, pair, caps
+
+
+def no_defaults(a, b):
+    return a + b

@@ -1,0 +1,20 @@
+"""RL006 true positives: mutable default arguments."""
+
+from collections import Counter
+
+
+def list_default(items=[]):  # RL006
+    items.append(1)
+    return items
+
+
+def dict_default(cache={}):  # RL006
+    return cache
+
+
+def set_default(seen=set()):  # RL006
+    return seen
+
+
+def kwonly_factory_default(*, counts=Counter()):  # RL006
+    return counts

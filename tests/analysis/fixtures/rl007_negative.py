@@ -1,0 +1,23 @@
+"""RL007 true negatives: specific handlers and catch-log-reraise."""
+
+
+def specific(path):
+    try:
+        return open(path).read()
+    except FileNotFoundError:
+        return ""
+
+
+def specific_tuple(obj):
+    try:
+        return float(obj["x"])
+    except (KeyError, TypeError, ValueError):
+        return 0.0
+
+
+def reraises(log, work):
+    try:
+        return work()
+    except Exception as exc:
+        log.error("shard failed: %s", exc)
+        raise

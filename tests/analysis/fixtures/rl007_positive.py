@@ -1,0 +1,22 @@
+"""RL007 true positives: handlers that swallow everything."""
+
+
+def bare_except(path):
+    try:
+        return open(path).read()
+    except:  # RL007
+        return ""
+
+
+def broad_exception(records):
+    try:
+        return sum(r.duration for r in records)
+    except Exception:  # RL007
+        return 0.0
+
+
+def broad_in_tuple(x):
+    try:
+        return int(x)
+    except (ValueError, BaseException):  # RL007
+        return 0

@@ -1,0 +1,25 @@
+"""RL008 true negatives: real exceptions, and TYPE_CHECKING-only asserts."""
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    # Never executes; narrowing hints for the type checker are fine.
+    assert True
+
+
+def validates_shape(template, expected):
+    if template.shape != expected:
+        raise RuntimeError(
+            f"template has shape {template.shape}, expected {expected}"
+        )
+    return template
+
+
+class Index:
+    def __init__(self, tree):
+        self._tree = tree
+
+    def query(self, point):
+        if self._tree is None:
+            raise RuntimeError("index was built without a tree")
+        return self._tree.query(point)

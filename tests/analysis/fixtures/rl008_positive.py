@@ -1,0 +1,15 @@
+"""RL008 true positives: assert as runtime validation in library code."""
+
+
+def validates_shape(template, expected):
+    assert template.shape == expected  # RL008
+    return template
+
+
+class Index:
+    def __init__(self, tree):
+        self._tree = tree
+
+    def query(self, point):
+        assert self._tree is not None  # RL008
+        return self._tree.query(point)

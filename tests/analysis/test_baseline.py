@@ -1,0 +1,119 @@
+"""Baseline behaviour: suppression, invalidation, determinism."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.config import LintConfig
+from repro.analysis.runner import lint_paths
+
+VIOLATION = """\
+import numpy as np
+
+
+def helper():
+    return np.random.rand(3)
+"""
+
+
+def _write(tmp_path: Path, source: str) -> Path:
+    target = tmp_path / "module.py"
+    target.write_text(source)
+    return target
+
+
+def _lint(tmp_path: Path, baseline: Baseline | None = None):
+    cfg = LintConfig(root=tmp_path, paths=(str(tmp_path),))
+    return lint_paths((str(tmp_path),), cfg, baseline=baseline)
+
+
+def test_baseline_suppresses_grandfathered_findings(tmp_path):
+    _write(tmp_path, VIOLATION)
+    first = _lint(tmp_path)
+    assert len(first.findings) == 1
+
+    baseline = Baseline.from_findings(first.findings)
+    second = _lint(tmp_path, baseline=baseline)
+    assert second.findings == []
+    assert len(second.baselined) == 1
+    assert second.exit_code() == 0
+
+
+def test_new_findings_still_fail_with_baseline(tmp_path):
+    _write(tmp_path, VIOLATION)
+    baseline = Baseline.from_findings(_lint(tmp_path).findings)
+
+    _write(tmp_path, VIOLATION + "\n\ndef fresh():\n    return np.random.randn()\n")
+    result = _lint(tmp_path, baseline=baseline)
+    assert len(result.baselined) == 1, "old finding stays suppressed"
+    assert len(result.findings) == 1, "new finding is active"
+    assert result.exit_code() == 1
+
+
+def test_editing_the_offending_line_invalidates_the_entry(tmp_path):
+    _write(tmp_path, VIOLATION)
+    baseline = Baseline.from_findings(_lint(tmp_path).findings)
+
+    _write(tmp_path, VIOLATION.replace("rand(3)", "rand(4)"))
+    result = _lint(tmp_path, baseline=baseline)
+    assert result.baselined == []
+    assert len(result.findings) == 1, "changed line must resurface"
+
+
+def test_unrelated_edits_keep_the_entry_valid(tmp_path):
+    _write(tmp_path, VIOLATION)
+    baseline = Baseline.from_findings(_lint(tmp_path).findings)
+
+    # Add lines above: the finding moves but its fingerprint does not.
+    _write(tmp_path, '"""A docstring."""\n\nX = 1\n' + VIOLATION)
+    result = _lint(tmp_path, baseline=baseline)
+    assert result.findings == []
+    assert len(result.baselined) == 1
+
+
+def test_duplicate_lines_get_distinct_fingerprints(tmp_path):
+    source = (
+        "import numpy as np\n\n\n"
+        "def a():\n    return np.random.rand(3)\n\n\n"
+        "def b():\n    return np.random.rand(3)\n"
+    )
+    _write(tmp_path, source)
+    result = _lint(tmp_path)
+    assert len(result.findings) == 2
+    prints = {f.fingerprint for f in result.findings}
+    assert len(prints) == 2, "identical lines must not share a fingerprint"
+
+    # Baselining only one occurrence leaves the other active.
+    baseline = Baseline.from_findings(result.findings[:1])
+    partial = _lint(tmp_path, baseline=baseline)
+    assert len(partial.findings) == 1
+    assert len(partial.baselined) == 1
+
+
+def test_baseline_roundtrip_is_deterministic(tmp_path):
+    _write(tmp_path, VIOLATION)
+    baseline = Baseline.from_findings(_lint(tmp_path).findings)
+    path_a = tmp_path / "a.json"
+    path_b = tmp_path / "b.json"
+    baseline.write(path_a)
+    Baseline.load(path_a).write(path_b)
+    assert path_a.read_text() == path_b.read_text()
+    assert json.loads(path_a.read_text())["version"] == 1
+
+
+def test_missing_baseline_is_empty(tmp_path):
+    assert len(Baseline.load(tmp_path / "absent.json")) == 0
+
+
+def test_corrupt_baseline_raises(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(ValueError, match="unreadable baseline"):
+        Baseline.load(bad)
+    bad.write_text('{"version": 99, "findings": {}}')
+    with pytest.raises(ValueError, match="unsupported format"):
+        Baseline.load(bad)

@@ -1,0 +1,130 @@
+"""CLI behaviour: exit codes, formats, baseline workflow, rule toggles."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.cli import main
+
+CLEAN = """\
+import numpy as np
+
+
+def seeded(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+"""
+
+DIRTY = """\
+import time
+
+
+def stamp():
+    return time.time()
+"""
+
+
+def _project(tmp_path: Path, source: str) -> Path:
+    (tmp_path / "pkg").mkdir()
+    target = tmp_path / "pkg" / "module.py"
+    target.write_text(source)
+    return target
+
+
+def test_clean_tree_exits_zero(tmp_path, capsys):
+    _project(tmp_path, CLEAN)
+    code = main(["--root", str(tmp_path), str(tmp_path / "pkg")])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "0 errors" in out
+
+
+def test_wall_clock_warns_outside_strict_paths(tmp_path, capsys):
+    _project(tmp_path, DIRTY)
+    code = main(["--root", str(tmp_path), str(tmp_path / "pkg")])
+    out = capsys.readouterr().out
+    assert code == 0, "RL003 is advisory outside the strict prefixes"
+    assert "warning [RL003]" in out
+
+
+def test_strict_flag_escalates_warnings(tmp_path, capsys):
+    _project(tmp_path, DIRTY)
+    code = main(["--root", str(tmp_path), "--strict", str(tmp_path / "pkg")])
+    assert code == 1
+    assert "error [RL003]" in capsys.readouterr().out
+
+
+def test_strict_prefix_escalates_by_path(tmp_path, capsys):
+    # The same wall-clock call inside src/repro/simulate is a hard error.
+    target = tmp_path / "src" / "repro" / "simulate"
+    target.mkdir(parents=True)
+    (target / "module.py").write_text(DIRTY)
+    code = main(["--root", str(tmp_path), str(tmp_path / "src")])
+    assert code == 1
+    assert "error [RL003]" in capsys.readouterr().out
+
+
+def test_json_format(tmp_path, capsys):
+    _project(tmp_path, DIRTY)
+    code = main(
+        ["--root", str(tmp_path), "--format", "json", str(tmp_path / "pkg")]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert payload["counts"] == {"errors": 0, "warnings": 1, "baselined": 0}
+    (finding,) = payload["findings"]
+    assert finding["rule"] == "RL003"
+    assert finding["path"] == "pkg/module.py"
+    assert finding["line"] == 5
+    assert finding["hint"]
+    assert finding["fingerprint"]
+
+
+def test_ignore_disables_a_rule(tmp_path, capsys):
+    _project(tmp_path, DIRTY)
+    code = main(
+        ["--root", str(tmp_path), "--strict", "--ignore", "RL003", str(tmp_path / "pkg")]
+    )
+    assert code == 0
+    assert "RL003" not in capsys.readouterr().out.replace("RL003: 0", "")
+
+
+def test_write_baseline_then_clean_run(tmp_path, capsys):
+    target = tmp_path / "src" / "repro" / "cdr"
+    target.mkdir(parents=True)
+    (target / "module.py").write_text(DIRTY)
+    src = str(tmp_path / "src")
+
+    assert main(["--root", str(tmp_path), src]) == 1
+
+    assert main(["--root", str(tmp_path), "--write-baseline", src]) == 0
+    baseline = tmp_path / ".repro-lint-baseline.json"
+    assert baseline.is_file()
+    assert len(json.loads(baseline.read_text())["findings"]) == 1
+
+    assert main(["--root", str(tmp_path), src]) == 0
+    assert main(["--root", str(tmp_path), "--no-baseline", src]) == 1
+
+
+def test_syntax_error_exits_two(tmp_path, capsys):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "broken.py").write_text("def f(:\n")
+    code = main(["--root", str(tmp_path), str(tmp_path / "pkg")])
+    assert code == 2
+    assert "PARSE ERROR" in capsys.readouterr().out
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("RL001", "RL008"):
+        assert rule_id in out
+
+
+def test_pyproject_config_is_honoured(tmp_path, capsys):
+    (tmp_path / "pyproject.toml").write_text(
+        '[tool.repro-lint]\npaths = ["pkg"]\nignore = ["RL003"]\n'
+    )
+    _project(tmp_path, DIRTY)
+    code = main(["--root", str(tmp_path), "--strict"])
+    assert code == 0, "paths and ignore should come from pyproject"

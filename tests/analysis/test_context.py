@@ -1,0 +1,68 @@
+"""Unit tests for import-alias resolution and tree queries."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.context import parse_file_context
+
+
+def _ctx(source: str):
+    return parse_file_context("module.py", source)
+
+
+def _first_call(ctx) -> ast.Call:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call):
+            return node
+    raise AssertionError("no call in fixture source")
+
+
+def test_resolves_plain_import():
+    ctx = _ctx("import time\ntime.time()\n")
+    assert ctx.call_name(_first_call(ctx)) == "time.time"
+
+
+def test_resolves_aliased_import():
+    ctx = _ctx("import numpy as np\nnp.random.default_rng(1)\n")
+    assert ctx.call_name(_first_call(ctx)) == "numpy.random.default_rng"
+
+
+def test_resolves_from_import_with_alias():
+    ctx = _ctx(
+        "from numpy.random import default_rng as mk\nmk()\n"
+    )
+    assert ctx.call_name(_first_call(ctx)) == "numpy.random.default_rng"
+
+
+def test_resolves_submodule_import():
+    ctx = _ctx("import numpy.random\nnumpy.random.rand(3)\n")
+    assert ctx.call_name(_first_call(ctx)) == "numpy.random.rand"
+
+
+def test_local_names_do_not_resolve():
+    ctx = _ctx("rng = object()\nrng.random()\n")
+    assert ctx.call_name(_first_call(ctx)) is None
+
+
+def test_function_local_imports_are_seen():
+    ctx = _ctx("def f():\n    import random\n    return random.random()\n")
+    assert ctx.call_name(_first_call(ctx)) == "random.random"
+
+
+def test_enclosing_function():
+    ctx = _ctx("def outer():\n    def inner():\n        return len([])\n")
+    call = _first_call(ctx)
+    func = ctx.enclosing_function(call)
+    assert func is not None and func.name == "inner"
+
+
+def test_wrapped_in_stops_at_statements():
+    ctx = _ctx("xs = sorted(len(str(n)) for n in range(3))\nys = [1]\n")
+    calls = {
+        node.func.id: node
+        for node in ast.walk(ctx.tree)
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+    }
+    assert ctx.wrapped_in(calls["len"], frozenset({"sorted"}))
+    assert not ctx.wrapped_in(calls["sorted"], frozenset({"sorted"}))

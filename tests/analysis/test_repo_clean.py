@@ -1,0 +1,49 @@
+"""The acceptance gate, encoded as a test: the repo's own ``src/`` is
+clean, and the shipped baseline is empty for the determinism-critical
+packages.
+
+If a change reintroduces an unseeded RNG, a wall-clock read or an
+order-dependent iteration anywhere under ``src/``, this test fails the
+tier-1 suite locally before CI's ``static-analysis`` job ever runs.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.config import load_config
+from repro.analysis.runner import lint_paths
+
+from tests.analysis.conftest import REPO_ROOT
+
+CRITICAL_PREFIXES = ("src/repro/simulate", "src/repro/cdr", "src/repro/core")
+
+
+def test_repo_src_is_lint_clean():
+    cfg = load_config(REPO_ROOT)
+    baseline = Baseline.load(REPO_ROOT / cfg.baseline_path)
+    result = lint_paths((str(REPO_ROOT / "src"),), cfg, baseline=baseline)
+    assert result.failures == []
+    assert result.findings == [], (
+        "repro-lint findings in src/: "
+        f"{[(f.rule_id, f.located(), f.message) for f in result.findings]}"
+    )
+
+
+def test_shipped_baseline_is_empty_for_critical_packages():
+    baseline_path = REPO_ROOT / ".repro-lint-baseline.json"
+    assert baseline_path.is_file(), "the baseline file must ship with the repo"
+    entries = json.loads(baseline_path.read_text())["findings"]
+    for entry in entries.values():
+        path = str(entry.get("path", ""))
+        for prefix in CRITICAL_PREFIXES:
+            assert not path.startswith(prefix), (
+                f"baselined finding in determinism-critical package: {entry}"
+            )
+
+
+def test_strict_prefixes_cover_the_record_emission_path():
+    cfg = load_config(REPO_ROOT)
+    for prefix in CRITICAL_PREFIXES:
+        assert prefix in cfg.strict_prefixes

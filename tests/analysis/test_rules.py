@@ -1,0 +1,81 @@
+"""Per-rule fixture tests: true positives, true negatives.
+
+Every rule has a pair of snippet files under ``fixtures/``.  The positive
+fixture must fire the target rule (and *only* the target rule — the
+fixtures are crafted to be pure so cross-rule noise is itself a failure);
+the negative fixture must be completely clean, which is how near-miss
+idioms (sorted wrappers, seeded generators, re-raising handlers) are
+pinned as allowed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.findings import Severity
+from repro.analysis.registry import all_rules, get_rule
+
+#: rule id -> (positive fixture, expected finding count).
+EXPECTED_POSITIVES = {
+    "RL001": ("rl001_positive.py", 6),
+    "RL002": ("rl002_positive.py", 3),
+    "RL003": ("rl003_positive.py", 5),
+    "RL004": ("rl004_positive.py", 5),
+    "RL005": ("rl005_positive.py", 5),
+    "RL006": ("rl006_positive.py", 4),
+    "RL007": ("rl007_positive.py", 3),
+    "RL008": ("rl008_positive.py", 2),
+}
+
+
+def test_every_rule_has_fixture_coverage():
+    assert {r.rule_id for r in all_rules()} == set(EXPECTED_POSITIVES)
+
+
+@pytest.mark.parametrize("rule_id", sorted(EXPECTED_POSITIVES))
+def test_true_positives(rule_id, fixture_findings):
+    fixture, expected_count = EXPECTED_POSITIVES[rule_id]
+    findings = fixture_findings(fixture)
+    assert {f.rule_id for f in findings} == {rule_id}, (
+        f"{fixture} should fire only {rule_id}: {findings}"
+    )
+    assert len(findings) == expected_count
+    for finding in findings:
+        assert finding.path.endswith(fixture)
+        assert finding.line > 0
+        assert finding.message
+        assert finding.hint, "every finding must carry a fix hint"
+        assert finding.fingerprint
+
+
+@pytest.mark.parametrize("rule_id", sorted(EXPECTED_POSITIVES))
+def test_true_negatives(rule_id, fixture_findings):
+    fixture = f"{rule_id.lower()}_negative.py"
+    findings = fixture_findings(fixture)
+    assert findings == [], (
+        f"{fixture} must be clean, got: "
+        f"{[(f.rule_id, f.line, f.message) for f in findings]}"
+    )
+
+
+def test_rule_metadata():
+    rules = all_rules()
+    assert len(rules) == 8
+    for rule in rules:
+        assert rule.rule_id.startswith("RL")
+        assert rule.name
+        assert rule.rationale
+        assert rule.default_severity in (Severity.ERROR, Severity.WARNING)
+
+
+def test_get_rule_roundtrip():
+    assert get_rule("RL001").rule_id == "RL001"
+    with pytest.raises(KeyError):
+        get_rule("RL999")
+
+
+def test_ignore_filters_registry():
+    remaining = {r.rule_id for r in all_rules(ignore=("RL005", "RL008"))}
+    assert "RL005" not in remaining
+    assert "RL008" not in remaining
+    assert len(remaining) == 6

@@ -1,12 +1,10 @@
 """Tests for behavioural car clustering."""
 
-import numpy as np
 import pytest
 
 from repro.algorithms.timebins import DAY, HOUR, StudyClock
 from repro.cdr.records import ConnectionRecord
 from repro.core.carclusters import (
-    BehaviourClusters,
     behaviour_fingerprint,
     choose_k,
     cluster_cars,

@@ -1,9 +1,8 @@
 """Unit tests for busy-radio clustering (Figure 11)."""
 
-import numpy as np
 import pytest
 
-from repro.algorithms.timebins import BIN_SECONDS, DAY, StudyClock
+from repro.algorithms.timebins import DAY
 from repro.cdr.records import CDRBatch, ConnectionRecord
 from repro.core.clustering import cluster_busy_cells, select_busy_cells
 

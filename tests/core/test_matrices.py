@@ -1,6 +1,5 @@
 """Unit tests for 24x7 matrices (Figures 4 and 5)."""
 
-import numpy as np
 import pytest
 
 from repro.algorithms.timebins import DAY, HOUR, StudyClock

@@ -1,12 +1,10 @@
 """Tests for origin-destination matrix estimation."""
 
-import numpy as np
 import pytest
 
-from repro.algorithms.timebins import DAY, HOUR, StudyClock
+from repro.algorithms.timebins import HOUR, StudyClock
 from repro.core.journeys import Journey, reconstruct_journeys
 from repro.core.odmatrix import (
-    ODMatrix,
     ZoneGrid,
     build_od_matrix,
     commute_reversal_score,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.algorithms.timebins import DAY, StudyClock
+from repro.algorithms.timebins import DAY
 from repro.cdr.records import CDRBatch, ConnectionRecord
 from repro.core.pipeline import AnalysisPipeline
 

@@ -1,6 +1,5 @@
 """Unit tests for daily presence (Figure 2 / Table 1)."""
 
-import numpy as np
 import pytest
 
 from repro.algorithms.timebins import DAY, StudyClock

@@ -4,7 +4,7 @@ in-memory pipeline on the same data."""
 import numpy as np
 import pytest
 
-from repro.cdr.records import CDRBatch, ConnectionRecord
+from repro.cdr.records import ConnectionRecord
 from repro.core.connect_time import connect_time_analysis
 from repro.core.preprocess import preprocess
 from repro.core.streaming import StreamingAnalyzer

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.algorithms.timebins import DAY, HOUR, StudyClock
+from repro.algorithms.timebins import HOUR, StudyClock
 from repro.cdr.records import CDRBatch, ConnectionRecord
 from repro.core.busy import BusySchedule
 from repro.core.preprocess import preprocess

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.algorithms.timebins import BIN_SECONDS, DAY
+from repro.algorithms.timebins import DAY
 from repro.cdr.records import CDRBatch, ConnectionRecord
 from repro.core.busy import BusySchedule
 from repro.core.preprocess import preprocess

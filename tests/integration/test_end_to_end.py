@@ -7,7 +7,6 @@ the qualitative findings the paper reports, not its absolute numbers.
 import numpy as np
 import pytest
 
-from repro.core.carriers import carrier_usage
 from repro.core.concurrency import cell_timeline
 from repro.core.handover import HandoverType
 from repro.core.matrices import matrices_for_all, period_masks, regularity_score

@@ -1,6 +1,5 @@
 """Unit tests for car behaviour profiles and trip planning."""
 
-import numpy as np
 import pytest
 
 from repro.algorithms.timebins import DAY, HOUR, StudyClock

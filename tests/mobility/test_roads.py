@@ -3,7 +3,7 @@
 import networkx as nx
 import pytest
 
-from repro.mobility.roads import RoadConfig, RoadNetwork, build_road_network
+from repro.mobility.roads import RoadConfig, RoadNetwork
 from repro.network.geometry import Point
 
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.algorithms.timebins import BIN_SECONDS, BINS_PER_DAY, BINS_PER_WEEK, DAY, StudyClock
+from repro.algorithms.timebins import BIN_SECONDS, BINS_PER_DAY, BINS_PER_WEEK, DAY
 from repro.network.load import (
     CellLoadModel,
     LoadProfile,

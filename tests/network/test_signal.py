@@ -1,7 +1,5 @@
 """Tests for the signal propagation model."""
 
-import math
-
 import pytest
 
 from repro.network.geometry import Point

@@ -1,11 +1,9 @@
 """Unit tests for the synthetic topology builder."""
 
-import numpy as np
 import pytest
 
 from repro.network.geometry import Point
 from repro.network.topology import (
-    NetworkTopology,
     Tier,
     TopologyConfig,
     build_topology,

@@ -1,6 +1,5 @@
 """Tests for venue-event injection."""
 
-import numpy as np
 import pytest
 
 from repro.algorithms.timebins import DAY, HOUR, StudyClock

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.algorithms.timebins import DAY, StudyClock
+from repro.algorithms.timebins import DAY
 from repro.cdr.errors import TraceGenerationError
 from repro.mobility.roads import RoadConfig
 from repro.simulate.config import SimulationConfig

@@ -1,9 +1,9 @@
 """Unit tests for radio session synthesis."""
 
 import numpy as np
-import pytest
 
 from repro.mobility.movement import SectorSpan
+from repro.mobility.profiles import CarItinerary, CarProfile
 from repro.simulate.config import ActivityConfig
 from repro.simulate.population import BASE_CAPABILITIES, Car
 from repro.simulate.radio import (
@@ -14,7 +14,6 @@ from repro.simulate.radio import (
     generate_bursts,
     records_for_trip,
 )
-from repro.mobility.profiles import CarItinerary, CarProfile
 
 WEIGHTS = {"C1": 0.2, "C2": 0.1, "C3": 0.5, "C4": 0.2}
 

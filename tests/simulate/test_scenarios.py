@@ -1,11 +1,9 @@
 """Tests for scenario presets and fleet growth."""
 
-import numpy as np
 import pytest
 
-from repro.algorithms.timebins import StudyClock
-from repro.core.presence import daily_presence
 from repro.core.preprocess import preprocess
+from repro.core.presence import daily_presence
 from repro.simulate.generator import TraceGenerator
 from repro.simulate.scenarios import (
     SCENARIOS,
