@@ -1,0 +1,149 @@
+"""Analysis-pipeline performance: columnar engine vs record-based reference.
+
+Times every Section-4 stage twice — once through the original per-record
+loops, once through the columnar fast path — on the same preprocessed batch,
+then runs the whole :class:`AnalysisPipeline` end-to-end under both engines.
+The parity suite (``tests/core/test_vectorized_parity.py``) proves the two
+engines agree bit-for-bit; this bench pins how much faster the arrays are
+and writes the numbers to ``benchmarks/out/BENCH_analysis.json`` for trend
+tracking.
+
+Measured at a reduced scale (150 cars x 30 days) so the reference loops
+stay inside interactive time.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.algorithms.timebins import StudyClock
+from repro.core.busy import BusySchedule, busy_exposure, busy_exposure_columnar
+from repro.core.carriers import carrier_usage, carrier_usage_columnar
+from repro.core.connect_time import (
+    connect_time_analysis,
+    connect_time_analysis_columnar,
+)
+from repro.core.handover import handover_analysis, handover_analysis_columnar
+from repro.core.pipeline import AnalysisPipeline
+from repro.core.preprocess import preprocess
+from repro.core.presence import daily_presence, daily_presence_columnar
+from repro.core.segmentation import days_on_network, days_on_network_columnar
+from repro.simulate.config import SimulationConfig
+from repro.simulate.generator import TraceGenerator
+
+#: The columnar engine must run the whole pipeline at least this much
+#: faster than the record-based reference on the bench workload.
+MIN_END_TO_END_SPEEDUP = 5.0
+
+
+def _time(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - t0, result
+
+
+def test_analysis_throughput(emit, emit_json):
+    clock = StudyClock(n_days=30)
+    dataset = TraceGenerator(
+        SimulationConfig(n_cars=150, seed=33, clock=clock)
+    ).generate()
+    schedule = BusySchedule.from_load_model(dataset.load_model)
+    cells = dataset.topology.cells
+    pre = preprocess(dataset.batch)
+    n = len(pre.full)
+    full_col = pre.full.columnar()
+    trunc_col = pre.truncated.columnar()
+    # Materialize every busy mask up front so neither engine pays the load
+    # model's lazy series synthesis inside its timed region.
+    for cell_id in cells:
+        schedule.busy_mask(cell_id)
+
+    stages = {
+        "daily_presence": (
+            lambda: daily_presence(pre.full, clock),
+            lambda: daily_presence_columnar(full_col, clock),
+        ),
+        "days_on_network": (
+            lambda: days_on_network(pre.full, clock),
+            lambda: days_on_network_columnar(full_col, clock),
+        ),
+        "carrier_usage": (
+            lambda: carrier_usage(pre.full),
+            lambda: carrier_usage_columnar(full_col),
+        ),
+        "busy_exposure": (
+            lambda: busy_exposure(pre.full, schedule),
+            lambda: busy_exposure_columnar(full_col, schedule),
+        ),
+        "connect_time": (
+            lambda: connect_time_analysis(pre, clock),
+            lambda: connect_time_analysis_columnar(pre, clock),
+        ),
+        "handover_analysis": (
+            lambda: handover_analysis(pre, cells),
+            lambda: handover_analysis_columnar(pre, cells),
+        ),
+    }
+
+    lines = [f"150 cars x 30 days -> {n:,} records kept"]
+    per_stage = {}
+    for name, (reference, vectorized) in stages.items():
+        ref_s, _ = _time(reference)
+        vec_s, _ = _time(vectorized)
+        speedup = ref_s / vec_s if vec_s > 0 else float("inf")
+        per_stage[name] = {
+            "reference_s": round(ref_s, 4),
+            "vectorized_s": round(vec_s, 4),
+            "reference_records_per_s": round(n / ref_s) if ref_s > 0 else None,
+            "vectorized_records_per_s": round(n / vec_s) if vec_s > 0 else None,
+            "speedup": round(speedup, 2),
+        }
+        lines.append(
+            f"{name:<18}: {ref_s * 1e3:8.1f} ms -> {vec_s * 1e3:7.1f} ms "
+            f"({speedup:5.1f}x)"
+        )
+
+    pipeline = AnalysisPipeline(
+        clock, load_model=dataset.load_model, cells=cells
+    )
+    # Warm the pipeline's busy-mask cache too: series synthesis is part of
+    # the simulated network, not of the analyses under measurement, and
+    # leaving it cold would bill it entirely to whichever engine runs first.
+    for cell_id in cells:
+        pipeline.schedule.busy_mask(cell_id)
+    # Clustering is engine-independent (k-means over busy-cell vectors), so
+    # the end-to-end comparison focuses on the Section 4 analyses.
+    ref_s, ref_report = _time(
+        lambda: pipeline.run(dataset.batch, with_clustering=False, engine="reference")
+    )
+    vec_s, vec_report = _time(
+        lambda: pipeline.run(dataset.batch, with_clustering=False, engine="vectorized")
+    )
+    speedup = ref_s / vec_s if vec_s > 0 else float("inf")
+    lines.append(
+        f"{'pipeline.run':<18}: {ref_s * 1e3:8.1f} ms -> {vec_s * 1e3:7.1f} ms "
+        f"({speedup:5.1f}x)"
+    )
+    assert vec_report.presence.n_cars_total == ref_report.presence.n_cars_total
+    assert speedup >= MIN_END_TO_END_SPEEDUP
+
+    # Sanity: the vectorized handover count survives both code paths.
+    assert len(trunc_col) == len(pre.truncated)
+
+    emit("analysis_throughput", "\n".join(lines))
+    emit_json(
+        "BENCH_analysis",
+        {
+            "workload": "150 cars x 30 days",
+            "records": n,
+            "stages": per_stage,
+            "pipeline_run": {
+                "reference_s": round(ref_s, 4),
+                "vectorized_s": round(vec_s, 4),
+                "reference_records_per_s": round(n / ref_s) if ref_s > 0 else None,
+                "vectorized_records_per_s": round(n / vec_s) if vec_s > 0 else None,
+                "speedup": round(speedup, 2),
+            },
+            "min_end_to_end_speedup_floor": MIN_END_TO_END_SPEEDUP,
+        },
+    )

@@ -11,8 +11,13 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 from dataclasses import dataclass
+from typing import Any, Union
 
 import numpy as np
+import numpy.typing as npt
+
+#: Accepted sample types: any 1-D float sequence or numpy array.
+Sample = Union[Sequence[float], npt.NDArray[Any]]
 
 
 @dataclass(frozen=True)
@@ -40,14 +45,14 @@ class SummaryStats:
     maximum: float
 
 
-def _as_array(values: Sequence[float]) -> np.ndarray:
+def _as_array(values: Sample) -> np.ndarray:
     arr = np.asarray(values, dtype=float)
     if arr.ndim != 1:
         raise ValueError(f"expected a 1-D sample, got shape {arr.shape}")
     return arr
 
 
-def ecdf(values: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+def ecdf(values: Sample) -> tuple[np.ndarray, np.ndarray]:
     """Empirical CDF of a sample.
 
     Returns ``(x, p)`` where ``x`` is the sorted sample and ``p[i]`` is the
@@ -62,7 +67,7 @@ def ecdf(values: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
     return x, p
 
 
-def ecdf_at(values: Sequence[float], points: Sequence[float]) -> np.ndarray:
+def ecdf_at(values: Sample, points: Sample) -> np.ndarray:
     """Evaluate the empirical CDF of ``values`` at the given ``points``."""
     arr = np.sort(_as_array(values))
     if arr.size == 0:
@@ -71,19 +76,19 @@ def ecdf_at(values: Sequence[float], points: Sequence[float]) -> np.ndarray:
     return np.searchsorted(arr, pts, side="right") / arr.size
 
 
-def percentile(values: Sequence[float], q: float) -> float:
+def percentile(values: Sample, q: float) -> float:
     """The ``q``-th percentile (0..100) of the sample, linearly interpolated."""
     if not 0 <= q <= 100:
         raise ValueError(f"percentile must be in 0..100, got {q}")
     return float(np.percentile(_as_array(values), q))
 
 
-def deciles(values: Sequence[float]) -> np.ndarray:
+def deciles(values: Sample) -> np.ndarray:
     """The 11 decile edges 0%, 10%, ..., 100% of the sample."""
     return np.percentile(_as_array(values), np.arange(0, 101, 10))
 
 
-def decile_shares(values: Sequence[float], edges: Sequence[float]) -> np.ndarray:
+def decile_shares(values: Sample, edges: Sample) -> np.ndarray:
     """Fraction of the sample falling in each bucket delimited by ``edges``.
 
     Buckets are half-open ``[edges[i], edges[i+1])`` with the final bucket
@@ -101,7 +106,7 @@ def decile_shares(values: Sequence[float], edges: Sequence[float]) -> np.ndarray
 
 
 def histogram(
-    values: Sequence[float], bin_width: float, start: float = 0.0
+    values: Sample, bin_width: float, start: float = 0.0
 ) -> tuple[np.ndarray, np.ndarray]:
     """Fixed-width histogram ``(edges, counts)`` covering the whole sample."""
     if bin_width <= 0:
@@ -117,7 +122,7 @@ def histogram(
     return edges, counts.astype(int)
 
 
-def linear_trend(x: Sequence[float], y: Sequence[float]) -> TrendLine:
+def linear_trend(x: Sample, y: Sample) -> TrendLine:
     """Ordinary-least-squares line fit with the coefficient of determination.
 
     Reproduces the Excel-style annotations of Figure 2 (``y = 0.0003x +
@@ -140,7 +145,7 @@ def linear_trend(x: Sequence[float], y: Sequence[float]) -> TrendLine:
     return TrendLine(float(slope), float(intercept), r_squared)
 
 
-def summarize(values: Sequence[float]) -> SummaryStats:
+def summarize(values: Sample) -> SummaryStats:
     """Count, mean, standard deviation and order statistics of a sample."""
     arr = _as_array(values)
     if arr.size == 0:

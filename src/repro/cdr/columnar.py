@@ -266,6 +266,55 @@ class ColumnarCDRBatch:
         groups = np.split(order, boundaries)
         return {self.car_ids[int(self.car_code[g[0]])]: g for g in groups}
 
+    def group_rows_by_cell(self) -> dict[int, npt.NDArray[np.intp]]:
+        """Row indices per cell id, preserving row order inside each group.
+
+        The cell-side analogue of :meth:`group_rows_by_car`: one stable
+        argsort over the cell ids, so each group stays chronological when
+        the rows are time-sorted.
+        """
+        if len(self) == 0:
+            return {}
+        order = np.argsort(self.cell_id, kind="stable")
+        ids = self.cell_id[order]
+        boundaries = np.flatnonzero(np.diff(ids)) + 1
+        groups = np.split(order, boundaries)
+        return {int(self.cell_id[g[0]]): g for g in groups}
+
+    def car_spans(self) -> tuple[npt.NDArray[np.intp], npt.NDArray[np.intp]]:
+        """Car-major row permutation plus group-start offsets.
+
+        Returns ``(order, starts)``: ``order`` is the stable permutation
+        grouping rows by car code (row order — chronology for a time-sorted
+        batch — preserved inside each group), and ``starts[k]`` is the
+        offset in ``order`` where the k-th distinct car's run begins.  The
+        k-th car's code is ``car_code[order[starts[k]]]``.  This is the
+        flat-array form of :meth:`group_rows_by_car` that the vectorized
+        analyses consume: no per-car dict, just contiguous segments.
+        """
+        if len(self) == 0:
+            empty = np.empty(0, dtype=np.intp)
+            return empty, empty
+        order = np.argsort(self.car_code, kind="stable").astype(np.intp)
+        codes = self.car_code[order]
+        starts: npt.NDArray[np.intp] = np.concatenate(
+            (
+                np.zeros(1, dtype=np.intp),
+                (np.flatnonzero(np.diff(codes)) + 1).astype(np.intp),
+            )
+        )
+        return order, starts
+
+    def present_car_codes(self) -> npt.NDArray[np.int32]:
+        """Sorted car codes that actually occur in the rows.
+
+        After :meth:`take` subsets, the shared vocabulary may list cars
+        with no remaining rows; analyses that report per-car results index
+        only the present ones.
+        """
+        out: npt.NDArray[np.int32] = np.unique(self.car_code)
+        return out
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, ColumnarCDRBatch):
             return NotImplemented

@@ -149,10 +149,19 @@ class CDRBatch:
     def by_cell(self) -> dict[int, list[ConnectionRecord]]:
         """Records grouped per cell, each group chronological."""
         if self._by_cell is None:
-            groups: dict[int, list[ConnectionRecord]] = defaultdict(list)
-            for rec in self._records:
-                groups[rec.cell_id].append(rec)
-            self._by_cell = dict(groups)
+            if self._columnar is not None:
+                # Same vectorized grouping as by_car(): one stable argsort
+                # over the cell ids instead of a dict append per record.
+                recs = self._records
+                self._by_cell = {
+                    cell: [recs[i] for i in idx]
+                    for cell, idx in self._columnar.group_rows_by_cell().items()
+                }
+            else:
+                groups: dict[int, list[ConnectionRecord]] = defaultdict(list)
+                for rec in self._records:
+                    groups[rec.cell_id].append(rec)
+                self._by_cell = dict(groups)
         return self._by_cell
 
     def car_ids(self) -> list[str]:

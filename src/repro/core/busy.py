@@ -12,9 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import numpy.typing as npt
 
+from repro.algorithms.segments import ragged_ranges
 from repro.algorithms.stats import decile_shares
 from repro.algorithms.timebins import BIN_SECONDS
+from repro.cdr.columnar import ColumnarCDRBatch
 from repro.cdr.records import CDRBatch
 from repro.network.load import CellLoadModel
 
@@ -33,7 +36,7 @@ class BusySchedule:
 
     def __init__(
         self,
-        masks: dict[int, np.ndarray],
+        masks: dict[int, npt.NDArray[np.bool_]],
         threshold: float = BUSY_THRESHOLD,
     ) -> None:
         if not 0 < threshold < 1:
@@ -52,12 +55,16 @@ class BusySchedule:
 
     @classmethod
     def from_series(
-        cls, series: dict[int, np.ndarray], threshold: float = BUSY_THRESHOLD
+        cls,
+        series: dict[int, npt.NDArray[np.float64]],
+        threshold: float = BUSY_THRESHOLD,
     ) -> "BusySchedule":
         """Schedule from explicit per-cell utilization series."""
-        return cls({cid: np.asarray(s) > threshold for cid, s in series.items()}, threshold)
+        return cls(
+            {cid: np.asarray(s) > threshold for cid, s in series.items()}, threshold
+        )
 
-    def busy_mask(self, cell_id: int) -> np.ndarray | None:
+    def busy_mask(self, cell_id: int) -> npt.NDArray[np.bool_] | None:
         """Boolean per-bin busy mask for a cell, or ``None`` when unknown."""
         mask = self._masks.get(cell_id)
         if mask is None:
@@ -82,11 +89,11 @@ class BusyExposure:
 
     car_ids: list[str]
     #: Fraction of each car's connected time spent in busy cells, in [0, 1].
-    busy_share: np.ndarray
+    busy_share: npt.NDArray[np.float64]
     #: Fraction of each car's connected time in *non*-busy cells.
-    nonbusy_share: np.ndarray
+    nonbusy_share: npt.NDArray[np.float64]
 
-    def share_distribution(self) -> np.ndarray:
+    def share_distribution(self) -> npt.NDArray[np.float64]:
         """Figure 7a: proportion of cars per 10%-wide busy-share bucket.
 
         Eleven buckets: [0,10%), ..., [90%,100%), and exactly-100% cars
@@ -96,7 +103,7 @@ class BusyExposure:
         edges[-1] = 1.0 + 1e-9
         return decile_shares(self.busy_share, edges)
 
-    def share_distribution_above(self, floor: float = 0.5) -> np.ndarray:
+    def share_distribution_above(self, floor: float = 0.5) -> npt.NDArray[np.float64]:
         """Figure 7b: distribution of busy share among cars above ``floor``.
 
         Five 10%-wide buckets from ``floor`` to 100% (the last closed),
@@ -126,11 +133,27 @@ class BusyExposure:
         return float((self.busy_share >= 1.0 - tolerance).mean())
 
 
+def _shares(
+    car_ids: list[str],
+    busy: npt.NDArray[np.float64],
+    total: npt.NDArray[np.float64],
+) -> BusyExposure:
+    """Close busy/total second tallies into a :class:`BusyExposure`."""
+    safe_total = np.where(total > 0, total, 1.0)
+    return BusyExposure(
+        car_ids=car_ids,
+        busy_share=np.where(total > 0, busy / safe_total, 0.0),
+        nonbusy_share=np.where(total > 0, 1.0 - busy / safe_total, 0.0),
+    )
+
+
 def busy_exposure(batch: CDRBatch, schedule: BusySchedule) -> BusyExposure:
     """Compute every car's busy/non-busy connected-time split.
 
     Each record's duration is apportioned to the 15-minute bins it overlaps;
     seconds in bins where the record's cell was busy count as busy time.
+    Records on cells without a busy mask skip the per-bin walk entirely —
+    their whole duration is non-busy time.
     """
     car_ids = batch.car_ids()
     busy = np.zeros(len(car_ids))
@@ -139,17 +162,78 @@ def busy_exposure(batch: CDRBatch, schedule: BusySchedule) -> BusyExposure:
     for rec in batch:
         i = index[rec.car_id]
         mask = schedule.busy_mask(rec.cell_id)
+        if mask is None:
+            total[i] += rec.duration
+            continue
         for b in rec.interval.bins_straddled(BIN_SECONDS):
             lo = max(rec.start, b * BIN_SECONDS)
             hi = min(rec.end, (b + 1) * BIN_SECONDS)
             seconds = max(0.0, hi - lo)
             total[i] += seconds
-            if mask is not None and 0 <= b < mask.size and mask[b]:
+            if 0 <= b < mask.size and mask[b]:
                 busy[i] += seconds
-    safe_total = np.where(total > 0, total, 1.0)
-    busy_share = np.where(total > 0, busy / safe_total, 0.0)
-    return BusyExposure(
-        car_ids=car_ids,
-        busy_share=busy_share,
-        nonbusy_share=np.where(total > 0, 1.0 - busy / safe_total, 0.0),
+    return _shares(car_ids, busy, total)
+
+
+def busy_exposure_columnar(
+    col: ColumnarCDRBatch, schedule: BusySchedule
+) -> BusyExposure:
+    """Vectorized :func:`busy_exposure` over a columnar batch.
+
+    Every record is split into one fragment per 15-minute bin it straddles
+    (records on cells without a busy mask stay whole), all with array
+    arithmetic: fragment seconds are clip differences, busy flags are one
+    gather from a padded per-cell mask table fetched once per cell, and the
+    per-car tallies accumulate with ``np.add.at``.  ``ufunc.at`` is
+    unbuffered and applies fragments in index order — record-major,
+    bin-minor, exactly the order the reference's ``+=`` loop adds them — so
+    the resulting shares are bit-identical.
+    """
+    n = len(col)
+    present = col.present_car_codes()
+    car_ids = [col.car_ids[int(c)] for c in present]
+    busy = np.zeros(len(car_ids))
+    total = np.zeros(len(car_ids))
+    if n == 0:
+        return _shares(car_ids, busy, total)
+    car_idx = np.searchsorted(present, col.car_code)
+
+    # One busy-mask fetch per distinct cell; unknown cells get a zero-length
+    # row in the padded table and are flagged so their records stay whole.
+    cells, cell_row = np.unique(col.cell_id, return_inverse=True)
+    masks = [schedule.busy_mask(int(c)) for c in cells]
+    known_cell = np.asarray([m is not None for m in masks], dtype=np.bool_)
+    lens = np.asarray(
+        [0 if m is None else m.size for m in masks], dtype=np.int64
     )
+    table = np.zeros((len(masks), int(lens.max()) if len(masks) else 0), np.bool_)
+    for row, mask in enumerate(masks):
+        if mask is not None:
+            table[row, : mask.size] = mask
+
+    start = col.start
+    end = start + col.duration
+    first = np.floor_divide(start, BIN_SECONDS).astype(np.int64)
+    last = np.floor_divide(end, BIN_SECONDS).astype(np.int64)
+    last[np.mod(end, BIN_SECONDS) == 0] -= 1
+    # Zero-duration records still touch the single bin holding their start.
+    last = np.maximum(last, first)
+    known_row = known_cell[cell_row]
+    counts = np.where(known_row, last - first + 1, 1)
+
+    owner, offset = ragged_ranges(counts)
+    f_bin = first[owner] + offset
+    f_known = known_row[owner]
+    lo = np.maximum(start[owner], f_bin * BIN_SECONDS)
+    hi = np.minimum(end[owner], (f_bin + 1) * BIN_SECONDS)
+    seconds = np.where(f_known, np.maximum(0.0, hi - lo), col.duration[owner])
+
+    f_row = cell_row[owner]
+    f_busy = np.zeros(len(owner), dtype=np.bool_)
+    in_range = f_known & (f_bin >= 0) & (f_bin < lens[f_row])
+    sel = np.flatnonzero(in_range)
+    f_busy[sel] = table[f_row[sel], f_bin[sel]]
+
+    np.add.at(total, car_idx[owner], seconds)
+    np.add.at(busy, car_idx[owner[f_busy]], seconds[f_busy])
+    return _shares(car_ids, busy, total)

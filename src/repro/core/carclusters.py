@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.algorithms.kmeans import KMeans, KMeansResult, silhouette_score
 from repro.algorithms.timebins import StudyClock
@@ -28,14 +29,14 @@ from repro.core.matrices import UsageMatrix, usage_matrix
 HOURS_PER_WEEK = 24 * 7
 
 
-def behaviour_fingerprint(matrix: UsageMatrix) -> np.ndarray:
+def behaviour_fingerprint(matrix: UsageMatrix) -> npt.NDArray[np.float64]:
     """A car's (168,) hour-of-week connection distribution.
 
     Rows of the 24x7 matrix flatten weekday-major (Monday hour 0 first) and
     normalize to sum 1, so heavy and light users with the same *schedule*
     get the same fingerprint.
     """
-    flat = matrix.counts.T.reshape(HOURS_PER_WEEK).astype(float)
+    flat = matrix.counts.T.reshape(HOURS_PER_WEEK).astype(np.float64)
     total = flat.sum()
     if total == 0:
         return flat
@@ -47,7 +48,7 @@ class BehaviourClusters:
     """Outcome of clustering the fleet's behaviour fingerprints."""
 
     car_ids: list[str]
-    fingerprints: np.ndarray  # (n_cars, 168)
+    fingerprints: npt.NDArray[np.float64]  # (n_cars, 168)
     result: KMeansResult
 
     @property
@@ -59,12 +60,13 @@ class BehaviourClusters:
         """Car ids assigned to cluster ``label``."""
         return [c for c, lab in zip(self.car_ids, self.result.labels) if lab == label]
 
-    def mean_fingerprint(self, label: int) -> np.ndarray:
+    def mean_fingerprint(self, label: int) -> npt.NDArray[np.float64]:
         """Mean (168,) fingerprint of a cluster."""
         mask = self.result.labels == label
         if not mask.any():
             return np.zeros(HOURS_PER_WEEK)
-        return self.fingerprints[mask].mean(axis=0)
+        out: npt.NDArray[np.float64] = self.fingerprints[mask].mean(axis=0)
+        return out
 
     def weekend_share(self, label: int) -> float:
         """Share of a cluster's connection mass on Saturday + Sunday."""
@@ -100,7 +102,7 @@ def cluster_cars(
     cars, already segmented by Table 2).
     """
     car_ids: list[str] = []
-    rows: list[np.ndarray] = []
+    rows: list[npt.NDArray[np.float64]] = []
     for car_id in sorted(by_car):
         matrix = usage_matrix(car_id, by_car[car_id], clock)
         if matrix.total_connections < min_connections:

@@ -11,6 +11,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro.cdr.columnar import ColumnarCDRBatch
 from repro.cdr.records import CDRBatch
 
 #: Canonical carrier order for reporting.
@@ -67,5 +70,39 @@ def carrier_usage(
             for c in carriers
         },
         n_cars=len(all_cars),
+        total_time_s=total_time,
+    )
+
+
+def carrier_usage_columnar(
+    col: ColumnarCDRBatch, carriers: tuple[str, ...] = CARRIER_ORDER
+) -> CarrierUsage:
+    """Vectorized :func:`carrier_usage` over a columnar batch.
+
+    Per-carrier sums run as ``np.cumsum`` over the carrier's rows in batch
+    order, which accumulates floats in exactly the sequence the reference's
+    ``+=`` loop does, so the time shares are bit-identical.
+    """
+    n = len(col)
+    total_time = float(np.cumsum(col.duration)[-1]) if n else 0.0
+    n_cars_total = int(np.unique(col.car_code).size)
+    n_cars = max(n_cars_total, 1)
+    vocab = {name: i for i, name in enumerate(col.carriers)}
+    cars_fraction: dict[str, float] = {}
+    time_fraction: dict[str, float] = {}
+    for c in carriers:
+        code = vocab.get(c)
+        rows = col.carrier_code == code if code is not None else None
+        if rows is None or not rows.any():
+            cars_fraction[c] = 0.0
+            time_fraction[c] = 0.0
+            continue
+        t = float(np.cumsum(col.duration[rows])[-1])
+        cars_fraction[c] = int(np.unique(col.car_code[rows]).size) / n_cars
+        time_fraction[c] = t / total_time if total_time > 0 else 0.0
+    return CarrierUsage(
+        cars_fraction=cars_fraction,
+        time_fraction=time_fraction,
+        n_cars=n_cars_total,
         total_time_s=total_time,
     )

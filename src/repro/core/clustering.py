@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.algorithms.kmeans import KMeans, KMeansResult, silhouette_score
 from repro.algorithms.timebins import StudyClock
@@ -29,7 +30,7 @@ class BusyCellClusters:
     """Outcome of the Figure 11 clustering."""
 
     cell_ids: list[int]
-    vectors: np.ndarray  # (n_cells, 672) mean weekly concurrency
+    vectors: npt.NDArray[np.float64]  # (n_cells, 672) mean weekly concurrency
     result: KMeansResult
     #: Cluster indices ordered by ascending mean concurrency level, so
     #: ``ordering[0]`` is the paper's Cluster 1 (low) and ``ordering[-1]``
@@ -46,11 +47,12 @@ class BusyCellClusters:
         label = self.ordering[rank]
         return [cid for cid, lab in zip(self.cell_ids, self.result.labels) if lab == label]
 
-    def cluster_mean_vector(self, rank: int) -> np.ndarray:
+    def cluster_mean_vector(self, rank: int) -> npt.NDArray[np.float64]:
         """Mean weekly concurrency vector of the ``rank``-th cluster."""
         label = self.ordering[rank]
         members = self.vectors[self.result.labels == label]
-        return members.mean(axis=0)
+        out: npt.NDArray[np.float64] = members.mean(axis=0)
+        return out
 
     def level(self, rank: int) -> float:
         """Mean concurrency level (over all bins) of the ``rank``-th cluster."""
@@ -122,8 +124,10 @@ def cluster_busy_cells(
         [weekly_concurrency(by_cell.get(cid, []), clock) for cid in cell_ids]
     )
     result = KMeans(k, seed=seed).fit(vectors)
-    levels = [
-        vectors[result.labels == label].mean() if (result.labels == label).any() else 0.0
+    levels: list[float] = [
+        float(vectors[result.labels == label].mean())
+        if (result.labels == label).any()
+        else 0.0
         for label in range(k)
     ]
     ordering = tuple(int(i) for i in np.argsort(levels))

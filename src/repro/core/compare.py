@@ -74,7 +74,7 @@ def compare_reports(a: AnalysisReport, b: AnalysisReport) -> list[MetricDelta]:
     """Deltas over the metrics both reports expose."""
     metrics_a = extract_metrics(a)
     metrics_b = extract_metrics(b)
-    deltas = []
+    deltas: list[MetricDelta] = []
     for name, (value_a, fmt) in metrics_a.items():
         if name not in metrics_b:
             continue

@@ -14,6 +14,7 @@ from collections import Counter
 from dataclasses import dataclass
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.algorithms.intervals import Interval, concatenate_gaps
 from repro.algorithms.timebins import BIN_SECONDS, BINS_PER_WEEK, DAY, WEEK, StudyClock
@@ -63,7 +64,7 @@ class CellTimeline:
     window_start: float
     window_end: float
     car_intervals: dict[str, list[Interval]]
-    concurrency: np.ndarray
+    concurrency: npt.NDArray[np.int64]
 
     @property
     def n_cars(self) -> int:
@@ -101,7 +102,7 @@ def cell_timeline(
             car_intervals.setdefault(rec.car_id, []).append(clipped)
 
     n_bins = int(n_days * DAY // BIN_SECONDS)
-    concurrency = np.zeros(n_bins, dtype=int)
+    concurrency = np.zeros(n_bins, dtype=np.int64)
     for intervals in car_intervals.values():
         seen: set[int] = set()
         for iv in concatenate_gaps(intervals, 30.0):
@@ -124,7 +125,7 @@ def weekly_concurrency(
     records: list[ConnectionRecord],
     clock: StudyClock,
     session_gap_s: float = 30.0,
-) -> np.ndarray:
+) -> npt.NDArray[np.float64]:
     """Mean concurrent cars per 15-minute bin of the week, 672 entries.
 
     Averages each hour-of-week bin's concurrent-car count over all complete
@@ -146,9 +147,10 @@ def weekly_concurrency(
     return folded / n_weeks
 
 
-def fold_to_day(weekly: np.ndarray) -> np.ndarray:
+def fold_to_day(weekly: npt.ArrayLike) -> npt.NDArray[np.float64]:
     """Collapse a 672-bin weekly vector to the 96-bin mean day."""
     w = np.asarray(weekly, dtype=float)
     if w.size != BINS_PER_WEEK:
         raise ValueError(f"expected {BINS_PER_WEEK} bins, got {w.size}")
-    return w.reshape(7, -1).mean(axis=0)
+    out: npt.NDArray[np.float64] = w.reshape(7, -1).mean(axis=0)
+    return out

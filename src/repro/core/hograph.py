@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import networkx as nx
+import networkx as nx  # type: ignore[import-untyped]
 import numpy as np
 
 from repro.core.preprocess import PreprocessResult
@@ -98,7 +98,7 @@ def edge_length_stats(graph: nx.DiGraph) -> tuple[float, float]:
 
 def site_throughput_ranking(graph: nx.DiGraph, n: int = 10) -> list[tuple[int, int]]:
     """Sites ranked by total handover throughput (in + out), top ``n``."""
-    strength = {
+    strength: dict[int, int] = {
         node: sum(d["handovers"] for *_, d in graph.in_edges(node, data=True))
         + sum(d["handovers"] for *_, d in graph.out_edges(node, data=True))
         for node in graph.nodes
@@ -116,4 +116,4 @@ def reciprocity(graph: nx.DiGraph) -> float:
     if graph.number_of_edges() == 0:
         raise ValueError("handover graph has no edges")
     reciprocal = sum(1 for a, b in graph.edges if graph.has_edge(b, a))
-    return reciprocal / graph.number_of_edges()
+    return float(reciprocal / graph.number_of_edges())

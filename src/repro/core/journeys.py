@@ -18,13 +18,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.algorithms.stats import percentile
 from repro.algorithms.timebins import StudyClock
 from repro.cdr.records import ConnectionRecord
 from repro.core.preprocess import PreprocessResult
 from repro.network.cells import Cell
-from repro.network.geometry import distance
+from repro.network.geometry import Point, distance
 
 
 @dataclass(frozen=True)
@@ -69,26 +70,26 @@ class JourneyStats:
         """Reconstructed journeys with movement."""
         return len(self.journeys)
 
-    def distances_km(self) -> np.ndarray:
+    def distances_km(self) -> npt.NDArray[np.float64]:
         """Per-journey distance estimates."""
-        return np.asarray([j.distance_km for j in self.journeys])
+        return np.asarray([j.distance_km for j in self.journeys], dtype=np.float64)
 
-    def speeds_kmh(self) -> np.ndarray:
+    def speeds_kmh(self) -> npt.NDArray[np.float64]:
         """Per-journey mean speed estimates."""
-        return np.asarray([j.speed_kmh for j in self.journeys])
+        return np.asarray([j.speed_kmh for j in self.journeys], dtype=np.float64)
 
-    def durations_s(self) -> np.ndarray:
+    def durations_s(self) -> npt.NDArray[np.float64]:
         """Per-journey durations."""
-        return np.asarray([j.duration_s for j in self.journeys])
+        return np.asarray([j.duration_s for j in self.journeys], dtype=np.float64)
 
     def median_distance_km(self) -> float:
         """Median journey distance."""
         return percentile(self.distances_km(), 50)
 
-    def departure_hour_histogram(self, clock: StudyClock) -> np.ndarray:
+    def departure_hour_histogram(self, clock: StudyClock) -> npt.NDArray[np.int64]:
         """Journeys per local hour of day, 24 entries — commute peaks show
         as a morning/evening double hump."""
-        counts = np.zeros(24, dtype=int)
+        counts = np.zeros(24, dtype=np.int64)
         for j in self.journeys:
             counts[clock.hour_of_day(j.start)] += 1
         return counts
@@ -109,7 +110,7 @@ def journey_from_session(
     cell is known to the inventory.
     """
     path: list[int] = []
-    locations = []
+    locations: list[Point] = []
     for rec in session:
         cell = cells.get(rec.cell_id)
         if cell is None:

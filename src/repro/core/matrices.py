@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.algorithms.timebins import HOUR, StudyClock
 from repro.cdr.records import ConnectionRecord
@@ -25,7 +26,7 @@ class UsageMatrix:
     """One car's 24x7 connection-frequency matrix."""
 
     car_id: str
-    counts: np.ndarray  # shape (24, 7), dtype int
+    counts: npt.NDArray[np.int64]  # shape (24, 7)
 
     def __post_init__(self) -> None:
         if self.counts.shape != (24, 7):
@@ -41,14 +42,14 @@ class UsageMatrix:
         """Number of distinct (hour, weekday) cells ever used."""
         return int((self.counts > 0).sum())
 
-    def normalized(self) -> np.ndarray:
+    def normalized(self) -> npt.NDArray[np.float64]:
         """Counts scaled to [0, 1] by the matrix maximum (for rendering)."""
         peak = self.counts.max()
         if peak == 0:
-            return self.counts.astype(float)
+            return self.counts.astype(np.float64)
         return self.counts / peak
 
-    def overlap_fraction(self, mask: np.ndarray) -> float:
+    def overlap_fraction(self, mask: npt.NDArray[np.bool_]) -> float:
         """Fraction of this car's connections landing inside a period mask."""
         if self.total_connections == 0:
             return 0.0
@@ -71,9 +72,9 @@ class UsageMatrix:
 class PeriodMasks:
     """The canonical significant-period masks of Figure 4, shape (24, 7)."""
 
-    commute_peak: np.ndarray
-    network_peak: np.ndarray
-    weekend: np.ndarray
+    commute_peak: npt.NDArray[np.bool_]
+    network_peak: npt.NDArray[np.bool_]
+    weekend: npt.NDArray[np.bool_]
 
 
 def period_masks() -> PeriodMasks:
@@ -103,7 +104,7 @@ def usage_matrix(
     record, so a two-hour connection darkens two cells — the paper counts
     connections *during* each hour, not connection starts.
     """
-    counts = np.zeros((24, 7), dtype=int)
+    counts = np.zeros((24, 7), dtype=np.int64)
     for rec in records:
         if rec.car_id != car_id:
             raise ValueError(f"record for {rec.car_id} passed to matrix of {car_id}")
@@ -136,5 +137,5 @@ def regularity_score(matrix: UsageMatrix) -> float:
         return 0.0
     p = matrix.counts[matrix.counts > 0].astype(float) / total
     entropy = float(-(p * np.log(p)).sum())
-    max_entropy = np.log(24 * 7)
+    max_entropy = float(np.log(24 * 7))
     return 1.0 - entropy / max_entropy

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.algorithms.timebins import StudyClock
 from repro.core.journeys import Journey
@@ -56,7 +57,7 @@ class ODMatrix:
     """Directed zone-to-zone journey counts."""
 
     grid: ZoneGrid
-    counts: np.ndarray  # (n_zones, n_zones)
+    counts: npt.NDArray[np.int64]  # (n_zones, n_zones)
 
     @property
     def total_journeys(self) -> int:
@@ -102,18 +103,17 @@ def build_od_matrix(
     ``[lo, hi)`` (requires ``clock``), which is how the AM and PM matrices
     of commute analysis are cut.
     """
-    if hours is not None and clock is None:
-        raise ValueError("hour filtering requires a clock")
+    if hours is not None:
+        if clock is None:
+            raise ValueError("hour filtering requires a clock")
+        lo, hi = hours
+        journeys = [j for j in journeys if lo <= clock.hour_of_day(j.start) < hi]
     # Pre-index site -> location once; journeys reference sites repeatedly.
     site_location: dict[int, Point] = {}
     for cell in cells.values():
         site_location.setdefault(cell.base_station_id, cell.location)
-    counts = np.zeros((grid.n_zones, grid.n_zones), dtype=int)
+    counts = np.zeros((grid.n_zones, grid.n_zones), dtype=np.int64)
     for journey in journeys:
-        if hours is not None:
-            hour = clock.hour_of_day(journey.start)
-            if not hours[0] <= hour < hours[1]:
-                continue
         origin_loc = site_location.get(journey.site_path[0])
         dest_loc = site_location.get(journey.site_path[-1])
         if origin_loc is None or dest_loc is None:

@@ -12,14 +12,38 @@ from dataclasses import dataclass, field
 
 from repro.algorithms.timebins import StudyClock
 from repro.cdr.records import CDRBatch
-from repro.core.busy import BusyExposure, BusySchedule, busy_exposure
-from repro.core.carriers import CarrierUsage, carrier_usage
+from repro.core.busy import (
+    BusyExposure,
+    BusySchedule,
+    busy_exposure,
+    busy_exposure_columnar,
+)
+from repro.core.carriers import CarrierUsage, carrier_usage, carrier_usage_columnar
 from repro.core.clustering import BusyCellClusters, cluster_busy_cells
-from repro.core.connect_time import ConnectTimeResult, connect_time_analysis
-from repro.core.handover import HandoverStats, handover_analysis
+from repro.core.connect_time import (
+    ConnectTimeResult,
+    connect_time_analysis,
+    connect_time_analysis_columnar,
+)
+from repro.core.handover import (
+    HandoverStats,
+    handover_analysis,
+    handover_analysis_columnar,
+)
 from repro.core.preprocess import PreprocessConfig, PreprocessResult, preprocess
-from repro.core.presence import DailyPresence, WeekdayRow, daily_presence, weekday_table
-from repro.core.segmentation import CarSegmentation, days_on_network, segment_cars
+from repro.core.presence import (
+    DailyPresence,
+    WeekdayRow,
+    daily_presence,
+    daily_presence_columnar,
+    weekday_table,
+)
+from repro.core.segmentation import (
+    CarSegmentation,
+    days_on_network,
+    days_on_network_columnar,
+    segment_cars,
+)
 from repro.network.cells import Cell
 from repro.network.load import CellLoadModel
 
@@ -75,6 +99,11 @@ class AnalysisPipeline:
         self.load_model = load_model
         self.cells = cells
         self.preprocess_config = preprocess_config or PreprocessConfig()
+        # One schedule for the pipeline's lifetime: busy masks are a pure
+        # function of the load model, and synthesizing the per-cell series
+        # dominates a run's wall time, so the lazy cache must survive
+        # across run() calls instead of being rebuilt for each one.
+        self.schedule = BusySchedule.from_load_model(load_model)
 
     def run(
         self,
@@ -82,8 +111,16 @@ class AnalysisPipeline:
         with_clustering: bool = True,
         cluster_k: int = 2,
         exclude_loss_days: bool = False,
+        engine: str = "vectorized",
     ) -> AnalysisReport:
         """Run every analysis and return the filled report.
+
+        ``engine`` selects the implementation of the Section 4 analyses:
+        ``"vectorized"`` (default) runs them on the batch's columnar arrays
+        — no per-record Python on the hot path — while ``"reference"`` runs
+        the original record-based loops.  Both produce identical reports
+        (the parity suite asserts bit-equality), so the switch exists for
+        verification and benchmarking, not correctness.
 
         ``exclude_loss_days`` runs the data-quality loss-day detector and
         removes flagged days from the Table 1 weekday statistics (the paper
@@ -92,6 +129,11 @@ class AnalysisPipeline:
         no usable records: every downstream statistic would be undefined,
         and an explicit error beats a report full of NaNs.
         """
+        if engine not in ("vectorized", "reference"):
+            raise ValueError(
+                f"engine must be 'vectorized' or 'reference', got {engine!r}"
+            )
+        vectorized = engine == "vectorized"
         notes: list[str] = []
         pre = preprocess(batch, self.preprocess_config)
         if len(pre.full) == 0:
@@ -101,7 +143,10 @@ class AnalysisPipeline:
             )
         notes.append(f"dropped {pre.n_dropped_ghosts} exactly-1-hour ghost records")
 
-        presence = daily_presence(pre.full, self.clock)
+        if vectorized:
+            presence = daily_presence_columnar(pre.full.columnar(), self.clock)
+        else:
+            presence = daily_presence(pre.full, self.clock)
         excluded: tuple[int, ...] = ()
         if exclude_loss_days:
             from repro.cdr.quality import detect_loss_days
@@ -114,17 +159,25 @@ class AnalysisPipeline:
                     f"{list(excluded)}"
                 )
         weekday_rows = weekday_table(presence, exclude_days=excluded)
-        connect_time = connect_time_analysis(pre, self.clock)
-        days = days_on_network(pre.full, self.clock)
-
-        schedule = BusySchedule.from_load_model(self.load_model)
-        exposure = busy_exposure(pre.truncated, schedule)
+        schedule = self.schedule
+        if vectorized:
+            connect_time = connect_time_analysis_columnar(pre, self.clock)
+            days = days_on_network_columnar(pre.full.columnar(), self.clock)
+            exposure = busy_exposure_columnar(pre.truncated.columnar(), schedule)
+            carriers = carrier_usage_columnar(pre.full.columnar())
+        else:
+            connect_time = connect_time_analysis(pre, self.clock)
+            days = days_on_network(pre.full, self.clock)
+            exposure = busy_exposure(pre.truncated, schedule)
+            carriers = carrier_usage(pre.full)
         segmentation = segment_cars(days, exposure)
-        carriers = carrier_usage(pre.full)
 
         handovers: HandoverStats | None = None
         if self.cells is not None:
-            handovers = handover_analysis(pre, self.cells)
+            if vectorized:
+                handovers = handover_analysis_columnar(pre, self.cells)
+            else:
+                handovers = handover_analysis(pre, self.cells)
 
         clusters: BusyCellClusters | None = None
         if with_clustering:

@@ -83,10 +83,19 @@ class PreprocessResult:
 
         Unlike :meth:`aggregate_sessions` this keeps the records themselves
         (not just their union), because handover analysis needs the cell
-        sequence inside each session.
+        sequence inside each session.  Cached per car, like
+        :meth:`aggregate_sessions`; ``by_car()`` groups are already
+        chronological, so the grouping skips its defensive re-sort.
         """
-        records = self.truncated.by_car().get(car_id, [])
-        return group_records_by_gap(records, self.config.network_session_gap_s)
+        cached = self._network_sessions.get(car_id)
+        if cached is None:
+            cached = group_records_by_gap(
+                self.truncated.by_car().get(car_id, []),
+                self.config.network_session_gap_s,
+                assume_sorted=True,
+            )
+            self._network_sessions[car_id] = cached
+        return cached
 
 
 def is_ghost_record(record: ConnectionRecord) -> bool:
@@ -146,17 +155,23 @@ def sessions_for(
 
 
 def group_records_by_gap(
-    records: list[ConnectionRecord], max_gap_s: float
+    records: list[ConnectionRecord],
+    max_gap_s: float,
+    *,
+    assume_sorted: bool = False,
 ) -> list[list[ConnectionRecord]]:
     """Split a chronological record list into runs with bounded gaps.
 
     A new group starts whenever a record begins more than ``max_gap_s``
     seconds after the latest end seen so far (records can overlap, so the
     group's extent — not the previous record — defines the gap).
+
+    ``assume_sorted=True`` skips the defensive sort for callers whose input
+    is already chronological (``by_car()`` groups of a sorted batch).
     """
     groups: list[list[ConnectionRecord]] = []
     group_end = float("-inf")
-    for rec in sorted(records):
+    for rec in records if assume_sorted else sorted(records):
         if not groups or rec.start - group_end > max_gap_s:
             groups.append([rec])
         else:

@@ -12,26 +12,28 @@ the distribution's spread is the honest error bar on "predictable".
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.algorithms.timebins import StudyClock
 from repro.cdr.records import CDRBatch
 from repro.prediction.model import presence_by_week
 
 
-def jaccard(a: np.ndarray, b: np.ndarray) -> float:
+def jaccard(a: npt.ArrayLike, b: npt.ArrayLike) -> float:
     """Jaccard similarity of two boolean vectors.
 
     Two empty vectors are defined as similarity 1 (nothing contradicts
     nothing); one empty vs one non-empty is 0.
     """
-    a = np.asarray(a, dtype=bool)
-    b = np.asarray(b, dtype=bool)
-    union = np.logical_or(a, b).sum()
+    av = np.asarray(a, dtype=bool)
+    bv = np.asarray(b, dtype=bool)
+    union = np.logical_or(av, bv).sum()
     if union == 0:
         return 1.0
-    return float(np.logical_and(a, b).sum() / union)
+    return float(np.logical_and(av, bv).sum() / union)
 
 
 @dataclass(frozen=True)
@@ -40,7 +42,7 @@ class CarStability:
 
     car_id: str
     #: Jaccard similarity of each consecutive week pair.
-    pairwise: np.ndarray
+    pairwise: npt.NDArray[np.float64]
 
     @property
     def mean(self) -> float:
@@ -59,9 +61,9 @@ class FleetStability:
         """Cars with at least one week pair."""
         return len(self.cars)
 
-    def means(self) -> np.ndarray:
+    def means(self) -> npt.NDArray[np.float64]:
         """Per-car mean stability values."""
-        return np.asarray([c.mean for c in self.cars])
+        return np.asarray([c.mean for c in self.cars], dtype=np.float64)
 
     def fleet_mean(self) -> float:
         """Mean stability across the fleet."""
@@ -79,7 +81,7 @@ class FleetStability:
 
 def car_stability(
     car_id: str,
-    weeks: dict[int, np.ndarray],
+    weeks: dict[int, npt.NDArray[Any]],
     n_weeks: int,
 ) -> CarStability | None:
     """Stability of one car from its weekly presence vectors.
@@ -93,7 +95,7 @@ def car_stability(
     empty = np.zeros(168, dtype=bool)
     vectors = [weeks.get(w, empty) for w in range(n_weeks)]
     pairs = [jaccard(a, b) for a, b in zip(vectors, vectors[1:])]
-    return CarStability(car_id=car_id, pairwise=np.asarray(pairs))
+    return CarStability(car_id=car_id, pairwise=np.asarray(pairs, dtype=np.float64))
 
 
 def fleet_stability(batch: CDRBatch, clock: StudyClock) -> FleetStability:

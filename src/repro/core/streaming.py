@@ -22,6 +22,7 @@ from collections.abc import Iterable
 from dataclasses import dataclass
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.algorithms.streaming import (
     HyperLogLog,
@@ -46,8 +47,8 @@ class StreamingResult:
     duration_mean_truncated: float
     fraction_over_cutoff: float
     mean_connect_share_truncated: float
-    distinct_cars_per_day: np.ndarray
-    distinct_cells_per_day: np.ndarray
+    distinct_cars_per_day: npt.NDArray[np.float64]
+    distinct_cells_per_day: npt.NDArray[np.float64]
     carrier_time_fraction: dict[str, float]
 
 

@@ -109,3 +109,35 @@ class TestNetworkSessions:
 
     def test_empty_input(self):
         assert group_records_by_gap([], 600.0) == []
+
+
+class TestSessionCachingAndSortFlag:
+    def test_network_sessions_cached_identity(self):
+        batch = CDRBatch([rec(0, 60.0), rec(200, 60.0), rec(10_000, 60.0)])
+        pre = preprocess(batch)
+        s1 = pre.network_sessions("car-a")
+        s2 = pre.network_sessions("car-a")
+        assert s1 is s2
+
+    def test_network_sessions_unknown_car_empty_and_cached(self):
+        pre = preprocess(CDRBatch([rec(0, 10.0)]))
+        assert pre.network_sessions("nope") == []
+        assert pre.network_sessions("nope") is pre.network_sessions("nope")
+
+    def test_assume_sorted_skips_resort(self):
+        # Out-of-order input: the default sorts, assume_sorted trusts the
+        # caller and groups in the given order.
+        records = [rec(5000, 10.0), rec(0, 60.0), rec(100, 60.0)]
+        default = group_records_by_gap(records, max_gap_s=600.0)
+        assert [len(g) for g in default] == [2, 1]
+        # Trusted order: the backwards jump to t=0 is a negative gap, so
+        # everything lands in one group — proof the defensive sort was
+        # skipped rather than repeated.
+        trusted = group_records_by_gap(records, max_gap_s=600.0, assume_sorted=True)
+        assert [[r.start for r in g] for g in trusted] == [[5000, 0, 100]]
+
+    def test_assume_sorted_equivalent_on_sorted_input(self):
+        records = [rec(0, 60.0), rec(100, 60.0), rec(5000, 10.0)]
+        assert group_records_by_gap(
+            records, max_gap_s=600.0, assume_sorted=True
+        ) == group_records_by_gap(records, max_gap_s=600.0)
