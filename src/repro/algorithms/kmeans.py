@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import numpy.typing as npt
 
 
 @dataclass(frozen=True)
@@ -30,8 +31,8 @@ class KMeansResult:
         Number of Lloyd iterations performed by the best initialization.
     """
 
-    centers: np.ndarray
-    labels: np.ndarray
+    centers: npt.NDArray[np.float64]
+    labels: npt.NDArray[np.intp]
     inertia: float
     n_iter: int
 
@@ -40,12 +41,14 @@ class KMeansResult:
         """Number of clusters."""
         return self.centers.shape[0]
 
-    def cluster_sizes(self) -> np.ndarray:
+    def cluster_sizes(self) -> npt.NDArray[np.intp]:
         """Number of samples assigned to each cluster."""
         return np.bincount(self.labels, minlength=self.k)
 
 
-def _squared_distances(x: np.ndarray, centers: np.ndarray) -> np.ndarray:
+def _squared_distances(
+    x: npt.NDArray[np.float64], centers: npt.NDArray[np.float64]
+) -> npt.NDArray[np.float64]:
     """Pairwise squared Euclidean distances, shape ``(n_samples, k)``."""
     # ||x - c||^2 = ||x||^2 - 2 x.c + ||c||^2 computed without a python loop.
     x_sq = np.einsum("ij,ij->i", x, x)[:, None]
@@ -55,10 +58,12 @@ def _squared_distances(x: np.ndarray, centers: np.ndarray) -> np.ndarray:
     return d
 
 
-def _kmeans_plus_plus(x: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+def _kmeans_plus_plus(
+    x: npt.NDArray[np.float64], k: int, rng: np.random.Generator
+) -> npt.NDArray[np.float64]:
     """k-means++ initial centers."""
     n = x.shape[0]
-    centers = np.empty((k, x.shape[1]), dtype=float)
+    centers = np.empty((k, x.shape[1]), dtype=np.float64)
     centers[0] = x[rng.integers(n)]
     closest = _squared_distances(x, centers[:1]).ravel()
     for i in range(1, k):
@@ -110,9 +115,9 @@ class KMeans:
         self.tol = tol
         self._rng = np.random.default_rng(seed)
 
-    def fit(self, data: np.ndarray) -> KMeansResult:
+    def fit(self, data: npt.ArrayLike) -> KMeansResult:
         """Cluster ``data`` of shape ``(n_samples, n_features)``."""
-        x = np.asarray(data, dtype=float)
+        x = np.asarray(data, dtype=np.float64)
         if x.ndim != 2:
             raise ValueError(f"expected a 2-D sample matrix, got shape {x.shape}")
         if x.shape[0] < self.k:
@@ -128,9 +133,9 @@ class KMeans:
             raise RuntimeError("k-means produced no fit despite n_init >= 1")
         return best
 
-    def _fit_once(self, x: np.ndarray) -> KMeansResult:
+    def _fit_once(self, x: npt.NDArray[np.float64]) -> KMeansResult:
         centers = _kmeans_plus_plus(x, self.k, self._rng)
-        labels = np.zeros(x.shape[0], dtype=int)
+        labels = np.zeros(x.shape[0], dtype=np.intp)
         n_iter = 0
         for n_iter in range(1, self.max_iter + 1):
             d = _squared_distances(x, centers)
@@ -155,13 +160,13 @@ class KMeans:
         return KMeansResult(centers=centers, labels=labels, inertia=inertia, n_iter=n_iter)
 
 
-def silhouette_score(data: np.ndarray, labels: np.ndarray) -> float:
+def silhouette_score(data: npt.ArrayLike, labels: npt.ArrayLike) -> float:
     """Mean silhouette coefficient of a labelled sample.
 
     Used to sanity check the paper's choice of ``k = 2`` for busy-cell
     concurrency vectors.  Requires at least two clusters, each non-empty.
     """
-    x = np.asarray(data, dtype=float)
+    x = np.asarray(data, dtype=np.float64)
     lab = np.asarray(labels)
     uniq = np.unique(lab)
     if uniq.size < 2:

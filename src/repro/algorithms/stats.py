@@ -45,14 +45,16 @@ class SummaryStats:
     maximum: float
 
 
-def _as_array(values: Sample) -> np.ndarray:
-    arr = np.asarray(values, dtype=float)
+def _as_array(values: Sample) -> npt.NDArray[np.float64]:
+    arr = np.asarray(values, dtype=np.float64)
     if arr.ndim != 1:
         raise ValueError(f"expected a 1-D sample, got shape {arr.shape}")
     return arr
 
 
-def ecdf(values: Sample) -> tuple[np.ndarray, np.ndarray]:
+def ecdf(
+    values: Sample,
+) -> tuple[npt.NDArray[np.float64], npt.NDArray[np.float64]]:
     """Empirical CDF of a sample.
 
     Returns ``(x, p)`` where ``x`` is the sorted sample and ``p[i]`` is the
@@ -67,13 +69,14 @@ def ecdf(values: Sample) -> tuple[np.ndarray, np.ndarray]:
     return x, p
 
 
-def ecdf_at(values: Sample, points: Sample) -> np.ndarray:
+def ecdf_at(values: Sample, points: Sample) -> npt.NDArray[np.float64]:
     """Evaluate the empirical CDF of ``values`` at the given ``points``."""
     arr = np.sort(_as_array(values))
     if arr.size == 0:
         raise ValueError("cannot evaluate the ECDF of an empty sample")
-    pts = np.asarray(points, dtype=float)
-    return np.searchsorted(arr, pts, side="right") / arr.size
+    pts = np.asarray(points, dtype=np.float64)
+    ranks = np.searchsorted(arr, pts, side="right")
+    return np.asarray(ranks / arr.size, dtype=np.float64)
 
 
 def percentile(values: Sample, q: float) -> float:
@@ -83,12 +86,13 @@ def percentile(values: Sample, q: float) -> float:
     return float(np.percentile(_as_array(values), q))
 
 
-def deciles(values: Sample) -> np.ndarray:
+def deciles(values: Sample) -> npt.NDArray[np.float64]:
     """The 11 decile edges 0%, 10%, ..., 100% of the sample."""
-    return np.percentile(_as_array(values), np.arange(0, 101, 10))
+    edges = np.percentile(_as_array(values), np.arange(0, 101, 10))
+    return np.asarray(edges, dtype=np.float64)
 
 
-def decile_shares(values: Sample, edges: Sample) -> np.ndarray:
+def decile_shares(values: Sample, edges: Sample) -> npt.NDArray[np.float64]:
     """Fraction of the sample falling in each bucket delimited by ``edges``.
 
     Buckets are half-open ``[edges[i], edges[i+1])`` with the final bucket
@@ -96,30 +100,30 @@ def decile_shares(values: Sample, edges: Sample) -> np.ndarray:
     cars by percentage of time in busy cells (Figure 7).
     """
     arr = _as_array(values)
-    e = np.asarray(edges, dtype=float)
+    e = np.asarray(edges, dtype=np.float64)
     if e.size < 2 or np.any(np.diff(e) <= 0):
         raise ValueError("edges must be strictly increasing with >= 2 entries")
     counts, _ = np.histogram(arr, bins=e)
     if arr.size == 0:
         return np.zeros(e.size - 1)
-    return counts / arr.size
+    return np.asarray(counts / arr.size, dtype=np.float64)
 
 
 def histogram(
     values: Sample, bin_width: float, start: float = 0.0
-) -> tuple[np.ndarray, np.ndarray]:
+) -> tuple[npt.NDArray[np.float64], npt.NDArray[np.int64]]:
     """Fixed-width histogram ``(edges, counts)`` covering the whole sample."""
     if bin_width <= 0:
         raise ValueError(f"bin_width must be positive, got {bin_width}")
     arr = _as_array(values)
     if arr.size == 0:
-        return np.asarray([start, start + bin_width]), np.zeros(1, dtype=int)
+        return np.asarray([start, start + bin_width]), np.zeros(1, dtype=np.int64)
     n_bins = max(1, int(np.ceil((arr.max() - start) / bin_width)))
     if start + n_bins * bin_width <= arr.max():
         n_bins += 1
-    edges = start + bin_width * np.arange(n_bins + 1)
+    edges = start + bin_width * np.arange(n_bins + 1, dtype=np.float64)
     counts, _ = np.histogram(arr, bins=edges)
-    return edges, counts.astype(int)
+    return edges, counts.astype(np.int64)
 
 
 def linear_trend(x: Sample, y: Sample) -> TrendLine:
@@ -134,7 +138,7 @@ def linear_trend(x: Sample, y: Sample) -> TrendLine:
         raise ValueError(f"x and y differ in length: {xa.size} vs {ya.size}")
     if xa.size < 2:
         raise ValueError("need at least two points to fit a trend line")
-    slope, intercept = np.polyfit(xa, ya, 1)
+    slope, intercept = (float(c) for c in np.polyfit(xa, ya, 1))
     fitted = slope * xa + intercept
     ss_res = float(np.sum((ya - fitted) ** 2))
     ss_tot = float(np.sum((ya - ya.mean()) ** 2))

@@ -22,6 +22,7 @@ import math
 from collections import Counter
 
 import numpy as np
+import numpy.typing as npt
 
 
 class RunningMoments:
@@ -188,6 +189,23 @@ class StreamingHistogram:
         self._counts[int(value // self.bin_width)] += 1
         self.count += 1
 
+    def add_many(self, values: npt.NDArray[np.float64]) -> None:
+        """Count a batch of observations in one vectorized update.
+
+        Bit-identical to calling :meth:`add` once per element, in any
+        order: the bin index ``value // bin_width`` is the same float64
+        floor-division either way, and counter updates are pure integer
+        additions, which commute.
+        """
+        if values.size == 0:
+            return
+        bins, counts = np.unique(
+            np.floor_divide(values, self.bin_width), return_counts=True
+        )
+        for left, count in zip(bins.tolist(), counts.tolist(), strict=True):
+            self._counts[int(left)] += int(count)
+        self.count += int(values.size)
+
     def bin_count(self, value: float) -> int:
         """Observations in the bin containing ``value``."""
         return self._counts.get(int(value // self.bin_width), 0)
@@ -205,12 +223,12 @@ class StreamingHistogram:
         above = sum(c for b, c in self._counts.items() if b >= edge_bin)
         return above / self.count
 
-    def to_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+    def to_arrays(self) -> tuple[npt.NDArray[np.float64], npt.NDArray[np.int64]]:
         """Sorted ``(bin left edges, counts)`` arrays."""
         if not self._counts:
-            return np.zeros(0), np.zeros(0, dtype=int)
+            return np.zeros(0), np.zeros(0, dtype=np.int64)
         bins = np.asarray(sorted(self._counts))
-        counts = np.asarray([self._counts[b] for b in bins], dtype=int)
+        counts = np.asarray([self._counts[b] for b in bins], dtype=np.int64)
         return bins * self.bin_width, counts
 
 

@@ -115,6 +115,39 @@ class ColumnarCDRBatch:
         )
 
     @classmethod
+    def from_arrays(
+        cls,
+        start: npt.ArrayLike,
+        duration: npt.ArrayLike,
+        cell_id: npt.ArrayLike,
+        car_id: Sequence[str],
+        carrier: Sequence[str],
+        technology: Sequence[str],
+    ) -> "ColumnarCDRBatch":
+        """Encode raw per-row columns, preserving their order.
+
+        The string columns are dictionary-encoded into sorted vocabularies
+        exactly as :meth:`from_records` would; the numeric columns pass
+        straight through.  This is the entry point for block parsers that
+        never materialize :class:`~repro.cdr.records.ConnectionRecord`
+        objects (``repro.cdr.io.read_columnar_csv`` and friends).
+        """
+        car_ids, car_code = _encode(list(car_id))
+        carriers, carrier_code = _encode(list(carrier))
+        technologies, tech_code = _encode(list(technology))
+        return cls(
+            start,
+            duration,
+            cell_id,
+            car_code,
+            carrier_code,
+            tech_code,
+            car_ids,
+            carriers,
+            technologies,
+        )
+
+    @classmethod
     def from_batch(cls, batch: CDRBatch) -> "ColumnarCDRBatch":
         """Columnar view of a batch (same row order: time-sorted)."""
         return batch.columnar()
@@ -211,6 +244,25 @@ class ColumnarCDRBatch:
             self.car_code[indices],
             self.carrier_code[indices],
             self.tech_code[indices],
+            self.car_ids,
+            self.carriers,
+            self.technologies,
+        )
+
+    def rows(self, lo: int, hi: int) -> "ColumnarCDRBatch":
+        """Contiguous row slice ``[lo, hi)`` as array *views* — zero copy.
+
+        Unlike :meth:`take` (fancy indexing, which copies), a contiguous
+        slice shares the parent's buffers, so chunking a memory-mapped
+        batch into pieces never reads the file.  Vocabularies are shared.
+        """
+        return ColumnarCDRBatch(
+            self.start[lo:hi],
+            self.duration[lo:hi],
+            self.cell_id[lo:hi],
+            self.car_code[lo:hi],
+            self.carrier_code[lo:hi],
+            self.tech_code[lo:hi],
             self.car_ids,
             self.carriers,
             self.technologies,

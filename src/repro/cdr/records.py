@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from collections.abc import Callable, Iterable, Iterator
+from contextlib import contextmanager
 from dataclasses import dataclass
 from operator import attrgetter
 from typing import TYPE_CHECKING
@@ -25,6 +26,44 @@ if TYPE_CHECKING:
 _RECORD_SORT_KEY = attrgetter(
     "start", "car_id", "cell_id", "carrier", "technology", "duration"
 )
+
+
+class RecordConstructionCounter:
+    """Mutable counter of :class:`ConnectionRecord` constructions."""
+
+    __slots__ = ("count",)
+
+    def __init__(self) -> None:
+        self.count = 0
+
+
+#: Active counter, or ``None`` when counting is off (the normal state).
+_construction_counter: RecordConstructionCounter | None = None
+
+
+@contextmanager
+def count_record_constructions() -> Iterator[RecordConstructionCounter]:
+    """Count every :class:`ConnectionRecord` built inside the ``with`` block.
+
+    A test hook: the binary columnar load path (``repro.cdr.store``)
+    guarantees it constructs *zero* record objects, and the guarantee is
+    asserted rather than assumed::
+
+        with count_record_constructions() as counter:
+            batch = read_batch_cdrz(path)
+        assert counter.count == 0
+
+    Nesting restores the previous counter on exit; the hook costs one
+    global ``None`` check per construction when inactive.
+    """
+    global _construction_counter
+    counter = RecordConstructionCounter()
+    previous = _construction_counter
+    _construction_counter = counter
+    try:
+        yield counter
+    finally:
+        _construction_counter = previous
 
 
 @dataclass(frozen=True, order=True, slots=True)
@@ -49,6 +88,8 @@ class ConnectionRecord:
             )
         if not self.car_id:
             raise CDRValidationError("record car_id must be non-empty")
+        if _construction_counter is not None:
+            _construction_counter.count += 1
 
     @property
     def end(self) -> float:

@@ -4,17 +4,21 @@ The workflows an operator or researcher runs repeatedly, without writing
 Python::
 
     python -m repro.cli generate --scenario default --cars 200 --days 28 \\
-        --out trace.csv.gz [--anonymize-key KEY]
-    python -m repro.cli analyze  --trace trace.csv.gz --days 28 [--markdown]
-    python -m repro.cli quality  --trace trace.csv.gz --days 28
-    python -m repro.cli fota     --trace trace.csv.gz --days 28 [--max-concurrent N]
-    python -m repro.cli journeys --trace trace.csv.gz --days 28
+        --out trace.cdrz [--format cdrz] [--anonymize-key KEY]
+    python -m repro.cli convert  trace.csv.gz trace.cdrz
+    python -m repro.cli inspect  trace.cdrz
+    python -m repro.cli analyze  --trace trace.cdrz --days 28 [--markdown]
+    python -m repro.cli quality  --trace trace.cdrz --days 28
+    python -m repro.cli fota     --trace trace.cdrz --days 28 [--max-concurrent N]
+    python -m repro.cli journeys --trace trace.cdrz --days 28
     python -m repro.cli saturate
 
-``analyze`` rebuilds the scenario's topology and load model, so it must be
-given the same scenario (and load seed) the trace was generated with —
-exactly as a real analysis needs the matching cell inventory and PRB
-counters.
+Traces may be gzipped CSV/JSONL or the binary columnar ``.cdrz`` store
+(single file or a shard directory); every command that reads a trace
+auto-detects the format.  ``analyze`` rebuilds the scenario's topology and
+load model, so it must be given the same scenario (and load seed) the trace
+was generated with — exactly as a real analysis needs the matching cell
+inventory and PRB counters.
 """
 
 from __future__ import annotations
@@ -24,15 +28,23 @@ import sys
 
 from repro.algorithms.timebins import StudyClock
 from repro.cdr.anonymize import Anonymizer
-from repro.cdr.io import read_records_csv, write_records_csv
+from repro.cdr.io import (
+    load_trace,
+    read_columnar_auto,
+    trace_format,
+    write_records_csv,
+    write_records_jsonl,
+)
 from repro.cdr.quality import assess_quality
-from repro.cdr.records import CDRBatch
 from repro.core.pipeline import AnalysisPipeline
 from repro.core.report import format_report, format_report_markdown
 from repro.network.load import CellLoadModel
 from repro.network.topology import build_topology
 from repro.simulate.generator import TraceGenerator
 from repro.simulate.scenarios import SCENARIOS, scenario
+
+#: Writable trace formats; ``auto`` resolves from the output path suffix.
+_FORMATS = ("auto", "csv", "jsonl", "cdrz")
 
 
 def _add_generate(subparsers) -> None:
@@ -48,7 +60,22 @@ def _add_generate(subparsers) -> None:
         help="worker processes for generation; output is identical at any "
         "count (1 = serial, 0 = one per CPU)",
     )
-    p.add_argument("--out", required=True, help="output CSV path")
+    p.add_argument(
+        "--out", required=True, help="output trace path (.csv[.gz], .jsonl[.gz], .cdrz)"
+    )
+    p.add_argument(
+        "--format",
+        default="auto",
+        choices=_FORMATS,
+        help="output format; auto infers from the --out suffix",
+    )
+    p.add_argument(
+        "--shard-rows",
+        type=int,
+        default=None,
+        help="write --out as a directory of cdrz shards of at most this "
+        "many rows (cdrz format only)",
+    )
     p.add_argument(
         "--anonymize-key",
         default=None,
@@ -56,9 +83,37 @@ def _add_generate(subparsers) -> None:
     )
 
 
+def _add_convert(subparsers) -> None:
+    p = subparsers.add_parser(
+        "convert", help="convert a trace between csv/jsonl/cdrz"
+    )
+    p.add_argument("src", help="input trace (file or cdrz shard directory)")
+    p.add_argument("dst", help="output trace path")
+    p.add_argument(
+        "--format",
+        default="auto",
+        choices=_FORMATS,
+        help="output format; auto infers from the dst suffix",
+    )
+    p.add_argument(
+        "--shard-rows",
+        type=int,
+        default=None,
+        help="write dst as a directory of cdrz shards of at most this "
+        "many rows (cdrz format only)",
+    )
+
+
+def _add_inspect(subparsers) -> None:
+    p = subparsers.add_parser(
+        "inspect", help="describe a cdrz container without loading rows"
+    )
+    p.add_argument("path", help=".cdrz file or shard directory")
+
+
 def _add_analyze(subparsers) -> None:
     p = subparsers.add_parser("analyze", help="run the full paper analysis on a trace")
-    p.add_argument("--trace", required=True, help="CSV written by `generate`")
+    p.add_argument("--trace", required=True, help="trace written by `generate`")
     p.add_argument("--scenario", default="default", choices=sorted(SCENARIOS))
     p.add_argument("--days", type=int, default=28)
     p.add_argument("--no-clustering", action="store_true")
@@ -112,6 +167,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
     _add_generate(subparsers)
+    _add_convert(subparsers)
+    _add_inspect(subparsers)
     _add_analyze(subparsers)
     _add_quality(subparsers)
     _add_fota(subparsers)
@@ -120,7 +177,59 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _resolve_format(fmt: str, out: str, shard_rows: int | None) -> str:
+    """Pick the output format.
+
+    ``auto`` follows the suffix rules; ``--shard-rows`` implies cdrz for a
+    suffix-less output (a shard directory) but never overrides an explicit
+    ``.csv``/``.jsonl`` suffix — that conflict is reported, not guessed
+    away.
+    """
+    if fmt != "auto":
+        return fmt
+    name = out[: -len(".gz")] if out.endswith(".gz") else out
+    explicit_text = name.endswith(".csv") or name.endswith(".jsonl")
+    if shard_rows is not None and not explicit_text:
+        return "cdrz"
+    return trace_format(out)
+
+
+def _write_trace(
+    out: str,
+    fmt: str,
+    shard_rows: int | None,
+    records=None,
+    columnar=None,
+) -> int:
+    """Write a trace in any supported format; returns the row count.
+
+    Accepts whichever representation the caller already has — a record
+    list or a columnar batch — and converts only when the target format
+    needs the other one.
+    """
+    if fmt == "cdrz":
+        from repro.cdr.columnar import ColumnarCDRBatch
+        from repro.cdr.store import write_batch_cdrz, write_sharded_cdrz
+
+        if columnar is None:
+            columnar = ColumnarCDRBatch.from_records(list(records))
+        if shard_rows is not None:
+            write_sharded_cdrz(out, columnar, shard_rows=shard_rows)
+        else:
+            write_batch_cdrz(out, columnar)
+        return len(columnar)
+    if records is None:
+        records = columnar.to_records()
+    if fmt == "jsonl":
+        return write_records_jsonl(out, records)
+    return write_records_csv(out, records)
+
+
 def cmd_generate(args) -> int:
+    fmt = _resolve_format(args.format, args.out, args.shard_rows)
+    if args.shard_rows is not None and fmt != "cdrz":
+        print(f"--shard-rows requires the cdrz format, not {fmt}", file=sys.stderr)
+        return 2
     config = scenario(args.scenario, n_cars=args.cars, n_days=args.days)
     if args.seed is not None:
         from dataclasses import replace
@@ -134,13 +243,64 @@ def cmd_generate(args) -> int:
         n_workers = args.workers if args.workers > 0 else None
         dataset = ParallelTraceGenerator(config, n_workers=n_workers).generate()
     records = dataset.batch.records
+    columnar = None
     if args.anonymize_key:
         records = Anonymizer(key=args.anonymize_key).anonymize(records)
-    n = write_records_csv(args.out, records)
+    elif fmt == "cdrz":
+        # The freshly generated batch already carries its columnar view;
+        # write it straight out, never transiting records or text.
+        columnar, records = dataset.batch.columnar(), None
+    n = _write_trace(args.out, fmt, args.shard_rows, records=records, columnar=columnar)
     print(
         f"wrote {n:,} records ({args.cars} cars, {args.days} days, "
-        f"scenario {args.scenario}) to {args.out}"
+        f"scenario {args.scenario}) to {args.out} [{fmt}]"
     )
+    return 0
+
+
+def cmd_convert(args) -> int:
+    from pathlib import Path
+
+    fmt = _resolve_format(args.format, args.dst, args.shard_rows)
+    if args.shard_rows is not None and fmt != "cdrz":
+        print(f"--shard-rows requires the cdrz format, not {fmt}", file=sys.stderr)
+        return 2
+    src_fmt = "cdrz" if Path(args.src).is_dir() else trace_format(args.src)
+    columnar = read_columnar_auto(args.src)
+    n = _write_trace(args.dst, fmt, args.shard_rows, columnar=columnar)
+    print(
+        f"converted {n:,} records: {args.src} [{src_fmt}] -> {args.dst} [{fmt}]"
+    )
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    from repro.cdr.store import inspect_cdrz, resolve_shards
+
+    shards = resolve_shards(args.path)
+    total_rows = 0
+    for shard in shards:
+        info = inspect_cdrz(shard)
+        header = info.header
+        print(
+            f"{info.path}: cdrz schema v{header.schema_version}, "
+            f"{header.n_rows:,} rows, sorted={header.sorted}, "
+            f"{info.file_bytes:,} bytes"
+        )
+        print(
+            f"  cars {info.n_cars:,} | carriers {info.n_carriers} "
+            f"| technologies {info.n_technologies}"
+        )
+        for member in info.members:
+            shape = "x".join(str(dim) for dim in member.shape) or "()"
+            storage = "deflated" if member.compressed else "stored"
+            print(
+                f"  {member.name:<14} {member.dtype:<8} {shape:>10} "
+                f"{member.nbytes:>12,} B  {storage}"
+            )
+        total_rows += header.n_rows
+    if len(shards) > 1:
+        print(f"{len(shards)} shards, {total_rows:,} rows total")
     return 0
 
 
@@ -149,7 +309,7 @@ def cmd_analyze(args) -> int:
     clock = StudyClock(n_days=args.days)
     topology = build_topology(config.topology)
     load_model = CellLoadModel(topology, clock, seed=config.load_seed)
-    batch = CDRBatch(read_records_csv(args.trace))
+    batch = load_trace(args.trace)
     pipeline = AnalysisPipeline(clock, load_model, topology.cells)
     report = pipeline.run(batch, with_clustering=not args.no_clustering)
     if args.markdown:
@@ -161,7 +321,7 @@ def cmd_analyze(args) -> int:
 
 def cmd_quality(args) -> int:
     clock = StudyClock(n_days=args.days)
-    batch = CDRBatch(read_records_csv(args.trace))
+    batch = load_trace(args.trace)
     report = assess_quality(batch, clock)
     print(report.render())
     return 0 if report.clean else 2
@@ -184,7 +344,7 @@ def cmd_fota(args) -> int:
     clock = StudyClock(n_days=args.days)
     topology = build_topology(config.topology)
     load_model = CellLoadModel(topology, clock, seed=config.load_seed)
-    batch = CDRBatch(read_records_csv(args.trace))
+    batch = load_trace(args.trace)
     pre = preprocess(batch)
     simulator = CampaignSimulator(
         pre.truncated,
@@ -217,7 +377,7 @@ def cmd_journeys(args) -> int:
     config = scenario(args.scenario, n_cars=1, n_days=args.days)
     clock = StudyClock(n_days=args.days)
     topology = build_topology(config.topology)
-    batch = CDRBatch(read_records_csv(args.trace))
+    batch = load_trace(args.trace)
     pre = preprocess(batch)
     stats = reconstruct_journeys(pre, topology.cells)
     print(
@@ -268,6 +428,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "generate": cmd_generate,
+        "convert": cmd_convert,
+        "inspect": cmd_inspect,
         "analyze": cmd_analyze,
         "quality": cmd_quality,
         "fota": cmd_fota,

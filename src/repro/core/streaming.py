@@ -2,9 +2,10 @@
 
 At the paper's scale — 1.1 billion CDRs — the in-memory pipeline of
 :mod:`repro.core.pipeline` does not apply; an analyst streams the CDR feed
-once and keeps bounded state.  :class:`StreamingAnalyzer` consumes any
+once and keeps bounded state.  :class:`StreamingAnalyzer` consumes either an
 iterator of :class:`~repro.cdr.records.ConnectionRecord` (e.g. straight from
-:func:`repro.cdr.io.read_records_csv`) and produces:
+:func:`repro.cdr.io.read_records_csv`) or — much faster — columnar chunks
+from :func:`repro.cdr.store.iter_cdrz_chunks`, and produces:
 
 * Figure 9's duration statistics (P-squared median / p73, Welford means,
   share above the 600 s truncation cutoff),
@@ -14,6 +15,14 @@ iterator of :class:`~repro.cdr.records.ConnectionRecord` (e.g. straight from
 * Table 3's carrier time shares.
 
 Ghost records (exactly one hour) are dropped inline, mirroring Section 3.
+
+The columnar path (:meth:`StreamingAnalyzer.consume_columnar`) is
+bit-identical to the scalar path by construction: every order-sensitive
+float accumulator (P², Welford, carrier and per-car running sums) is still
+updated sequentially in row order with the very same operations, while only
+the order-*independent* work is vectorized — the ghost mask, the duration
+cap, the day indices, the histogram counter and the HyperLogLog register
+maxima (duplicate inserts are no-ops, so per-day unique inserts suffice).
 """
 
 from __future__ import annotations
@@ -30,9 +39,14 @@ from repro.algorithms.streaming import (
     RunningMoments,
     StreamingHistogram,
 )
-from repro.algorithms.timebins import StudyClock
+from repro.algorithms.timebins import DAY, StudyClock
+from repro.cdr.columnar import ColumnarCDRBatch
 from repro.cdr.records import ConnectionRecord
-from repro.core.preprocess import is_ghost_record
+from repro.core.preprocess import (
+    GHOST_DURATION_S,
+    GHOST_TOLERANCE_S,
+    is_ghost_record,
+)
 
 
 @dataclass(frozen=True)
@@ -55,6 +69,15 @@ class StreamingResult:
 class StreamingAnalyzer:
     """Single-pass analyzer over a chronologically sorted record stream.
 
+    Use :meth:`run` (scalar records) or :meth:`run_columnar` (cdrz chunks)
+    for one-shot passes, or drive a pass yourself with :meth:`begin`, any
+    mix of :meth:`consume` / :meth:`consume_columnar` calls, and
+    :meth:`finalize`.  Both ingestion paths fold into the same accumulator
+    state, so they can even be interleaved within one pass (e.g. a legacy
+    CSV day followed by cdrz shards); whatever the mix, the combined row
+    stream must stay globally sorted by start time for the per-car
+    overlap-merge to stay exact.
+
     Parameters
     ----------
     clock:
@@ -74,9 +97,32 @@ class StreamingAnalyzer:
         self.clock = clock
         self.truncate_s = truncate_s
         self._hll_precision = hll_precision
+        self.begin()
 
-    def run(self, records: Iterable[ConnectionRecord]) -> StreamingResult:
-        """Consume the stream and assemble the result.
+    def begin(self) -> None:
+        """Reset all accumulator state for a fresh pass."""
+        clock = self.clock
+        self._n_records = 0
+        self._n_ghosts = 0
+        self._median = P2Quantile(0.5)
+        self._p73 = P2Quantile(0.73)
+        self._mean_full = RunningMoments()
+        self._mean_trunc = RunningMoments()
+        self._tail = StreamingHistogram(bin_width=self.truncate_s)
+        # Per-car connected time with overlap merge; state is O(cars).
+        self._car_end: dict[str, float] = {}
+        self._car_total: dict[str, float] = {}
+        self._cars_per_day = [
+            HyperLogLog(self._hll_precision) for _ in range(clock.n_days)
+        ]
+        self._cells_per_day = [
+            HyperLogLog(self._hll_precision) for _ in range(clock.n_days)
+        ]
+        self._carrier_time: dict[str, float] = {}
+        self._total_time = 0.0
+
+    def consume(self, records: Iterable[ConnectionRecord]) -> None:
+        """Fold scalar records into the pass, one at a time.
 
         The per-car connected-time accumulator relies on the stream being
         sorted by start time (as every writer in :mod:`repro.cdr.io`
@@ -84,80 +130,180 @@ class StreamingAnalyzer:
         per-car high-water mark.
         """
         clock = self.clock
-        n_records = 0
-        n_ghosts = 0
-        median = P2Quantile(0.5)
-        p73 = P2Quantile(0.73)
-        mean_full = RunningMoments()
-        mean_trunc = RunningMoments()
-        tail = StreamingHistogram(bin_width=self.truncate_s)
-
-        # Per-car connected time with overlap merge; state is O(cars).
-        car_end: dict[str, float] = {}
-        car_total: dict[str, float] = {}
-
-        cars_per_day = [
-            HyperLogLog(self._hll_precision) for _ in range(clock.n_days)
-        ]
-        cells_per_day = [
-            HyperLogLog(self._hll_precision) for _ in range(clock.n_days)
-        ]
-        carrier_time: dict[str, float] = {}
-        total_time = 0.0
-
         for rec in records:
             if is_ghost_record(rec):
-                n_ghosts += 1
+                self._n_ghosts += 1
                 continue
-            n_records += 1
+            self._n_records += 1
 
             duration = rec.duration
             truncated = min(duration, self.truncate_s)
-            median.add(duration)
-            p73.add(duration)
-            mean_full.add(duration)
-            mean_trunc.add(truncated)
-            tail.add(duration)
+            self._median.add(duration)
+            self._p73.add(duration)
+            self._mean_full.add(duration)
+            self._mean_trunc.add(truncated)
+            self._tail.add(duration)
 
-            carrier_time[rec.carrier] = carrier_time.get(rec.carrier, 0.0) + duration
-            total_time += duration
+            self._carrier_time[rec.carrier] = (
+                self._carrier_time.get(rec.carrier, 0.0) + duration
+            )
+            self._total_time += duration
 
             day = clock.day_index(rec.start)
             if 0 <= day < clock.n_days:
-                cars_per_day[day].add(rec.car_id)
-                cells_per_day[day].add(str(rec.cell_id))
+                self._cars_per_day[day].add(rec.car_id)
+                self._cells_per_day[day].add(str(rec.cell_id))
 
             # Exact union of truncated intervals for the car.
             end = rec.start + truncated
-            prev_end = car_end.get(rec.car_id, float("-inf"))
+            prev_end = self._car_end.get(rec.car_id, float("-inf"))
             if rec.start >= prev_end:
-                car_total[rec.car_id] = car_total.get(rec.car_id, 0.0) + truncated
-                car_end[rec.car_id] = end
+                self._car_total[rec.car_id] = (
+                    self._car_total.get(rec.car_id, 0.0) + truncated
+                )
+                self._car_end[rec.car_id] = end
             elif end > prev_end:
-                car_total[rec.car_id] += end - prev_end
-                car_end[rec.car_id] = end
+                self._car_total[rec.car_id] += end - prev_end
+                self._car_end[rec.car_id] = end
 
-        if n_records == 0:
+    def consume_columnar(self, chunk: ColumnarCDRBatch) -> None:
+        """Fold one columnar chunk into the pass, bit-identical to scalar.
+
+        No :class:`~repro.cdr.records.ConnectionRecord` objects are built.
+        Order-independent statistics (ghost mask, histogram bins, day
+        indices, HyperLogLog inserts) are vectorized; the order-sensitive
+        float accumulators run in one tight loop over plain Python floats
+        pulled from the arrays, applying exactly the operations the scalar
+        path applies, in the same row order — hence bit-identical results.
+        """
+        if len(chunk) == 0:
+            return
+        duration = chunk.duration
+        ghost = np.abs(duration - GHOST_DURATION_S) <= GHOST_TOLERANCE_S
+        n_ghosts = int(np.count_nonzero(ghost))
+        self._n_ghosts += n_ghosts
+        if n_ghosts:
+            keep = ~ghost
+            duration = duration[keep]
+            start = chunk.start[keep]
+            cell_id = chunk.cell_id[keep]
+            car_code = chunk.car_code[keep]
+            carrier_code = chunk.carrier_code[keep]
+        else:
+            start = chunk.start
+            cell_id = chunk.cell_id
+            car_code = chunk.car_code
+            carrier_code = chunk.carrier_code
+        n = len(duration)
+        if n == 0:
+            return
+        self._n_records += n
+
+        # Histogram counts are pure integer additions: batch them.
+        self._tail.add_many(duration)
+
+        # Distinct cars/cells per day: HLL registers are maxima, so inserts
+        # are idempotent and order-free — insert each (day, id) pair once.
+        # Float day indices dodge int64 overflow on absurd timestamps while
+        # comparing exactly like the scalar path's arbitrary-precision ints.
+        clock = self.clock
+        day_f = np.floor_divide(start, DAY)
+        in_study = (day_f >= 0.0) & (day_f < clock.n_days)
+        if bool(np.any(in_study)):
+            study_days = day_f[in_study].astype(np.int64)
+            study_cars = car_code[in_study]
+            study_cells = cell_id[in_study]
+            car_vocab = chunk.car_ids
+            for day in np.unique(study_days).tolist():
+                sel = study_days == day
+                car_sketch = self._cars_per_day[day]
+                for code in np.unique(study_cars[sel]).tolist():
+                    car_sketch.add(car_vocab[code])
+                cell_sketch = self._cells_per_day[day]
+                for cell in np.unique(study_cells[sel]).tolist():
+                    cell_sketch.add(str(cell))
+
+        # Order-sensitive accumulators: plain floats, scalar op order.
+        truncated = np.minimum(duration, self.truncate_s)
+        starts = start.tolist()
+        durations = duration.tolist()
+        truncs = truncated.tolist()
+        car_names = [chunk.car_ids[code] for code in car_code.tolist()]
+        carrier_names = [chunk.carriers[code] for code in carrier_code.tolist()]
+        median_add = self._median.add
+        p73_add = self._p73.add
+        mean_full_add = self._mean_full.add
+        mean_trunc_add = self._mean_trunc.add
+        carrier_time = self._carrier_time
+        car_end = self._car_end
+        car_total = self._car_total
+        neg_inf = float("-inf")
+        total_time = self._total_time
+        for i in range(n):
+            dur = durations[i]
+            cap = truncs[i]
+            median_add(dur)
+            p73_add(dur)
+            mean_full_add(dur)
+            mean_trunc_add(cap)
+            carrier = carrier_names[i]
+            carrier_time[carrier] = carrier_time.get(carrier, 0.0) + dur
+            total_time += dur
+            car = car_names[i]
+            begin = starts[i]
+            end = begin + cap
+            prev_end = car_end.get(car, neg_inf)
+            if begin >= prev_end:
+                car_total[car] = car_total.get(car, 0.0) + cap
+                car_end[car] = end
+            elif end > prev_end:
+                car_total[car] += end - prev_end
+                car_end[car] = end
+        self._total_time = total_time
+
+    def finalize(self) -> StreamingResult:
+        """Assemble the result from the accumulated pass state."""
+        if self._n_records == 0:
             raise ValueError("record stream contained no usable records")
-
-        shares = np.asarray(list(car_total.values())) / clock.duration
+        clock = self.clock
+        total_time = self._total_time
+        shares = np.asarray(list(self._car_total.values())) / clock.duration
         return StreamingResult(
-            n_records=n_records,
-            n_ghosts_dropped=n_ghosts,
-            duration_median=median.value,
-            duration_p73=p73.value,
-            duration_mean_full=mean_full.mean,
-            duration_mean_truncated=mean_trunc.mean,
-            fraction_over_cutoff=tail.fraction_above(self.truncate_s),
+            n_records=self._n_records,
+            n_ghosts_dropped=self._n_ghosts,
+            duration_median=self._median.value,
+            duration_p73=self._p73.value,
+            duration_mean_full=self._mean_full.mean,
+            duration_mean_truncated=self._mean_trunc.mean,
+            fraction_over_cutoff=self._tail.fraction_above(self.truncate_s),
             mean_connect_share_truncated=float(shares.mean()),
             distinct_cars_per_day=np.asarray(
-                [sketch.estimate() for sketch in cars_per_day]
+                [sketch.estimate() for sketch in self._cars_per_day]
             ),
             distinct_cells_per_day=np.asarray(
-                [sketch.estimate() for sketch in cells_per_day]
+                [sketch.estimate() for sketch in self._cells_per_day]
             ),
             carrier_time_fraction={
                 c: (t / total_time if total_time else 0.0)
-                for c, t in sorted(carrier_time.items())
+                for c, t in sorted(self._carrier_time.items())
             },
         )
+
+    def run(self, records: Iterable[ConnectionRecord]) -> StreamingResult:
+        """One-shot scalar pass: begin, consume the stream, finalize."""
+        self.begin()
+        self.consume(records)
+        return self.finalize()
+
+    def run_columnar(
+        self, chunks: Iterable[ColumnarCDRBatch]
+    ) -> StreamingResult:
+        """One-shot columnar pass over cdrz chunks (or any columnar batches).
+
+        Feed it :func:`repro.cdr.store.iter_cdrz_chunks` to analyze a
+        sharded on-disk trace with bounded memory and zero record objects.
+        """
+        self.begin()
+        for chunk in chunks:
+            self.consume_columnar(chunk)
+        return self.finalize()

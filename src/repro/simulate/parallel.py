@@ -148,14 +148,20 @@ class ParallelTraceGenerator:
         )
 
     @staticmethod
-    def _parallel_records(
+    def _parallel_shards(
         cfg: SimulationConfig,
         substrates,
         cars: list[Car],
         car_seeds: np.ndarray,
         n_workers: int,
-    ) -> list[ConnectionRecord]:
-        """Fan the fleet out over a process pool; concatenate shard records."""
+    ) -> list[ColumnarCDRBatch]:
+        """Fan the fleet out over a process pool; return the columnar shards.
+
+        The shard payloads stay columnar end to end — this is also what the
+        binary store consumes, so a cdrz-bound caller
+        (``repro generate --format cdrz``) never pays a per-record detour
+        on the worker side of the pipe.
+        """
         shards = shard_fleet(cars, car_seeds, n_workers)
         methods = multiprocessing.get_all_start_methods()
         use_fork = "fork" in methods
@@ -172,10 +178,23 @@ class ParallelTraceGenerator:
             with ctx.Pool(
                 processes=len(shards), initializer=initializer, initargs=initargs
             ) as pool:
-                payloads = pool.map(_generate_shard, shards, chunksize=1)
+                return pool.map(_generate_shard, shards, chunksize=1)
         finally:
             _WORKER_STATE.clear()
+
+    @classmethod
+    def _parallel_records(
+        cls,
+        cfg: SimulationConfig,
+        substrates,
+        cars: list[Car],
+        car_seeds: np.ndarray,
+        n_workers: int,
+    ) -> list[ConnectionRecord]:
+        """Shard records for the record-level pipeline, in fleet order."""
         records: list[ConnectionRecord] = []
-        for payload in payloads:
+        for payload in cls._parallel_shards(
+            cfg, substrates, cars, car_seeds, n_workers
+        ):
             records.extend(payload.to_records())
         return records

@@ -1,0 +1,183 @@
+"""Chunked-columnar streaming is bit-identical to the scalar pass.
+
+The acceptance bar is exact equality — not ``approx`` — on every field of
+:class:`StreamingResult`: the columnar path must apply the same IEEE-754
+operations in the same order to every order-sensitive accumulator, at any
+chunk size, including chunks of one row.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.timebins import DAY, StudyClock
+from repro.cdr.columnar import ColumnarCDRBatch
+from repro.cdr.records import ConnectionRecord, count_record_constructions
+from repro.cdr.store import iter_cdrz_chunks, write_sharded_cdrz
+from repro.core.streaming import StreamingAnalyzer
+
+
+def rec(start, car, cell, carrier, tech, duration):
+    return ConnectionRecord(start, car, cell, carrier, tech, duration)
+
+
+def assert_results_identical(a, b):
+    assert a.n_records == b.n_records
+    assert a.n_ghosts_dropped == b.n_ghosts_dropped
+    for field in (
+        "duration_median",
+        "duration_p73",
+        "duration_mean_full",
+        "duration_mean_truncated",
+        "fraction_over_cutoff",
+        "mean_connect_share_truncated",
+    ):
+        assert getattr(a, field) == getattr(b, field), field
+    np.testing.assert_array_equal(a.distinct_cars_per_day, b.distinct_cars_per_day)
+    np.testing.assert_array_equal(a.distinct_cells_per_day, b.distinct_cells_per_day)
+    assert a.carrier_time_fraction == b.carrier_time_fraction
+
+
+def chunked(col, size):
+    for lo in range(0, len(col), size):
+        yield col.rows(lo, min(lo + size, len(col)))
+
+
+@pytest.fixture(scope="module")
+def adversarial():
+    """A stream exercising every edge: ghosts (exact, borderline in and
+
+    out of tolerance), zero durations, the truncation cutoff from both
+    sides, overlapping and duplicate per-car intervals, records outside
+    the study window, and accumulation orders that expose any reordering.
+    """
+    recs = [
+        rec(-50.0, "pre", 1, "C1", "4G", 10.0),  # before the study window
+        rec(0.0, "a", 1, "C1", "4G", 3600.0),  # exact ghost
+        rec(0.0, "a", 1, "C1", "4G", 3600.5),  # boundary ghost (dropped)
+        rec(0.0, "a", 1, "C1", "4G", 3600.6),  # just past tolerance (kept)
+        rec(1.0, "a", 2, "C2", "3G", 0.0),  # zero duration
+        rec(2.0, "a", 2, "C2", "3G", 599.9),  # under the cutoff
+        rec(3.0, "a", 2, "C2", "3G", 600.0),  # exactly the cutoff
+        rec(4.0, "a", 2, "C2", "3G", 600.1),  # over the cutoff
+        rec(4.0, "b", 3, "C1", "2G", 100.0),  # overlapping intervals ...
+        rec(50.0, "b", 3, "C1", "2G", 100.0),
+        rec(50.0, "b", 3, "C1", "2G", 100.0),  # ... and an exact duplicate
+        rec(DAY - 1.0, "b", 4, "C3", "4G", 2.0),  # straddles a day edge
+        rec(DAY + 1.0, "c", 4, "C3", "4G", 7.25),
+        rec(3 * DAY, "c", 5, "C3", "4G", 1e7),  # extends past the study
+        rec(90 * DAY + 5.0, "d", 6, "C1", "4G", 1.0),  # after the window
+    ]
+    # The stream must be sorted by start for the per-car overlap merge.
+    return sorted(recs, key=lambda r: r.start)
+
+
+@pytest.fixture(scope="module")
+def clock():
+    return StudyClock(n_days=90)
+
+
+class TestAdversarialParity:
+    @pytest.mark.parametrize("chunk_rows", [1, 2, 3, 7, 1000])
+    def test_bit_identical_at_any_chunk_size(self, adversarial, clock, chunk_rows):
+        reference = StreamingAnalyzer(clock).run(adversarial)
+        col = ColumnarCDRBatch.from_records(adversarial)
+        with count_record_constructions() as counter:
+            result = StreamingAnalyzer(clock).run_columnar(
+                chunked(col, chunk_rows)
+            )
+        assert counter.count == 0
+        assert_results_identical(reference, result)
+
+    def test_per_chunk_private_vocabularies(self, adversarial, clock):
+        # Chunks from different shards carry different vocabularies; the
+        # analyzer must decode through each chunk's own tables.
+        reference = StreamingAnalyzer(clock).run(adversarial)
+        half = len(adversarial) // 2
+        chunks = [
+            ColumnarCDRBatch.from_records(adversarial[:half]),
+            ColumnarCDRBatch.from_records(adversarial[half:]),
+        ]
+        result = StreamingAnalyzer(clock).run_columnar(chunks)
+        assert_results_identical(reference, result)
+
+    def test_mixed_scalar_and_columnar_pass(self, adversarial, clock):
+        reference = StreamingAnalyzer(clock).run(adversarial)
+        analyzer = StreamingAnalyzer(clock)
+        analyzer.begin()
+        half = len(adversarial) // 2
+        analyzer.consume(adversarial[:half])
+        analyzer.consume_columnar(ColumnarCDRBatch.from_records(adversarial[half:]))
+        assert_results_identical(reference, analyzer.finalize())
+
+    def test_from_cdrz_shards_on_disk(self, adversarial, clock, tmp_path):
+        reference = StreamingAnalyzer(clock).run(adversarial)
+        col = ColumnarCDRBatch.from_records(adversarial)
+        write_sharded_cdrz(tmp_path / "shards", col, shard_rows=4)
+        with count_record_constructions() as counter:
+            result = StreamingAnalyzer(clock).run_columnar(
+                iter_cdrz_chunks(tmp_path / "shards", chunk_rows=3)
+            )
+        assert counter.count == 0
+        assert_results_identical(reference, result)
+
+    def test_ghost_only_stream_raises_like_scalar(self, clock):
+        ghosts = [rec(0.0, "a", 1, "C1", "4G", 3600.0)]
+        with pytest.raises(ValueError, match="no usable records"):
+            StreamingAnalyzer(clock).run(ghosts)
+        with pytest.raises(ValueError, match="no usable records"):
+            StreamingAnalyzer(clock).run_columnar(
+                [ColumnarCDRBatch.from_records(ghosts)]
+            )
+
+    def test_empty_chunks_are_no_ops(self, adversarial, clock):
+        reference = StreamingAnalyzer(clock).run(adversarial)
+        empty = ColumnarCDRBatch.from_records([])
+        col = ColumnarCDRBatch.from_records(adversarial)
+        result = StreamingAnalyzer(clock).run_columnar(
+            [empty, col, empty]
+        )
+        assert_results_identical(reference, result)
+
+
+_carriers = st.sampled_from(["C1", "C2", "C3", "C4"])
+_techs = st.sampled_from(["2G", "3G", "4G"])
+_cars = st.sampled_from([f"car-{i}" for i in range(12)])
+_durations = st.one_of(
+    st.floats(min_value=0.0, max_value=5000.0, allow_nan=False),
+    st.sampled_from([0.0, 599.9, 600.0, 600.1, 3599.5, 3600.0, 3600.5, 3600.6]),
+)
+
+_streams = st.lists(
+    st.builds(
+        ConnectionRecord,
+        start=st.floats(min_value=-1000.0, max_value=12 * DAY, allow_nan=False),
+        car_id=_cars,
+        cell_id=st.integers(min_value=0, max_value=50),
+        carrier=_carriers,
+        technology=_techs,
+        duration=_durations,
+    ),
+    min_size=1,
+    max_size=150,
+).map(lambda recs: sorted(recs, key=lambda r: r.start))
+
+
+class TestHypothesisParity:
+    @given(records=_streams, chunk_rows=st.integers(min_value=1, max_value=40))
+    @settings(max_examples=60, deadline=None)
+    def test_random_streams_bit_identical(self, records, chunk_rows):
+        clock = StudyClock(n_days=10)
+        try:
+            reference = StreamingAnalyzer(clock).run(records)
+        except ValueError:
+            # Ghost-only stream: the columnar path must refuse too.
+            with pytest.raises(ValueError):
+                StreamingAnalyzer(clock).run_columnar(
+                    [ColumnarCDRBatch.from_records(records)]
+                )
+            return
+        col = ColumnarCDRBatch.from_records(records)
+        result = StreamingAnalyzer(clock).run_columnar(chunked(col, chunk_rows))
+        assert_results_identical(reference, result)

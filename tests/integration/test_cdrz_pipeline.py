@@ -1,0 +1,149 @@
+"""End-to-end acceptance: generate --format cdrz -> convert -> analyze.
+
+The binary store must be a transparent transport: whatever container or
+text format a trace transits, the analysis report is character-identical
+to running the pipeline on the in-memory dataset.
+"""
+
+import pytest
+
+from repro.algorithms.timebins import StudyClock
+from repro.cli import main
+from repro.core.pipeline import AnalysisPipeline
+from repro.core.report import format_report
+from repro.network.load import CellLoadModel
+from repro.network.topology import build_topology
+from repro.simulate.generator import TraceGenerator
+from repro.simulate.scenarios import scenario
+
+CARS, DAYS = 25, 7
+
+
+@pytest.fixture(scope="module")
+def workdir(tmp_path_factory):
+    return tmp_path_factory.mktemp("cdrz-e2e")
+
+
+@pytest.fixture(scope="module")
+def cdrz_path(workdir):
+    path = workdir / "trace.cdrz"
+    code = main(
+        [
+            "generate",
+            "--scenario",
+            "smoke",
+            "--cars",
+            str(CARS),
+            "--days",
+            str(DAYS),
+            "--out",
+            str(path),
+            "--format",
+            "cdrz",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def in_memory_report():
+    config = scenario("smoke", n_cars=CARS, n_days=DAYS)
+    dataset = TraceGenerator(config).generate()
+    clock = StudyClock(n_days=DAYS)
+    topology = build_topology(config.topology)
+    load_model = CellLoadModel(topology, clock, seed=config.load_seed)
+    pipeline = AnalysisPipeline(clock, load_model, topology.cells)
+    return format_report(pipeline.run(dataset.batch, with_clustering=False))
+
+
+def _analyze(trace, capsys):
+    code = main(
+        [
+            "analyze",
+            "--trace",
+            str(trace),
+            "--scenario",
+            "smoke",
+            "--days",
+            str(DAYS),
+            "--no-clustering",
+        ]
+    )
+    assert code == 0
+    return capsys.readouterr().out
+
+
+def test_analyze_cdrz_equals_in_memory(cdrz_path, in_memory_report, capsys):
+    assert _analyze(cdrz_path, capsys).strip() == in_memory_report.strip()
+
+
+def test_convert_to_csv_preserves_the_report(
+    cdrz_path, workdir, in_memory_report, capsys
+):
+    csv_path = workdir / "trace.csv.gz"
+    assert main(["convert", str(cdrz_path), str(csv_path)]) == 0
+    capsys.readouterr()
+    assert _analyze(csv_path, capsys).strip() == in_memory_report.strip()
+
+
+def test_convert_back_to_cdrz_is_byte_identical(cdrz_path, workdir, capsys):
+    csv_path = workdir / "roundtrip.csv.gz"
+    again = workdir / "again.cdrz"
+    assert main(["convert", str(cdrz_path), str(csv_path)]) == 0
+    assert main(["convert", str(csv_path), str(again)]) == 0
+    capsys.readouterr()
+    assert again.read_bytes() == cdrz_path.read_bytes()
+
+
+def test_sharded_generate_analyzes_identically(
+    workdir, in_memory_report, capsys
+):
+    shards = workdir / "shards"
+    code = main(
+        [
+            "generate",
+            "--scenario",
+            "smoke",
+            "--cars",
+            str(CARS),
+            "--days",
+            str(DAYS),
+            "--out",
+            str(shards),
+            "--shard-rows",
+            "500",
+        ]
+    )
+    assert code == 0
+    assert len(list(shards.glob("*.cdrz"))) > 1
+    capsys.readouterr()
+    assert _analyze(shards, capsys).strip() == in_memory_report.strip()
+
+
+def test_inspect_prints_schema_and_rows(cdrz_path, capsys):
+    assert main(["inspect", str(cdrz_path)]) == 0
+    out = capsys.readouterr().out
+    assert "cdrz schema v1" in out
+    assert "sorted=True" in out
+    assert "car_ids" in out
+
+
+def test_shard_rows_requires_cdrz(workdir, capsys):
+    code = main(
+        [
+            "generate",
+            "--scenario",
+            "smoke",
+            "--cars",
+            "2",
+            "--days",
+            "7",
+            "--out",
+            str(workdir / "t.csv"),
+            "--shard-rows",
+            "10",
+        ]
+    )
+    assert code == 2
+    assert "requires the cdrz format" in capsys.readouterr().err
