@@ -400,6 +400,50 @@ def read_cdr_batch(path: str | Path, *, mmap: bool = True) -> CDRBatch:
     return batch
 
 
+@dataclass(frozen=True)
+class ShardManifestEntry:
+    """Header-level facts about one shard, in fold order."""
+
+    path: str
+    n_rows: int
+    sorted: bool
+
+
+def read_cdrz_header(path: str | Path) -> CdrzHeader:
+    """Read just the header member of a container (no column data paged in)."""
+    try:
+        npz = np.load(Path(path), allow_pickle=False)
+    except (OSError, ValueError) as exc:
+        raise CDRValidationError(f"{path}: unreadable cdrz container: {exc}") from exc
+    with npz:
+        if _HEADER_KEY not in npz.files:
+            raise CDRValidationError(f"{path}: cdrz container missing header member")
+        return _parse_header(npz[_HEADER_KEY][()], path)
+
+
+def shard_manifest(
+    source: str | Path | Sequence[str | Path],
+) -> list[ShardManifestEntry]:
+    """Describe every shard of a trace, in the order a reduce must fold them.
+
+    The manifest is the planning surface of the map-reduce layer: row
+    counts per shard (for balancing expectations), the sortedness flags
+    (every shard of a start-ordered trace should carry ``sorted=True``),
+    and — critically — the fold order itself, which is
+    :func:`resolve_shards` order (filename order for a directory).  Only
+    headers are read; no column data is paged in.
+    """
+    entries = []
+    for path in resolve_shards(source):
+        header = read_cdrz_header(path)
+        entries.append(
+            ShardManifestEntry(
+                path=str(path), n_rows=header.n_rows, sorted=header.sorted
+            )
+        )
+    return entries
+
+
 def resolve_shards(source: str | Path | Sequence[str | Path]) -> list[Path]:
     """Normalize a file, directory or path list into an ordered shard list.
 

@@ -8,6 +8,7 @@ Python::
     python -m repro.cli convert  trace.csv.gz trace.cdrz
     python -m repro.cli inspect  trace.cdrz
     python -m repro.cli analyze  --trace trace.cdrz --days 28 [--markdown]
+    python -m repro.cli stream   --trace shards/ --days 90 --workers 4
     python -m repro.cli quality  --trace trace.cdrz --days 28
     python -m repro.cli fota     --trace trace.cdrz --days 28 [--max-concurrent N]
     python -m repro.cli journeys --trace trace.cdrz --days 28
@@ -120,6 +121,45 @@ def _add_analyze(subparsers) -> None:
     p.add_argument(
         "--markdown", action="store_true", help="emit the report as markdown"
     )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes; >1 switches to the out-of-core map-reduce "
+        "engine over cdrz shards and prints the streaming report (the full "
+        "in-memory report needs --workers 1; 0 = one worker per CPU)",
+    )
+
+
+def _add_stream(subparsers) -> None:
+    p = subparsers.add_parser(
+        "stream",
+        help="out-of-core streaming analysis of a cdrz trace (map-reduce)",
+    )
+    p.add_argument(
+        "--trace", required=True, help=".cdrz file or shard directory"
+    )
+    p.add_argument("--days", type=int, default=28)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes; results are identical at any count "
+        "(1 = in-process, 0 = one per CPU)",
+    )
+    p.add_argument(
+        "--chunk-rows",
+        type=int,
+        default=None,
+        help="rows per streamed chunk (bounds per-worker memory)",
+    )
+    p.add_argument(
+        "--quantile-bin-s",
+        type=float,
+        default=1.0,
+        help="histogram-quantile bin width; duration quantiles are exact "
+        "to half this",
+    )
 
 
 def _add_quality(subparsers) -> None:
@@ -170,6 +210,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_convert(subparsers)
     _add_inspect(subparsers)
     _add_analyze(subparsers)
+    _add_stream(subparsers)
     _add_quality(subparsers)
     _add_fota(subparsers)
     _add_journeys(subparsers)
@@ -304,7 +345,81 @@ def cmd_inspect(args) -> int:
     return 0
 
 
+def _run_stream(
+    trace: str,
+    days: int,
+    workers: int,
+    chunk_rows: int | None,
+    quantile_bin_s: float,
+) -> int:
+    """Shared engine behind ``stream`` and ``analyze --workers N``."""
+    import os
+
+    from repro.cdr.errors import CDRValidationError
+    from repro.cdr.store import DEFAULT_CHUNK_ROWS, shard_manifest
+    from repro.core.mapreduce import analyze_shards
+
+    clock = StudyClock(n_days=days)
+    n_workers = workers if workers > 0 else (os.cpu_count() or 1)
+    try:
+        manifest = shard_manifest(trace)
+        result, stats = analyze_shards(
+            trace,
+            clock,
+            workers=n_workers,
+            chunk_rows=chunk_rows or DEFAULT_CHUNK_ROWS,
+            quantile_bin_s=quantile_bin_s,
+        )
+    except CDRValidationError as exc:
+        print(f"stream analysis needs a cdrz trace: {exc}", file=sys.stderr)
+        return 2
+    total_rows = sum(entry.n_rows for entry in manifest)
+    print(
+        f"map-reduce over {stats.n_shards} shard(s), {total_rows:,} rows, "
+        f"{stats.workers} worker(s); peak RSS "
+        f"{stats.peak_rss_bytes / 1e6:.0f} MB"
+    )
+    print(
+        f"records kept {result.n_records:,} "
+        f"(+{result.n_ghosts_dropped:,} ghosts dropped; "
+        f"{stats.n_empty_shards} empty shard(s))"
+    )
+    print(
+        f"duration: median {result.duration_median:.1f} s, "
+        f"p73 {result.duration_p73:.1f} s, mean {result.duration_mean_full:.1f} s "
+        f"(truncated {result.duration_mean_truncated:.1f} s), "
+        f">600 s: {result.fraction_over_cutoff:.1%}"
+    )
+    print(
+        "mean connected share (truncated): "
+        f"{result.mean_connect_share_truncated:.2%}"
+    )
+    cars = result.distinct_cars_per_day
+    cells = result.distinct_cells_per_day
+    print(
+        f"distinct per day (HLL): cars mean {cars.mean():.0f} "
+        f"(max {cars.max():.0f}), cells mean {cells.mean():.0f} "
+        f"(max {cells.max():.0f})"
+    )
+    shares = ", ".join(
+        f"{carrier} {fraction:.1%}"
+        for carrier, fraction in result.carrier_time_fraction.items()
+    )
+    print(f"carrier time shares: {shares or 'n/a'}")
+    return 0
+
+
+def cmd_stream(args) -> int:
+    return _run_stream(
+        args.trace, args.days, args.workers, args.chunk_rows, args.quantile_bin_s
+    )
+
+
 def cmd_analyze(args) -> int:
+    if args.workers != 1:
+        return _run_stream(
+            args.trace, args.days, args.workers, chunk_rows=None, quantile_bin_s=1.0
+        )
     config = scenario(args.scenario, n_cars=1, n_days=args.days)
     clock = StudyClock(n_days=args.days)
     topology = build_topology(config.topology)
@@ -431,6 +546,7 @@ def main(argv: list[str] | None = None) -> int:
         "convert": cmd_convert,
         "inspect": cmd_inspect,
         "analyze": cmd_analyze,
+        "stream": cmd_stream,
         "quality": cmd_quality,
         "fota": cmd_fota,
         "journeys": cmd_journeys,

@@ -29,6 +29,7 @@ from repro.core.handover import (
 )
 from repro.core.hograph import build_handover_graph, top_corridors
 from repro.core.journeys import JourneyStats, reconstruct_journeys
+from repro.core.mapreduce import MapReduceStats, MapSpec, analyze_shards, map_shard
 from repro.core.matrices import (
     PeriodMasks,
     UsageMatrix,
@@ -51,7 +52,11 @@ from repro.core.segmentation import (
     segment_cars,
 )
 from repro.core.stability import FleetStability, fleet_stability
-from repro.core.streaming import StreamingAnalyzer, StreamingResult
+from repro.core.streaming import (
+    StreamingAnalyzer,
+    StreamingPartial,
+    StreamingResult,
+)
 
 __all__ = [
     "AnalysisPipeline",
@@ -70,14 +75,19 @@ __all__ = [
     "DailyPresence",
     "HandoverStats",
     "JourneyStats",
+    "MapReduceStats",
+    "MapSpec",
     "PeriodMasks",
     "StreamingAnalyzer",
+    "StreamingPartial",
     "StreamingResult",
     "PreprocessConfig",
     "PreprocessResult",
     "UsageMatrix",
+    "analyze_shards",
     "build_handover_graph",
     "build_od_matrix",
+    "map_shard",
     "compare_reports",
     "fleet_stability",
     "format_comparison",

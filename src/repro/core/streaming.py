@@ -23,10 +23,23 @@ updated sequentially in row order with the very same operations, while only
 the order-*independent* work is vectorized — the ghost mask, the duration
 cap, the day indices, the histogram counter and the HyperLogLog register
 maxima (duplicate inserts are no-ops, so per-day unique inserts suffice).
+
+For multi-process map-reduce (:mod:`repro.core.mapreduce`) an analyzer can
+run with ``quantile_mode="histogram"`` and ``track_partials=True``, export
+its accumulator state as a picklable :class:`StreamingPartial`, and a
+reducer analyzer folds shard partials back together with
+:meth:`StreamingAnalyzer.absorb_partial` — in shard order, so the global
+result is identical for any worker count.  The per-car connected time
+merges *exactly* across shard boundaries: because the global stream is
+sorted by start, an earlier shard's per-car high-water mark can only reach
+``truncate_s`` past the later shard's first start for that car, so each
+partial carries the few union intervals near its start (the "head") and
+the reducer subtracts their overlap with the accumulated mark.
 """
 
 from __future__ import annotations
 
+import math
 from collections.abc import Iterable
 from dataclasses import dataclass
 
@@ -34,6 +47,7 @@ import numpy as np
 import numpy.typing as npt
 
 from repro.algorithms.streaming import (
+    HistogramQuantile,
     HyperLogLog,
     P2Quantile,
     RunningMoments,
@@ -66,6 +80,43 @@ class StreamingResult:
     carrier_time_fraction: dict[str, float]
 
 
+@dataclass
+class StreamingPartial:
+    """Picklable accumulator snapshot of one shard's streaming pass.
+
+    Produced by :meth:`StreamingAnalyzer.export_partial` in a map worker
+    and folded into a reducer analyzer with
+    :meth:`StreamingAnalyzer.absorb_partial`.  Each partial is a pure
+    function of its shard's bytes, and the reducer folds partials in shard
+    index order, so the reduced result is identical for any worker count.
+
+    ``car_head`` holds, per car, the union intervals that start within
+    ``truncate_s`` of the car's first record in the shard — the only
+    intervals an earlier shard's high-water mark can reach (the stream is
+    globally start-sorted), and therefore all the state an exact
+    connected-time merge needs.  ``start_min`` / ``start_max`` span the
+    kept records (``+inf`` / ``-inf`` when the shard is empty) and let the
+    reducer reject out-of-order folds.
+    """
+
+    n_records: int
+    n_ghosts: int
+    truncate_s: float
+    start_min: float
+    start_max: float
+    quantile_hist: HistogramQuantile
+    mean_full: RunningMoments
+    mean_trunc: RunningMoments
+    tail: StreamingHistogram
+    car_total: dict[str, float]
+    car_end: dict[str, float]
+    car_head: dict[str, list[list[float]]]
+    cars_per_day: list[HyperLogLog]
+    cells_per_day: list[HyperLogLog]
+    carrier_time: dict[str, float]
+    total_time: float
+
+
 class StreamingAnalyzer:
     """Single-pass analyzer over a chronologically sorted record stream.
 
@@ -86,17 +137,46 @@ class StreamingAnalyzer:
         The Section 3 truncation cutoff applied to the truncated statistics.
     hll_precision:
         Precision of the per-day HyperLogLog sketches (12 -> ~1.6% error).
+    quantile_mode:
+        ``"p2"`` (default) estimates the duration median / p73 with the
+        order-sensitive P-squared markers — bit-identical to the original
+        serial pass.  ``"histogram"`` uses the mergeable
+        :class:`~repro.algorithms.streaming.HistogramQuantile` instead
+        (exact to ``quantile_bin_s / 2``), which map-reduce requires.
+    quantile_bin_s:
+        Bin width of the histogram quantile estimator (histogram mode).
+    track_partials:
+        Maintain the per-car merge-boundary state that
+        :meth:`export_partial` needs.  Requires histogram quantile mode.
     """
+
+    _QUANTILE_MODES = ("p2", "histogram")
 
     def __init__(
         self,
         clock: StudyClock,
         truncate_s: float = 600.0,
         hll_precision: int = 12,
+        quantile_mode: str = "p2",
+        quantile_bin_s: float = 1.0,
+        track_partials: bool = False,
     ) -> None:
+        if quantile_mode not in self._QUANTILE_MODES:
+            raise ValueError(
+                f"quantile_mode must be one of {self._QUANTILE_MODES}, "
+                f"got {quantile_mode!r}"
+            )
+        if track_partials and quantile_mode != "histogram":
+            raise ValueError(
+                "track_partials requires quantile_mode='histogram': "
+                "P-squared marker state cannot be merged across partials"
+            )
         self.clock = clock
         self.truncate_s = truncate_s
         self._hll_precision = hll_precision
+        self.quantile_mode = quantile_mode
+        self.quantile_bin_s = quantile_bin_s
+        self.track_partials = track_partials
         self.begin()
 
     def begin(self) -> None:
@@ -106,6 +186,11 @@ class StreamingAnalyzer:
         self._n_ghosts = 0
         self._median = P2Quantile(0.5)
         self._p73 = P2Quantile(0.73)
+        self._quantile_hist: HistogramQuantile | None = (
+            HistogramQuantile(self.quantile_bin_s)
+            if self.quantile_mode == "histogram"
+            else None
+        )
         self._mean_full = RunningMoments()
         self._mean_trunc = RunningMoments()
         self._tail = StreamingHistogram(bin_width=self.truncate_s)
@@ -120,6 +205,33 @@ class StreamingAnalyzer:
         ]
         self._carrier_time: dict[str, float] = {}
         self._total_time = 0.0
+        # Span of kept record starts, for out-of-order fold detection.
+        self._start_min = math.inf
+        self._start_max = -math.inf
+        # Merge-boundary state, maintained only when track_partials: the
+        # car's first kept start, its head union intervals, and whether
+        # the newest union interval is still the last head entry.
+        self._car_first: dict[str, float] = {}
+        self._car_head: dict[str, list[list[float]]] = {}
+        self._car_head_open: dict[str, bool] = {}
+
+    def _note_new_interval(self, car: str, begin: float, end: float) -> None:
+        """Record a new per-car union interval in the merge-boundary state."""
+        first = self._car_first.get(car)
+        if first is None:
+            self._car_first[car] = begin
+            self._car_head[car] = [[begin, end]]
+            self._car_head_open[car] = True
+        elif begin < first + self.truncate_s:
+            self._car_head[car].append([begin, end])
+            self._car_head_open[car] = True
+        else:
+            self._car_head_open[car] = False
+
+    def _note_extension(self, car: str, end: float) -> None:
+        """Extend the car's open union interval in the merge-boundary state."""
+        if self._car_head_open[car]:
+            self._car_head[car][-1][1] = end
 
     def consume(self, records: Iterable[ConnectionRecord]) -> None:
         """Fold scalar records into the pass, one at a time.
@@ -130,16 +242,25 @@ class StreamingAnalyzer:
         per-car high-water mark.
         """
         clock = self.clock
+        quantile_hist = self._quantile_hist
+        track = self.track_partials
         for rec in records:
             if is_ghost_record(rec):
                 self._n_ghosts += 1
                 continue
             self._n_records += 1
+            if rec.start < self._start_min:
+                self._start_min = rec.start
+            if rec.start > self._start_max:
+                self._start_max = rec.start
 
             duration = rec.duration
             truncated = min(duration, self.truncate_s)
-            self._median.add(duration)
-            self._p73.add(duration)
+            if quantile_hist is None:
+                self._median.add(duration)
+                self._p73.add(duration)
+            else:
+                quantile_hist.add(duration)
             self._mean_full.add(duration)
             self._mean_trunc.add(truncated)
             self._tail.add(duration)
@@ -162,9 +283,13 @@ class StreamingAnalyzer:
                     self._car_total.get(rec.car_id, 0.0) + truncated
                 )
                 self._car_end[rec.car_id] = end
+                if track:
+                    self._note_new_interval(rec.car_id, rec.start, end)
             elif end > prev_end:
                 self._car_total[rec.car_id] += end - prev_end
                 self._car_end[rec.car_id] = end
+                if track:
+                    self._note_extension(rec.car_id, end)
 
     def consume_columnar(self, chunk: ColumnarCDRBatch) -> None:
         """Fold one columnar chunk into the pass, bit-identical to scalar.
@@ -198,9 +323,19 @@ class StreamingAnalyzer:
         if n == 0:
             return
         self._n_records += n
+        start_min = float(start.min())
+        start_max = float(start.max())
+        if start_min < self._start_min:
+            self._start_min = start_min
+        if start_max > self._start_max:
+            self._start_max = start_max
 
         # Histogram counts are pure integer additions: batch them.
         self._tail.add_many(duration)
+        quantile_hist = self._quantile_hist
+        if quantile_hist is not None:
+            # Mergeable quantiles are histogram counts too: batch them.
+            quantile_hist.add_many(duration)
 
         # Distinct cars/cells per day: HLL registers are maxima, so inserts
         # are idempotent and order-free — insert each (day, id) pair once.
@@ -230,6 +365,7 @@ class StreamingAnalyzer:
         truncs = truncated.tolist()
         car_names = [chunk.car_ids[code] for code in car_code.tolist()]
         carrier_names = [chunk.carriers[code] for code in carrier_code.tolist()]
+        use_p2 = quantile_hist is None
         median_add = self._median.add
         p73_add = self._p73.add
         mean_full_add = self._mean_full.add
@@ -237,13 +373,17 @@ class StreamingAnalyzer:
         carrier_time = self._carrier_time
         car_end = self._car_end
         car_total = self._car_total
+        track = self.track_partials
+        note_new = self._note_new_interval
+        note_extension = self._note_extension
         neg_inf = float("-inf")
         total_time = self._total_time
         for i in range(n):
             dur = durations[i]
             cap = truncs[i]
-            median_add(dur)
-            p73_add(dur)
+            if use_p2:
+                median_add(dur)
+                p73_add(dur)
             mean_full_add(dur)
             mean_trunc_add(cap)
             carrier = carrier_names[i]
@@ -256,27 +396,57 @@ class StreamingAnalyzer:
             if begin >= prev_end:
                 car_total[car] = car_total.get(car, 0.0) + cap
                 car_end[car] = end
+                if track:
+                    note_new(car, begin, end)
             elif end > prev_end:
                 car_total[car] += end - prev_end
                 car_end[car] = end
+                if track:
+                    note_extension(car, end)
         self._total_time = total_time
 
     def finalize(self) -> StreamingResult:
-        """Assemble the result from the accumulated pass state."""
-        if self._n_records == 0:
-            raise ValueError("record stream contained no usable records")
+        """Assemble the result from the accumulated pass state.
+
+        A pass that kept no records (empty trace, or ghosts only — a legal
+        outcome for individual shards at scale) finalizes to a well-defined
+        empty result with zeroed statistics rather than raising.
+        """
         clock = self.clock
+        if self._n_records == 0:
+            return StreamingResult(
+                n_records=0,
+                n_ghosts_dropped=self._n_ghosts,
+                duration_median=0.0,
+                duration_p73=0.0,
+                duration_mean_full=0.0,
+                duration_mean_truncated=0.0,
+                fraction_over_cutoff=0.0,
+                mean_connect_share_truncated=0.0,
+                distinct_cars_per_day=np.zeros(clock.n_days),
+                distinct_cells_per_day=np.zeros(clock.n_days),
+                carrier_time_fraction={},
+            )
+        quantile_hist = self._quantile_hist
+        if quantile_hist is None:
+            median = self._median.value
+            p73 = self._p73.value
+        else:
+            median = quantile_hist.quantile(0.5)
+            p73 = quantile_hist.quantile(0.73)
         total_time = self._total_time
         shares = np.asarray(list(self._car_total.values())) / clock.duration
         return StreamingResult(
             n_records=self._n_records,
             n_ghosts_dropped=self._n_ghosts,
-            duration_median=self._median.value,
-            duration_p73=self._p73.value,
+            duration_median=median,
+            duration_p73=p73,
             duration_mean_full=self._mean_full.mean,
             duration_mean_truncated=self._mean_trunc.mean,
             fraction_over_cutoff=self._tail.fraction_above(self.truncate_s),
-            mean_connect_share_truncated=float(shares.mean()),
+            mean_connect_share_truncated=(
+                float(shares.mean()) if shares.size else 0.0
+            ),
             distinct_cars_per_day=np.asarray(
                 [sketch.estimate() for sketch in self._cars_per_day]
             ),
@@ -288,6 +458,116 @@ class StreamingAnalyzer:
                 for c, t in sorted(self._carrier_time.items())
             },
         )
+
+    def export_partial(self) -> StreamingPartial:
+        """Snapshot the accumulator state as a picklable partial.
+
+        Requires ``quantile_mode="histogram"`` and ``track_partials=True``.
+        The partial shares state with this analyzer — call :meth:`begin`
+        (or discard the analyzer) before reusing it for another pass.
+        """
+        if self._quantile_hist is None or not self.track_partials:
+            raise ValueError(
+                "export_partial requires StreamingAnalyzer("
+                "quantile_mode='histogram', track_partials=True)"
+            )
+        return StreamingPartial(
+            n_records=self._n_records,
+            n_ghosts=self._n_ghosts,
+            truncate_s=self.truncate_s,
+            start_min=self._start_min,
+            start_max=self._start_max,
+            quantile_hist=self._quantile_hist,
+            mean_full=self._mean_full,
+            mean_trunc=self._mean_trunc,
+            tail=self._tail,
+            car_total=self._car_total,
+            car_end=self._car_end,
+            car_head=self._car_head,
+            cars_per_day=self._cars_per_day,
+            cells_per_day=self._cells_per_day,
+            carrier_time=self._carrier_time,
+            total_time=self._total_time,
+        )
+
+    def absorb_partial(self, partial: StreamingPartial) -> None:
+        """Fold one shard's partial into this analyzer's accumulators.
+
+        Partials must arrive in global start order: each partial's records
+        must all start at or after everything already absorbed (validated
+        through the recorded start spans).  Counts, histogram bins and
+        HyperLogLog registers merge exactly; the float sums (means, carrier
+        time, per-car totals) merge deterministically — the same partials
+        folded in the same order always reproduce the same bits — and agree
+        with a serial pass to float-reassociation precision.
+
+        The per-car connected time is merged exactly (in real arithmetic):
+        the incoming total already counts ``|union(shard intervals)|``, so
+        the overlap of the shard's head intervals with the accumulated
+        high-water mark is subtracted, and the mark advances to the max.
+        """
+        quantile_hist = self._quantile_hist
+        if quantile_hist is None:
+            raise ValueError(
+                "absorb_partial requires quantile_mode='histogram' "
+                "(P-squared marker state cannot be merged)"
+            )
+        if partial.truncate_s != self.truncate_s:
+            raise ValueError(
+                f"truncate_s mismatch: analyzer has {self.truncate_s}, "
+                f"partial has {partial.truncate_s}"
+            )
+        if len(partial.cars_per_day) != self.clock.n_days:
+            raise ValueError(
+                f"study length mismatch: analyzer has {self.clock.n_days} "
+                f"days, partial has {len(partial.cars_per_day)}"
+            )
+        if partial.n_records and partial.start_min < self._start_max:
+            raise ValueError(
+                "partial absorbed out of order: its records start at "
+                f"{partial.start_min}, before already-absorbed records "
+                f"ending at start {self._start_max}"
+            )
+
+        self._n_records += partial.n_records
+        self._n_ghosts += partial.n_ghosts
+        if partial.start_min < self._start_min:
+            self._start_min = partial.start_min
+        if partial.start_max > self._start_max:
+            self._start_max = partial.start_max
+        quantile_hist.merge(partial.quantile_hist)
+        self._mean_full.merge(partial.mean_full)
+        self._mean_trunc.merge(partial.mean_trunc)
+        self._tail.merge(partial.tail)
+        for day, sketch in enumerate(partial.cars_per_day):
+            self._cars_per_day[day].merge(sketch)
+        for day, sketch in enumerate(partial.cells_per_day):
+            self._cells_per_day[day].merge(sketch)
+        for carrier in sorted(partial.carrier_time):
+            self._carrier_time[carrier] = (
+                self._carrier_time.get(carrier, 0.0)
+                + partial.carrier_time[carrier]
+            )
+        self._total_time += partial.total_time
+
+        # Exact connected-time merge; see the method docstring.
+        car_total = self._car_total
+        car_end = self._car_end
+        for car, incoming_total in partial.car_total.items():
+            incoming_end = partial.car_end[car]
+            acc_end = car_end.get(car)
+            if acc_end is None:
+                car_total[car] = incoming_total
+                car_end[car] = incoming_end
+                continue
+            overlap = 0.0
+            for interval in partial.car_head.get(car, []):
+                s, e = interval
+                if s < acc_end:
+                    overlap += min(e, acc_end) - s
+            car_total[car] = car_total[car] + incoming_total - overlap
+            if incoming_end > acc_end:
+                car_end[car] = incoming_end
 
     def run(self, records: Iterable[ConnectionRecord]) -> StreamingResult:
         """One-shot scalar pass: begin, consume the stream, finalize."""

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.algorithms.timebins import StudyClock
 from repro.cdr.records import CDRBatch, ConnectionRecord
@@ -26,6 +27,7 @@ from repro.mobility.movement import EdgeCellIndex, route_span_arrays
 from repro.mobility.profiles import DailyTripPlanner
 from repro.mobility.roads import RoadNetwork, build_road_network
 from repro.mobility.routing import Router
+from repro.mobility.trips import Trip
 from repro.network.load import CellLoadModel
 from repro.network.topology import NetworkTopology, build_topology
 from repro.simulate.artifacts import (
@@ -34,7 +36,7 @@ from repro.simulate.artifacts import (
     inject_ghost_hour_records,
 )
 from repro.simulate.config import SimulationConfig
-from repro.simulate.events import event_trips, venue_node
+from repro.simulate.events import EventConfig, event_trips, venue_node
 from repro.simulate.population import Car, build_population
 from repro.simulate.radio import CarrierSampler, records_for_trip_spans
 
@@ -79,7 +81,7 @@ class GenerationSubstrates:
     router: Router
     edge_index: EdgeCellIndex
     planner: DailyTripPlanner
-    event_venues: dict
+    event_venues: dict[EventConfig, int]
     carrier_sampler: CarrierSampler
 
 
@@ -108,7 +110,7 @@ def records_for_cars(
     cfg: SimulationConfig,
     substrates: GenerationSubstrates,
     cars: list[Car],
-    car_seeds,
+    car_seeds: npt.NDArray[np.int64],
 ) -> list[ConnectionRecord]:
     """Clean records for a shard of the fleet, in per-car generation order.
 
@@ -174,12 +176,12 @@ def _event_trips_for_day(
     day: int,
     rng: np.random.Generator,
     router: Router,
-    event_venues: dict | None,
-) -> list:
+    event_venues: dict[EventConfig, int] | None,
+) -> list[Trip]:
     """Trips a car makes to attend the day's configured events."""
     if not event_venues:
         return []
-    trips = []
+    trips: list[Trip] = []
     for event, venue in event_venues.items():
         if event.day != day or day < car.itinerary.activation_day:
             continue

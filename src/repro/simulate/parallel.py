@@ -22,8 +22,11 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+from collections.abc import Callable
+from typing import Any
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.cdr.columnar import ColumnarCDRBatch
 from repro.cdr.errors import TraceGenerationError
@@ -31,6 +34,7 @@ from repro.cdr.records import ConnectionRecord
 from repro.network.load import CellLoadModel
 from repro.simulate.config import SimulationConfig
 from repro.simulate.generator import (
+    GenerationSubstrates,
     TraceDataset,
     build_substrates,
     finalize_dataset,
@@ -41,7 +45,9 @@ from repro.simulate.population import Car, build_population
 #: Shared per-process generation state.  Under fork the parent fills it
 #: before the pool starts and children inherit the already-built substrates;
 #: under spawn each worker fills its own copy in :func:`_init_worker`.
-_WORKER_STATE: dict = {}
+#: Keys: ``"cfg"`` (SimulationConfig), ``"substrates"``
+#: (GenerationSubstrates).
+_WORKER_STATE: dict[str, Any] = {}
 
 
 def _init_worker(cfg: SimulationConfig) -> None:
@@ -55,11 +61,13 @@ def _init_worker(cfg: SimulationConfig) -> None:
     _WORKER_STATE["substrates"] = build_substrates(cfg)
 
 
-def _generate_shard(shard: tuple[list[Car], np.ndarray]) -> ColumnarCDRBatch:
+def _generate_shard(
+    shard: tuple[list[Car], npt.NDArray[np.int64]]
+) -> ColumnarCDRBatch:
     """Worker body: records for a contiguous shard of (cars, seeds)."""
     cars, car_seeds = shard
-    cfg = _WORKER_STATE["cfg"]
-    substrates = _WORKER_STATE.get("substrates")
+    cfg: SimulationConfig = _WORKER_STATE["cfg"]
+    substrates: GenerationSubstrates | None = _WORKER_STATE.get("substrates")
     if substrates is None:
         substrates = build_substrates(cfg)
         _WORKER_STATE["substrates"] = substrates
@@ -68,8 +76,8 @@ def _generate_shard(shard: tuple[list[Car], np.ndarray]) -> ColumnarCDRBatch:
 
 
 def shard_fleet(
-    cars: list[Car], car_seeds: np.ndarray, n_shards: int
-) -> list[tuple[list[Car], np.ndarray]]:
+    cars: list[Car], car_seeds: npt.NDArray[np.int64], n_shards: int
+) -> list[tuple[list[Car], npt.NDArray[np.int64]]]:
     """Split the fleet into ``n_shards`` contiguous, near-equal shards.
 
     Contiguity is what guarantees the concatenated shard outputs equal the
@@ -150,9 +158,9 @@ class ParallelTraceGenerator:
     @staticmethod
     def _parallel_shards(
         cfg: SimulationConfig,
-        substrates,
+        substrates: GenerationSubstrates,
         cars: list[Car],
-        car_seeds: np.ndarray,
+        car_seeds: npt.NDArray[np.int64],
         n_workers: int,
     ) -> list[ColumnarCDRBatch]:
         """Fan the fleet out over a process pool; return the columnar shards.
@@ -166,6 +174,8 @@ class ParallelTraceGenerator:
         methods = multiprocessing.get_all_start_methods()
         use_fork = "fork" in methods
         ctx = multiprocessing.get_context("fork" if use_fork else "spawn")
+        initializer: Callable[[SimulationConfig], None] | None
+        initargs: tuple[SimulationConfig, ...]
         if use_fork:
             # Children inherit the parent's built substrates through fork;
             # nothing is pickled and per-worker build time is zero.
@@ -186,9 +196,9 @@ class ParallelTraceGenerator:
     def _parallel_records(
         cls,
         cfg: SimulationConfig,
-        substrates,
+        substrates: GenerationSubstrates,
         cars: list[Car],
-        car_seeds: np.ndarray,
+        car_seeds: npt.NDArray[np.int64],
         n_workers: int,
     ) -> list[ConnectionRecord]:
         """Shard records for the record-level pipeline, in fleet order."""

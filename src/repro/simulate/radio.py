@@ -18,6 +18,7 @@ from __future__ import annotations
 from bisect import bisect_right
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.algorithms.intervals import Interval
 from repro.cdr.records import ConnectionRecord
@@ -42,9 +43,13 @@ class CarrierSampler:
 
     def __init__(self, carrier_weights: dict[str, float]) -> None:
         self.carrier_weights = carrier_weights
-        self._tables: dict[frozenset[str], tuple[list[str], np.ndarray]] = {}
+        self._tables: dict[
+            frozenset[str], tuple[list[str], npt.NDArray[np.float64]]
+        ] = {}
 
-    def table(self, capabilities: frozenset[str]) -> tuple[list[str], np.ndarray]:
+    def table(
+        self, capabilities: frozenset[str]
+    ) -> tuple[list[str], npt.NDArray[np.float64]]:
         """Sorted carrier names and the cumulative draw distribution.
 
         The cached CDF lets :meth:`draw` replace ``rng.choice(n, p=p)`` —

@@ -97,7 +97,7 @@ SCENARIOS = {
 }
 
 
-def scenario(name: str, **kwargs) -> SimulationConfig:
+def scenario(name: str, **kwargs: int) -> SimulationConfig:
     """Look up a scenario by name; raises ``KeyError`` with the options."""
     try:
         factory = SCENARIOS[name]

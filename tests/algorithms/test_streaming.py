@@ -6,11 +6,27 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.algorithms.streaming import (
+    HistogramQuantile,
     HyperLogLog,
     P2Quantile,
     RunningMoments,
     StreamingHistogram,
 )
+
+
+def _hist_of(values, bin_width=7.5):
+    hist = StreamingHistogram(bin_width=bin_width)
+    for v in values:
+        hist.add(v)
+    return hist
+
+
+def assert_histograms_equal(a, b):
+    assert a.count == b.count
+    a_edges, a_counts = a.to_arrays()
+    b_edges, b_counts = b.to_arrays()
+    np.testing.assert_array_equal(a_edges, b_edges)
+    np.testing.assert_array_equal(a_counts, b_counts)
 
 
 class TestRunningMoments:
@@ -132,6 +148,110 @@ class TestStreamingHistogram:
         assert counts.tolist() == [1, 1, 2]
 
 
+_merge_values = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), max_size=80
+)
+
+
+class TestStreamingHistogramMerge:
+    def test_merge_equals_single_stream(self):
+        rng = np.random.default_rng(4)
+        a_data = rng.lognormal(4.0, 1.0, size=500).tolist()
+        b_data = rng.uniform(-50, 5000, size=300).tolist()
+        merged = _hist_of(a_data).merge(_hist_of(b_data))
+        assert_histograms_equal(merged, _hist_of(a_data + b_data))
+
+    def test_merge_returns_self(self):
+        hist = _hist_of([1.0])
+        assert hist.merge(_hist_of([2.0])) is hist
+
+    def test_merge_bin_width_mismatch(self):
+        with pytest.raises(ValueError, match="bin_width mismatch"):
+            StreamingHistogram(10).merge(StreamingHistogram(20))
+
+    @given(a=_merge_values, b=_merge_values)
+    @settings(max_examples=50)
+    def test_merge_is_exact_and_commutative(self, a, b):
+        assert_histograms_equal(
+            _hist_of(a).merge(_hist_of(b)), _hist_of(a + b)
+        )
+        assert_histograms_equal(
+            _hist_of(a).merge(_hist_of(b)), _hist_of(b).merge(_hist_of(a))
+        )
+
+    @given(a=_merge_values, b=_merge_values, c=_merge_values)
+    @settings(max_examples=50)
+    def test_merge_is_associative(self, a, b, c):
+        left = _hist_of(a).merge(_hist_of(b)).merge(_hist_of(c))
+        right = _hist_of(a).merge(_hist_of(b).merge(_hist_of(c)))
+        assert_histograms_equal(left, right)
+
+
+class TestHistogramQuantile:
+    def test_validates_quantile(self):
+        estimator = HistogramQuantile()
+        estimator.add(1.0)
+        with pytest.raises(ValueError):
+            estimator.quantile(0.0)
+        with pytest.raises(ValueError):
+            estimator.quantile(1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="no observations"):
+            HistogramQuantile().quantile(0.5)
+
+    def test_add_many_matches_scalar_adds(self):
+        rng = np.random.default_rng(5)
+        data = rng.lognormal(4.0, 1.0, size=2000)
+        batched = HistogramQuantile(bin_width=2.0)
+        batched.add_many(data)
+        scalar = HistogramQuantile(bin_width=2.0)
+        for v in data:
+            scalar.add(float(v))
+        assert batched.count == scalar.count
+        for q in (0.25, 0.5, 0.73, 0.9):
+            assert batched.quantile(q) == scalar.quantile(q)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e5, max_value=1e5, allow_nan=False),
+            min_size=1,
+            max_size=300,
+        ),
+        q=st.floats(min_value=0.01, max_value=0.99),
+    )
+    @settings(max_examples=100)
+    def test_within_half_bin_of_the_order_statistic(self, values, q):
+        # The documented bound: the estimate is the midpoint of the bin
+        # containing x_(ceil(q*n)), i.e. within bin_width/2 of the exact
+        # inverted-CDF quantile.
+        estimator = HistogramQuantile(bin_width=2.0)
+        for v in values:
+            estimator.add(v)
+        exact = float(np.quantile(np.asarray(values), q, method="inverted_cdf"))
+        assert abs(estimator.quantile(q) - exact) <= 1.0 + 1e-9
+
+    @given(a=_merge_values, b=_merge_values, q=st.floats(0.01, 0.99))
+    @settings(max_examples=50)
+    def test_merge_is_exact_and_commutative(self, a, b, q):
+        def estimator_of(values):
+            est = HistogramQuantile(bin_width=3.0)
+            for v in values:
+                est.add(v)
+            return est
+
+        merged = estimator_of(a).merge(estimator_of(b))
+        swapped = estimator_of(b).merge(estimator_of(a))
+        combined = estimator_of(a + b)
+        assert merged.count == swapped.count == combined.count
+        if merged.count:
+            assert merged.quantile(q) == swapped.quantile(q) == combined.quantile(q)
+
+    def test_merge_bin_width_mismatch(self):
+        with pytest.raises(ValueError, match="bin_width mismatch"):
+            HistogramQuantile(1.0).merge(HistogramQuantile(2.0))
+
+
 class TestHyperLogLog:
     def test_validates_precision(self):
         with pytest.raises(ValueError):
@@ -174,3 +294,26 @@ class TestHyperLogLog:
     def test_merge_precision_mismatch(self):
         with pytest.raises(ValueError):
             HyperLogLog(10).merge(HyperLogLog(12))
+
+    @given(
+        a=st.lists(st.text(max_size=6), max_size=40),
+        b=st.lists(st.text(max_size=6), max_size=40),
+        c=st.lists(st.text(max_size=6), max_size=40),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_merge_exact_commutative_associative(self, a, b, c):
+        # Register-maxima merges reproduce the single-stream registers bit
+        # for bit, in any grouping or order — the map-reduce requirement.
+        def sketch(items):
+            hll = HyperLogLog(6)
+            for item in items:
+                hll.add(item)
+            return hll
+
+        combined = sketch(a + b + c)
+        left = sketch(a).merge(sketch(b)).merge(sketch(c))
+        right = sketch(a).merge(sketch(b).merge(sketch(c)))
+        swapped = sketch(c).merge(sketch(b)).merge(sketch(a))
+        np.testing.assert_array_equal(left._registers, combined._registers)
+        np.testing.assert_array_equal(right._registers, combined._registers)
+        np.testing.assert_array_equal(swapped._registers, combined._registers)

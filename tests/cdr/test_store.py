@@ -18,6 +18,7 @@ from repro.cdr.store import (
     read_cdr_batch,
     read_cdrz,
     resolve_shards,
+    shard_manifest,
     write_batch_cdrz,
     write_sharded_cdrz,
 )
@@ -159,6 +160,20 @@ class TestSharding:
         with pytest.raises(CDRValidationError, match="no .*shards"):
             resolve_shards(tmp_path)
 
+    def test_shard_manifest_reports_fold_order(self, tmp_path, sorted_col):
+        paths = write_sharded_cdrz(tmp_path / "shards", sorted_col, shard_rows=3)
+        manifest = shard_manifest(tmp_path / "shards")
+        assert [entry.path for entry in manifest] == [str(p) for p in paths]
+        assert [entry.n_rows for entry in manifest] == [3, 1]
+        assert all(entry.sorted for entry in manifest)
+
+    def test_shard_manifest_without_column_data(self, tmp_path, sorted_col):
+        write_sharded_cdrz(tmp_path / "shards", sorted_col, shard_rows=2)
+        with count_record_constructions() as counter:
+            manifest = shard_manifest(tmp_path / "shards")
+        assert counter.count == 0
+        assert sum(entry.n_rows for entry in manifest) == len(sorted_col)
+
 
 class TestChunkedReader:
     def test_chunks_cover_stream_in_order(self, tmp_path, sorted_col):
@@ -184,6 +199,84 @@ class TestChunkedReader:
         write_batch_cdrz(path, sorted_col)
         with pytest.raises(CDRValidationError, match="chunk_rows"):
             next(iter_cdrz_chunks(path, chunk_rows=0))
+
+
+class TestHeterogeneousShardLayouts:
+    """Chunked streaming over shard directories with ragged shard sizes.
+
+    At scale shards are not uniform: partial final shards, empty shards
+    from quiet periods, single-row stragglers.  The reader contract is that
+    the chunk stream equals the concatenated row stream whatever the shard
+    layout, with chunks never crossing a shard boundary.
+    """
+
+    @pytest.fixture()
+    def many_records(self):
+        rng = np.random.default_rng(7)
+        records = [
+            rec(
+                start=float(i * 10),
+                car=f"car-{int(rng.integers(0, 9))}",
+                cell=int(rng.integers(0, 25)),
+                duration=float(rng.uniform(0, 900)),
+            )
+            for i in range(53)
+        ]
+        return sorted(records)
+
+    def _write_ragged(self, directory, col, bounds):
+        directory.mkdir(parents=True)
+        for index, (lo, hi) in enumerate(zip(bounds[:-1], bounds[1:])):
+            write_batch_cdrz(directory / f"shard-{index:05d}.cdrz", col.rows(lo, hi))
+        return directory
+
+    @pytest.mark.parametrize("chunk_rows", [1, 3, 7, 1000])
+    def test_ragged_shards_stream_the_full_row_order(
+        self, tmp_path, many_records, chunk_rows
+    ):
+        col = ColumnarCDRBatch.from_records(many_records)
+        # Zero-row, single-row, mid-size and jumbo shards in one directory.
+        bounds = [0, 0, 1, 1, 9, 10, 45, len(many_records)]
+        shard_dir = self._write_ragged(tmp_path / "ragged", col, bounds)
+        chunks = list(iter_cdrz_chunks(shard_dir, chunk_rows=chunk_rows))
+        assert all(len(c) <= chunk_rows for c in chunks)
+        assert all(len(c) > 0 for c in chunks)  # empty shards yield nothing
+        assert ColumnarCDRBatch.concatenate(chunks) == col
+
+    def test_chunks_never_cross_shard_boundaries(self, tmp_path, many_records):
+        col = ColumnarCDRBatch.from_records(many_records)
+        bounds = [0, 5, 6, 6, 20, len(many_records)]
+        shard_dir = self._write_ragged(tmp_path / "ragged", col, bounds)
+        sizes = [len(c) for c in iter_cdrz_chunks(shard_dir, chunk_rows=4)]
+        # Each shard is chunked independently: 5 -> 4+1, 1 -> 1, 0 -> (),
+        # 14 -> 4+4+4+2, 33 -> 4*8+1.
+        assert sizes == [4, 1, 1, 4, 4, 4, 2] + [4] * 8 + [1]
+
+    def test_zero_row_shard_only_directory_streams_nothing(self, tmp_path):
+        col = ColumnarCDRBatch.from_records([])
+        shard_dir = self._write_ragged(tmp_path / "empty", col, [0, 0, 0])
+        assert list(iter_cdrz_chunks(shard_dir)) == []
+
+    def test_single_row_shards_round_trip_records(self, tmp_path, many_records):
+        col = ColumnarCDRBatch.from_records(many_records[:4])
+        shard_dir = self._write_ragged(tmp_path / "single", col, [0, 1, 2, 3, 4])
+        assert len(resolve_shards(shard_dir)) == 4
+        merged = ColumnarCDRBatch.concatenate(
+            list(iter_cdrz_chunks(shard_dir, chunk_rows=1))
+        )
+        assert merged.to_records() == many_records[:4]
+
+    def test_zero_record_objects_across_ragged_shards(
+        self, tmp_path, many_records
+    ):
+        col = ColumnarCDRBatch.from_records(many_records)
+        shard_dir = self._write_ragged(
+            tmp_path / "ragged", col, [0, 0, 1, 30, len(many_records)]
+        )
+        with count_record_constructions() as counter:
+            total = sum(len(c) for c in iter_cdrz_chunks(shard_dir, chunk_rows=8))
+        assert counter.count == 0
+        assert total == len(many_records)
 
 
 class TestForeignContainers:

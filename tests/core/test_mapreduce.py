@@ -1,0 +1,399 @@
+"""Parity suite for the multi-process shard map-reduce analysis.
+
+The contract under test (see ``repro/core/mapreduce.py``):
+
+* the reduced result is *identical* — every field, bit for bit — for any
+  worker count on the same shard directory;
+* counts, histogram-derived statistics (quantiles, fraction over cutoff)
+  and the HyperLogLog per-day estimates are exactly equal to a serial
+  ``run_columnar`` pass in the same quantile mode;
+* the float sums (means, carrier shares, per-car connected time) agree
+  with the serial pass to float-reassociation precision;
+* the histogram quantile stand-in is within ``quantile_bin_s / 2`` of the
+  exact order statistic of the kept durations;
+* empty shards and empty partials are legal and reduce as no-ops.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.timebins import DAY, StudyClock
+from repro.cdr.columnar import ColumnarCDRBatch
+from repro.cdr.records import ConnectionRecord
+from repro.cdr.store import write_batch_cdrz, write_sharded_cdrz
+from repro.core.mapreduce import MapSpec, analyze_shards, map_shard
+from repro.core.preprocess import is_ghost_record
+from repro.core.streaming import StreamingAnalyzer
+
+N_DAYS = 10
+TRUNCATE_S = 600.0
+
+
+def rec(start, car, cell, carrier, tech, duration):
+    return ConnectionRecord(start, car, cell, carrier, tech, duration)
+
+
+def make_records(n=4000, n_cars=30, seed=0):
+    rng = np.random.default_rng(seed)
+    carriers = ["C1", "C2", "C3"]
+    techs = ["2G", "3G", "4G"]
+    records = []
+    for _ in range(n):
+        records.append(
+            rec(
+                float(rng.uniform(-100.0, (N_DAYS + 1) * DAY)),
+                f"car-{int(rng.integers(0, n_cars))}",
+                int(rng.integers(0, 40)),
+                carriers[int(rng.integers(0, 3))],
+                techs[int(rng.integers(0, 3))],
+                float(rng.lognormal(4.0, 1.5)),
+            )
+        )
+    # Sprinkle in ghosts and boundary durations.
+    for i in range(0, n, 97):
+        records[i] = replace(records[i], duration=3600.0)
+    for i in range(1, n, 113):
+        records[i] = replace(records[i], duration=600.0)
+    return sorted(records, key=lambda r: r.start)
+
+
+def assert_results_identical(a, b):
+    assert a.n_records == b.n_records
+    assert a.n_ghosts_dropped == b.n_ghosts_dropped
+    for field in (
+        "duration_median",
+        "duration_p73",
+        "duration_mean_full",
+        "duration_mean_truncated",
+        "fraction_over_cutoff",
+        "mean_connect_share_truncated",
+    ):
+        assert getattr(a, field) == getattr(b, field), field
+    np.testing.assert_array_equal(a.distinct_cars_per_day, b.distinct_cars_per_day)
+    np.testing.assert_array_equal(a.distinct_cells_per_day, b.distinct_cells_per_day)
+    assert a.carrier_time_fraction == b.carrier_time_fraction
+
+
+def exact_car_totals(records, truncate_s=TRUNCATE_S):
+    """Brute-force per-car truncated interval-union lengths."""
+    by_car = {}
+    for r in records:
+        if is_ghost_record(r):
+            continue
+        cap = min(r.duration, truncate_s)
+        by_car.setdefault(r.car_id, []).append((r.start, r.start + cap))
+    totals = {}
+    for car, intervals in by_car.items():
+        intervals.sort()
+        total = 0.0
+        cur_s, cur_e = intervals[0]
+        for s, e in intervals[1:]:
+            if s > cur_e:
+                total += cur_e - cur_s
+                cur_s, cur_e = s, e
+            elif e > cur_e:
+                cur_e = e
+        total += cur_e - cur_s
+        totals[car] = total
+    return totals
+
+
+@pytest.fixture(scope="module")
+def clock():
+    return StudyClock(n_days=N_DAYS)
+
+
+@pytest.fixture(scope="module")
+def records():
+    return make_records()
+
+
+@pytest.fixture(scope="module")
+def shard_dir(tmp_path_factory, records):
+    directory = tmp_path_factory.mktemp("mapreduce") / "shards"
+    write_sharded_cdrz(
+        directory, ColumnarCDRBatch.from_records(records), shard_rows=517
+    )
+    return directory
+
+
+@pytest.fixture(scope="module")
+def serial_result(clock, records):
+    analyzer = StreamingAnalyzer(clock, quantile_mode="histogram")
+    return analyzer.run_columnar([ColumnarCDRBatch.from_records(records)])
+
+
+class TestWorkerCountParity:
+    @pytest.fixture(scope="class")
+    def by_workers(self, shard_dir, clock):
+        return {
+            workers: analyze_shards(
+                shard_dir, clock, workers=workers, chunk_rows=256
+            )
+            for workers in (1, 2, 4)
+        }
+
+    def test_identical_for_any_worker_count(self, by_workers):
+        reference, _ = by_workers[1]
+        for workers in (2, 4):
+            result, _ = by_workers[workers]
+            assert_results_identical(reference, result)
+
+    def test_stats_report_the_run(self, by_workers, records):
+        result, stats = by_workers[4]
+        n_ghosts = sum(1 for r in records if is_ghost_record(r))
+        assert stats.n_shards == 8
+        assert stats.n_empty_shards == 0
+        assert stats.workers == 4
+        assert stats.n_records == len(records) - n_ghosts == result.n_records
+        assert stats.n_ghosts_dropped == n_ghosts
+        assert stats.peak_rss_bytes > 0
+
+
+class TestSerialParity:
+    @pytest.fixture(scope="class")
+    def reduced(self, shard_dir, clock):
+        result, _ = analyze_shards(shard_dir, clock, workers=2, chunk_rows=256)
+        return result
+
+    def test_counts_and_histogram_stats_exact(self, reduced, serial_result):
+        assert reduced.n_records == serial_result.n_records
+        assert reduced.n_ghosts_dropped == serial_result.n_ghosts_dropped
+        assert reduced.duration_median == serial_result.duration_median
+        assert reduced.duration_p73 == serial_result.duration_p73
+        assert reduced.fraction_over_cutoff == serial_result.fraction_over_cutoff
+
+    def test_hyperloglog_estimates_exact(self, reduced, serial_result):
+        # Register-maxima merges are exact, so the per-day estimates are
+        # bit-equal, not merely close.
+        np.testing.assert_array_equal(
+            reduced.distinct_cars_per_day, serial_result.distinct_cars_per_day
+        )
+        np.testing.assert_array_equal(
+            reduced.distinct_cells_per_day, serial_result.distinct_cells_per_day
+        )
+
+    def test_float_sums_within_reassociation_precision(
+        self, reduced, serial_result
+    ):
+        assert reduced.duration_mean_full == pytest.approx(
+            serial_result.duration_mean_full, rel=1e-9
+        )
+        assert reduced.duration_mean_truncated == pytest.approx(
+            serial_result.duration_mean_truncated, rel=1e-9
+        )
+        assert reduced.mean_connect_share_truncated == pytest.approx(
+            serial_result.mean_connect_share_truncated, rel=1e-9
+        )
+        assert set(reduced.carrier_time_fraction) == set(
+            serial_result.carrier_time_fraction
+        )
+        for carrier, fraction in reduced.carrier_time_fraction.items():
+            assert fraction == pytest.approx(
+                serial_result.carrier_time_fraction[carrier], rel=1e-9
+            )
+
+    def test_quantiles_within_documented_bound(self, reduced, records):
+        kept = np.asarray(
+            [r.duration for r in records if not is_ghost_record(r)]
+        )
+        for q, value in ((0.5, reduced.duration_median), (0.73, reduced.duration_p73)):
+            exact = float(np.quantile(kept, q, method="inverted_cdf"))
+            assert abs(value - exact) <= 0.5  # quantile_bin_s=1.0 -> bin/2
+
+    def test_connect_time_matches_interval_union(self, reduced, clock, records):
+        totals = exact_car_totals(records)
+        expected = float(np.mean(list(totals.values()))) / clock.duration
+        assert reduced.mean_connect_share_truncated == pytest.approx(
+            expected, rel=1e-9
+        )
+
+
+class TestEdgeShardLayouts:
+    @pytest.fixture(scope="class")
+    def ragged_dir(self, tmp_path_factory, records):
+        """Heterogeneous shard sizes: empty, single-row, tiny and huge."""
+        directory = tmp_path_factory.mktemp("ragged") / "shards"
+        directory.mkdir(parents=True)
+        col = ColumnarCDRBatch.from_records(records)
+        bounds = [0, 0, 1, 38, 39, 1500, len(records)]
+        for index, (lo, hi) in enumerate(zip(bounds[:-1], bounds[1:])):
+            write_batch_cdrz(
+                directory / f"shard-{index:05d}.cdrz", col.rows(lo, hi)
+            )
+        return directory
+
+    def test_ragged_shards_reduce_identically(
+        self, ragged_dir, clock, serial_result
+    ):
+        reference, stats = analyze_shards(ragged_dir, clock, workers=1)
+        result, _ = analyze_shards(ragged_dir, clock, workers=2)
+        assert stats.n_shards == 6
+        assert stats.n_empty_shards == 1
+        assert_results_identical(reference, result)
+        assert result.n_records == serial_result.n_records
+        assert result.duration_median == serial_result.duration_median
+
+    def test_all_empty_shards_finalize_empty(self, tmp_path, clock):
+        directory = tmp_path / "empties"
+        write_sharded_cdrz(
+            directory, ColumnarCDRBatch.from_records([]), shard_rows=10
+        )
+        result, stats = analyze_shards(directory, clock, workers=1)
+        assert result.n_records == 0
+        assert result.mean_connect_share_truncated == 0.0
+        assert stats.n_empty_shards == stats.n_shards == 1
+
+    def test_ghost_only_shard_is_tolerated(self, tmp_path, clock):
+        ghosts = [rec(5.0, "a", 1, "C1", "4G", 3600.0)] * 3
+        directory = tmp_path / "ghosts"
+        write_sharded_cdrz(
+            directory, ColumnarCDRBatch.from_records(ghosts), shard_rows=10
+        )
+        result, stats = analyze_shards(directory, clock, workers=1)
+        assert result.n_records == 0
+        assert result.n_ghosts_dropped == 3
+        assert stats.n_empty_shards == 0
+
+
+class TestPartialContract:
+    def test_export_requires_mergeable_mode(self, clock):
+        with pytest.raises(ValueError, match="export_partial requires"):
+            StreamingAnalyzer(clock).export_partial()
+        with pytest.raises(ValueError, match="export_partial requires"):
+            StreamingAnalyzer(clock, quantile_mode="histogram").export_partial()
+
+    def test_track_partials_requires_histogram_mode(self, clock):
+        with pytest.raises(ValueError, match="track_partials requires"):
+            StreamingAnalyzer(clock, track_partials=True)
+
+    def test_absorb_requires_histogram_mode(self, clock):
+        worker = StreamingAnalyzer(
+            clock, quantile_mode="histogram", track_partials=True
+        )
+        with pytest.raises(ValueError, match="absorb_partial requires"):
+            StreamingAnalyzer(clock).absorb_partial(worker.export_partial())
+
+    def test_absorb_rejects_out_of_order_partials(self, clock):
+        def partial_for(start):
+            analyzer = StreamingAnalyzer(
+                clock, quantile_mode="histogram", track_partials=True
+            )
+            analyzer.consume([rec(start, "a", 1, "C1", "4G", 50.0)])
+            return analyzer.export_partial()
+
+        reducer = StreamingAnalyzer(clock, quantile_mode="histogram")
+        reducer.absorb_partial(partial_for(1000.0))
+        with pytest.raises(ValueError, match="out of order"):
+            reducer.absorb_partial(partial_for(0.0))
+
+    def test_absorb_rejects_mismatched_truncation(self, clock):
+        worker = StreamingAnalyzer(
+            clock, truncate_s=300.0, quantile_mode="histogram", track_partials=True
+        )
+        reducer = StreamingAnalyzer(clock, quantile_mode="histogram")
+        with pytest.raises(ValueError, match="truncate_s mismatch"):
+            reducer.absorb_partial(worker.export_partial())
+
+    def test_unknown_quantile_mode_rejected(self, clock):
+        with pytest.raises(ValueError, match="quantile_mode"):
+            StreamingAnalyzer(clock, quantile_mode="tdigest")
+
+    def test_workers_validated(self, shard_dir, clock):
+        with pytest.raises(ValueError, match="workers"):
+            analyze_shards(shard_dir, clock, workers=0)
+
+    def test_map_shard_is_pure_in_the_shard(self, shard_dir, clock):
+        from repro.cdr.store import resolve_shards
+
+        spec = MapSpec(
+            shards=tuple(resolve_shards(shard_dir)),
+            clock=clock,
+            truncate_s=TRUNCATE_S,
+            hll_precision=12,
+            quantile_bin_s=1.0,
+            chunk_rows=128,
+        )
+        first = map_shard(spec, 3)
+        second = map_shard(spec, 3)
+        assert first.n_records == second.n_records
+        assert first.car_total == second.car_total
+        assert first.car_head == second.car_head
+        assert first.start_min == second.start_min
+
+
+_durations = st.one_of(
+    st.floats(min_value=0.0, max_value=5000.0, allow_nan=False),
+    st.sampled_from([0.0, 599.9, 600.0, 600.1, 3599.5, 3600.0, 3600.5, 3600.6]),
+)
+_streams = st.lists(
+    st.builds(
+        ConnectionRecord,
+        start=st.floats(min_value=-1000.0, max_value=12 * DAY, allow_nan=False),
+        car_id=st.sampled_from([f"car-{i}" for i in range(8)]),
+        cell_id=st.integers(min_value=0, max_value=20),
+        carrier=st.sampled_from(["C1", "C2"]),
+        technology=st.sampled_from(["3G", "4G"]),
+        duration=_durations,
+    ),
+    min_size=0,
+    max_size=120,
+).map(lambda recs: sorted(recs, key=lambda r: r.start))
+
+
+class TestHypothesisFoldParity:
+    @given(
+        records=_streams,
+        cuts=st.lists(st.integers(min_value=0, max_value=120), max_size=4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_any_partition_folds_to_the_same_result(self, records, cuts):
+        """Shard partials folded in order == one serial mergeable pass.
+
+        Splits the sorted stream at arbitrary boundaries (empty slices
+        included), maps each slice through a partial-tracking analyzer, and
+        absorbs in order — the in-process equivalent of the worker pool.
+        """
+        clock = StudyClock(n_days=N_DAYS)
+        serial = StreamingAnalyzer(clock, quantile_mode="histogram").run_columnar(
+            [ColumnarCDRBatch.from_records(records)]
+        )
+        bounds = sorted({0, len(records), *[min(c, len(records)) for c in cuts]})
+        reducer = StreamingAnalyzer(clock, quantile_mode="histogram")
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            worker = StreamingAnalyzer(
+                clock, quantile_mode="histogram", track_partials=True
+            )
+            worker.consume_columnar(
+                ColumnarCDRBatch.from_records(records[lo:hi])
+            )
+            reducer.absorb_partial(worker.export_partial())
+        folded = reducer.finalize()
+
+        assert folded.n_records == serial.n_records
+        assert folded.n_ghosts_dropped == serial.n_ghosts_dropped
+        assert folded.duration_median == serial.duration_median
+        assert folded.duration_p73 == serial.duration_p73
+        assert folded.fraction_over_cutoff == serial.fraction_over_cutoff
+        np.testing.assert_array_equal(
+            folded.distinct_cars_per_day, serial.distinct_cars_per_day
+        )
+        np.testing.assert_array_equal(
+            folded.distinct_cells_per_day, serial.distinct_cells_per_day
+        )
+        assert folded.duration_mean_full == pytest.approx(
+            serial.duration_mean_full, rel=1e-9, abs=1e-12
+        )
+        assert folded.mean_connect_share_truncated == pytest.approx(
+            serial.mean_connect_share_truncated, rel=1e-9, abs=1e-12
+        )
+        totals = exact_car_totals(records)
+        if totals:
+            expected = float(np.mean(list(totals.values()))) / clock.duration
+            assert folded.mean_connect_share_truncated == pytest.approx(
+                expected, rel=1e-9, abs=1e-12
+            )

@@ -23,9 +23,16 @@ class TestControlledStreams:
         assert result.n_ghosts_dropped == 1
         assert result.n_records == 2
 
-    def test_empty_stream_raises(self, clock):
-        with pytest.raises(ValueError):
-            StreamingAnalyzer(clock).run(iter([]))
+    def test_empty_stream_finalizes_empty(self, clock):
+        # An empty shard is a legitimate map-reduce input: the result is a
+        # well-defined zeroed summary, not an error.
+        result = StreamingAnalyzer(clock).run(iter([]))
+        assert result.n_records == 0
+        assert result.n_ghosts_dropped == 0
+        assert result.duration_median == 0.0
+        assert result.mean_connect_share_truncated == 0.0
+        assert result.carrier_time_fraction == {}
+        assert np.all(result.distinct_cars_per_day == 0.0)
 
     def test_carrier_time_fractions(self, clock):
         records = [rec(0, 30.0, carrier="C1"), rec(100, 70.0, carrier="C3")]

@@ -122,14 +122,31 @@ class TestAdversarialParity:
         assert counter.count == 0
         assert_results_identical(reference, result)
 
-    def test_ghost_only_stream_raises_like_scalar(self, clock):
+    def test_ghost_only_stream_finalizes_empty(self, clock):
+        # Empty shards are legal at scale: a ghost-only (or empty) pass
+        # finalizes to a well-defined zeroed result instead of raising.
         ghosts = [rec(0.0, "a", 1, "C1", "4G", 3600.0)]
-        with pytest.raises(ValueError, match="no usable records"):
-            StreamingAnalyzer(clock).run(ghosts)
-        with pytest.raises(ValueError, match="no usable records"):
-            StreamingAnalyzer(clock).run_columnar(
-                [ColumnarCDRBatch.from_records(ghosts)]
-            )
+        scalar = StreamingAnalyzer(clock).run(ghosts)
+        columnar = StreamingAnalyzer(clock).run_columnar(
+            [ColumnarCDRBatch.from_records(ghosts)]
+        )
+        for result in (scalar, columnar):
+            assert result.n_records == 0
+            assert result.n_ghosts_dropped == 1
+            assert result.duration_median == 0.0
+            assert result.duration_mean_full == 0.0
+            assert result.fraction_over_cutoff == 0.0
+            assert result.mean_connect_share_truncated == 0.0
+            assert result.carrier_time_fraction == {}
+            assert result.distinct_cars_per_day.tolist() == [0.0] * clock.n_days
+            assert result.distinct_cells_per_day.tolist() == [0.0] * clock.n_days
+        assert_results_identical(scalar, columnar)
+
+    def test_fully_empty_stream_finalizes_empty(self, clock):
+        result = StreamingAnalyzer(clock).run([])
+        assert result.n_records == 0
+        assert result.n_ghosts_dropped == 0
+        assert result.mean_connect_share_truncated == 0.0
 
     def test_empty_chunks_are_no_ops(self, adversarial, clock):
         reference = StreamingAnalyzer(clock).run(adversarial)
@@ -169,15 +186,7 @@ class TestHypothesisParity:
     @settings(max_examples=60, deadline=None)
     def test_random_streams_bit_identical(self, records, chunk_rows):
         clock = StudyClock(n_days=10)
-        try:
-            reference = StreamingAnalyzer(clock).run(records)
-        except ValueError:
-            # Ghost-only stream: the columnar path must refuse too.
-            with pytest.raises(ValueError):
-                StreamingAnalyzer(clock).run_columnar(
-                    [ColumnarCDRBatch.from_records(records)]
-                )
-            return
+        reference = StreamingAnalyzer(clock).run(records)
         col = ColumnarCDRBatch.from_records(records)
         result = StreamingAnalyzer(clock).run_columnar(chunked(col, chunk_rows))
         assert_results_identical(reference, result)

@@ -152,6 +152,80 @@ class TestWorkflows:
         assert "journeys:" in out
         assert "median distance" in out
 
+    @pytest.fixture(scope="class")
+    def shard_dir(self, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("cli-stream") / "shards"
+        code = main(
+            [
+                "generate",
+                "--scenario",
+                "smoke",
+                "--cars",
+                "25",
+                "--days",
+                "7",
+                "--out",
+                str(directory),
+                "--format",
+                "cdrz",
+                "--shard-rows",
+                "400",
+            ]
+        )
+        assert code == 0
+        return directory
+
+    def test_stream_reports_identically_at_any_worker_count(
+        self, shard_dir, capsys
+    ):
+        outputs = []
+        for workers in ("1", "2"):
+            code = main(
+                [
+                    "stream",
+                    "--trace",
+                    str(shard_dir),
+                    "--days",
+                    "7",
+                    "--workers",
+                    workers,
+                    "--chunk-rows",
+                    "128",
+                ]
+            )
+            out = capsys.readouterr().out
+            assert code == 0
+            assert "map-reduce over" in out
+            assert "duration: median" in out
+            assert "carrier time shares" in out
+            # Everything below the run header is derived from the reduced
+            # result, which must not depend on the worker count.
+            outputs.append(out.split("\n", 1)[1])
+        assert outputs[0] == outputs[1]
+
+    def test_analyze_workers_routes_to_streaming_engine(self, shard_dir, capsys):
+        code = main(
+            [
+                "analyze",
+                "--trace",
+                str(shard_dir),
+                "--days",
+                "7",
+                "--workers",
+                "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "map-reduce over" in out
+        assert "mean connected share" in out
+
+    def test_stream_rejects_text_traces(self, trace_path, capsys):
+        code = main(["stream", "--trace", str(trace_path), "--days", "7"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "needs a cdrz trace" in err
+
     def test_analyze_markdown(self, trace_path, capsys):
         code = main(
             [
