@@ -3,12 +3,16 @@
 Usage::
 
     repro-lint [PATHS ...]            # lint (default: src, per pyproject)
+    repro-lint --jobs 0 src/          # pooled scan, one worker per CPU
     repro-lint --format json src/     # CI artifact output
+    repro-lint --format sarif src/    # code-scanning upload format
     repro-lint --write-baseline src/  # grandfather current findings
     repro-lint --list-rules           # rule ids, severities, rationales
 
 Exit codes: 0 clean (warnings allowed unless ``--strict``), 1 findings at
-error severity, 2 unanalyzable input or bad invocation.
+error severity, 2 unanalyzable input or bad invocation.  Reports on stdout
+are byte-identical at any ``--jobs`` value; the wall-time summary goes to
+stderr so timing noise never touches the diffable artifact.
 """
 
 from __future__ import annotations
@@ -16,13 +20,14 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import time
 from dataclasses import replace
 from pathlib import Path
 
 from repro.analysis.baseline import Baseline
 from repro.analysis.config import LintConfig, load_config
 from repro.analysis.registry import all_rules
-from repro.analysis.reporting import render_json, render_text
+from repro.analysis.reporting import render_json, render_sarif, render_text
 from repro.analysis.runner import lint_paths
 
 
@@ -41,9 +46,17 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the per-file pass "
+        "(0 = one per CPU; default: 1, serial)",
     )
     parser.add_argument(
         "--baseline",
@@ -120,9 +133,13 @@ def main(argv: list[str] | None = None) -> int:
 
     paths = tuple(args.paths) if args.paths else cfg.paths
     baseline_file = root / cfg.baseline_path
+    if args.jobs < 0:
+        print(f"repro-lint: --jobs must be >= 0, got {args.jobs}", file=sys.stderr)
+        return 2
+    jobs = args.jobs or os.cpu_count() or 1
 
     if args.write_baseline:
-        result = lint_paths(paths, cfg, baseline=Baseline())
+        result = lint_paths(paths, cfg, baseline=Baseline(), jobs=jobs)
         if result.failures:
             print(render_text(result), file=sys.stderr)
             return 2
@@ -141,11 +158,22 @@ def main(argv: list[str] | None = None) -> int:
         print(f"repro-lint: {exc}", file=sys.stderr)
         return 2
 
-    result = lint_paths(paths, cfg, baseline=baseline)
+    start = time.perf_counter()
+    result = lint_paths(paths, cfg, baseline=baseline, jobs=jobs)
+    elapsed = time.perf_counter() - start
     if args.format == "json":
         print(render_json(result))
+    elif args.format == "sarif":
+        print(render_sarif(result))
     else:
         print(render_text(result))
+    # Timing is observational, never part of the diffable report (RL003's
+    # carve-out for perf_counter): stderr only.
+    print(
+        f"repro-lint: {result.files_checked} files in {elapsed:.2f}s "
+        f"({jobs} job{'s' if jobs != 1 else ''})",
+        file=sys.stderr,
+    )
     return result.exit_code()
 
 

@@ -15,7 +15,13 @@ Defaults can be overridden from ``[tool.repro-lint]`` in ``pyproject.toml``:
     paths = ["src"]
     baseline = ".repro-lint-baseline.json"
     strict-prefixes = ["src/repro/simulate", "src/repro/cdr"]
-    ignore = ["RL005"]
+    test-paths = ["tests"]
+    mp-allowlist = ["src/repro/core/mapreduce.py"]
+    ignore = []
+
+No rule is ignored by default: RL005 (float equality) gates CI like the
+rest, ever since the last float-``==`` site in ``src`` was converted to an
+explicit tolerance comparison.
 """
 
 from __future__ import annotations
@@ -49,6 +55,20 @@ DEFAULT_EXCLUDE_PARTS = (
     "fixtures",
 )
 
+#: Where the parity-contract rule (RL017) looks for registered parity tests.
+DEFAULT_TEST_PATHS = ("tests",)
+
+#: The only modules allowed to touch ``multiprocessing`` (RL012).  Each
+#: entry carries a written determinism argument: ``core/mapreduce.py``
+#: folds partials in shard-index order, ``simulate/parallel.py``
+#: concatenates contiguous shards, and the linter's own pool re-sorts
+#: results by path.
+DEFAULT_MP_ALLOWLIST = (
+    "src/repro/core/mapreduce.py",
+    "src/repro/simulate/parallel.py",
+    "src/repro/analysis/parallel.py",
+)
+
 
 @dataclass(frozen=True)
 class LintConfig:
@@ -58,6 +78,8 @@ class LintConfig:
     baseline_path: str = ".repro-lint-baseline.json"
     strict_prefixes: tuple[str, ...] = DEFAULT_STRICT_PREFIXES
     exclude_parts: tuple[str, ...] = DEFAULT_EXCLUDE_PARTS
+    test_paths: tuple[str, ...] = DEFAULT_TEST_PATHS
+    mp_allowlist: tuple[str, ...] = DEFAULT_MP_ALLOWLIST
     ignore: tuple[str, ...] = ()
     #: Treat warnings as errors everywhere (the CLI ``--strict`` flag).
     strict: bool = False
@@ -104,6 +126,12 @@ def load_config(root: Path | None = None) -> LintConfig:
         cfg = replace(
             cfg,
             strict_prefixes=tuple(str(p) for p in section["strict-prefixes"]),
+        )
+    if isinstance(section.get("test-paths"), list):
+        cfg = replace(cfg, test_paths=tuple(str(p) for p in section["test-paths"]))
+    if isinstance(section.get("mp-allowlist"), list):
+        cfg = replace(
+            cfg, mp_allowlist=tuple(str(p) for p in section["mp-allowlist"])
         )
     if isinstance(section.get("ignore"), list):
         cfg = replace(cfg, ignore=tuple(str(r) for r in section["ignore"]))

@@ -2,10 +2,16 @@
 
 A :class:`Finding` pins a rule violation to a ``path:line:col`` location
 and carries a fix hint so the report is actionable.  The *fingerprint* is
-deliberately line-number free — it hashes the rule id, the file path, the
+deliberately line-number free *and path free* — it hashes the rule id, the
 normalized source line text and the occurrence index of that text within
-the file — so a baseline entry survives unrelated edits above the finding
-but is invalidated the moment the offending line itself changes.
+its file — so a baseline entry survives unrelated edits above the finding
+**and** a pure ``git mv`` of the file, but is invalidated the moment the
+offending line itself changes.  The cost of path freedom is that moving a
+baselined line verbatim into a *second* file re-uses the first file's
+suppression; with per-file occurrence indices the collision needs an
+identical line triggering the same rule at the same within-file rank,
+which review catches far more cheaply than every rename churning the
+baseline.
 """
 
 from __future__ import annotations
@@ -71,7 +77,8 @@ def fingerprint_findings(
 
     Two findings of the same rule on byte-identical lines (a duplicated
     violation) get distinct occurrence indices, so baselining one does not
-    silently suppress the other.
+    silently suppress the other.  The hash takes no path component, so a
+    fingerprint survives a pure rename of its file.
     """
     seen: dict[tuple[str, str], int] = {}
     out: list[Finding] = []
@@ -84,7 +91,7 @@ def fingerprint_findings(
         index = seen.get(key, 0)
         seen[key] = index + 1
         digest = hashlib.sha256(
-            f"{finding.rule_id}\x1f{finding.path}\x1f{text}\x1f{index}".encode()
+            f"{finding.rule_id}\x1f{text}\x1f{index}".encode()
         ).hexdigest()[:16]
         out.append(finding.with_fingerprint(digest))
     return out

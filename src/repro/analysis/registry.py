@@ -10,10 +10,13 @@ from __future__ import annotations
 
 import abc
 from collections.abc import Iterator
-from typing import ClassVar, TypeVar
+from typing import TYPE_CHECKING, ClassVar, TypeVar
 
 from repro.analysis.context import FileContext
 from repro.analysis.findings import Finding, Severity
+
+if TYPE_CHECKING:
+    from repro.analysis.project import ProjectContext
 
 _REGISTRY: dict[str, type["Rule"]] = {}
 
@@ -55,6 +58,45 @@ class Rule(abc.ABC):
         )
 
 
+class ProjectRule(Rule):
+    """A rule over the whole module graph instead of one file.
+
+    Project rules run once per lint invocation, after the per-file pass,
+    against the :class:`~repro.analysis.project.ProjectContext` built from
+    every scanned file (plus the configured test tree).  Their findings
+    still anchor to a concrete ``path:line`` — the def or call site that
+    violates the cross-module invariant — so baselining and severity
+    scoping work unchanged.
+    """
+
+    @abc.abstractmethod
+    def check_project(self, project: "ProjectContext") -> Iterator[Finding]:
+        """Yield every violation across the project."""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Project rules contribute nothing to the per-file pass."""
+        return iter(())
+
+    def finding_at(
+        self,
+        path: str,
+        line: int,
+        col: int,
+        message: str,
+        hint: str = "",
+    ) -> Finding:
+        """Build a finding at an explicit location (no file context needed)."""
+        return Finding(
+            rule_id=self.rule_id,
+            path=path,
+            line=line,
+            col=col,
+            message=message,
+            hint=hint,
+            severity=self.default_severity,
+        )
+
+
 R = TypeVar("R", bound=type[Rule])
 
 
@@ -81,6 +123,16 @@ def all_rules(ignore: tuple[str, ...] = ()) -> list[Rule]:
         for rule_id in sorted(_REGISTRY)
         if rule_id not in ignore
     ]
+
+
+def file_rules(ignore: tuple[str, ...] = ()) -> list[Rule]:
+    """Registered per-file rules only, sorted by id."""
+    return [r for r in all_rules(ignore) if not isinstance(r, ProjectRule)]
+
+
+def project_rules(ignore: tuple[str, ...] = ()) -> list[ProjectRule]:
+    """Registered whole-program rules only, sorted by id."""
+    return [r for r in all_rules(ignore) if isinstance(r, ProjectRule)]
 
 
 def get_rule(rule_id: str) -> Rule:

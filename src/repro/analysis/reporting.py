@@ -1,6 +1,6 @@
-"""Report rendering: human text for terminals, JSON for CI artifacts.
+"""Report rendering: human text, JSON for CI artifacts, SARIF for code scanning.
 
-Both renderings are deterministic (findings arrive pre-sorted from the
+All renderings are deterministic (findings arrive pre-sorted from the
 runner; JSON keys are sorted) so reports diff cleanly between runs.
 """
 
@@ -9,7 +9,8 @@ from __future__ import annotations
 import json
 from collections import Counter
 
-from repro.analysis.findings import Finding
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import all_rules
 from repro.analysis.runner import LintResult
 
 
@@ -70,6 +71,111 @@ def render_json(result: LintResult) -> str:
         "baselined": [_finding_payload(f) for f in result.baselined],
         "failures": [
             {"path": f.path, "error": f.error} for f in result.failures
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _sarif_level(severity: Severity) -> str:
+    return "error" if severity is Severity.ERROR else "warning"
+
+
+def _sarif_result(finding: Finding, suppressed: bool) -> dict[str, object]:
+    out: dict[str, object] = {
+        "ruleId": finding.rule_id,
+        "level": _sarif_level(finding.severity),
+        "message": {
+            "text": (
+                f"{finding.message} ({finding.hint})"
+                if finding.hint
+                else finding.message
+            )
+        },
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+        "partialFingerprints": {"reproLint/v1": finding.fingerprint},
+    }
+    if suppressed:
+        out["suppressions"] = [{"kind": "external", "justification": "baseline"}]
+    return out
+
+
+def render_sarif(result: LintResult) -> str:
+    """SARIF 2.1.0 report — what code-scanning UIs and CI annotators ingest.
+
+    Baselined findings are included as *suppressed* results so the report
+    shows the whole picture; unanalyzable files surface as tool execution
+    notifications, mirroring exit code 2.
+    """
+    rules = [
+        {
+            "id": rule.rule_id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.name},
+            "fullDescription": {"text": rule.rationale},
+            "defaultConfiguration": {
+                "level": _sarif_level(rule.default_severity)
+            },
+        }
+        for rule in all_rules()
+    ]
+    notifications = [
+        {
+            "level": "error",
+            "message": {"text": f"could not analyze {f.path}: {f.error}"},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.path,
+                            "uriBaseId": "SRCROOT",
+                        }
+                    }
+                }
+            ],
+        }
+        for f in result.failures
+    ]
+    payload = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "docs/STATIC_ANALYSIS.md"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "results": (
+                    [_sarif_result(f, suppressed=False) for f in result.findings]
+                    + [
+                        _sarif_result(f, suppressed=True)
+                        for f in result.baselined
+                    ]
+                ),
+                "invocations": [
+                    {
+                        "executionSuccessful": not result.failures,
+                        "toolExecutionNotifications": notifications,
+                    }
+                ],
+            }
         ],
     }
     return json.dumps(payload, indent=2, sort_keys=True)

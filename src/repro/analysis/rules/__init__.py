@@ -10,7 +10,10 @@ from repro.analysis.rules import (  # noqa: F401  (import for side effects)
     defaults,
     exceptions,
     floats,
+    mergesafety,
+    numerics,
     ordering,
+    parity,
     rng,
     wallclock,
 )
@@ -20,7 +23,10 @@ __all__ = [
     "defaults",
     "exceptions",
     "floats",
+    "mergesafety",
+    "numerics",
     "ordering",
+    "parity",
     "rng",
     "wallclock",
 ]

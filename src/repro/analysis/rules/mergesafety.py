@@ -1,0 +1,520 @@
+"""Merge-safety rules: what may cross a worker boundary, and how.
+
+PR 6's map-reduce substrate made a new class of bug possible: state that
+*looks* like an accumulator but cannot actually be merged (P²-style
+order-sensitive markers), state that cannot survive the pickle boundary
+(open files, lambdas), and ad-hoc process pools whose fan-in order leaks
+into results.  These rules machine-check the discipline that
+``core.mapreduce`` documents:
+
+* **RL010** — everything shipped back from an *unordered* fan-out must be
+  mergeable: the partial protocol (``export_partial`` /``absorb_partial``)
+  must be closed, and every accumulator class stored inside a partial must
+  carry an exact ``merge``.
+* **RL011** — shipped classes must hold picklable, fork-safe state, and map
+  workers must not mutate module-level caches (per-process state is
+  installed by initializers, never grown task by task).
+* **RL012** — process pools live only in the sanctioned modules
+  (``core.mapreduce``, ``simulate.parallel``, the lint runner's own pool);
+  everywhere else ``multiprocessing`` is banned outright.
+* **RL013** — callables handed to a pool must be module-level functions:
+  lambdas, nested defs and bound methods break under spawn and differ
+  between start methods.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.project import (
+    ClassInfo,
+    FunctionNode,
+    ModuleInfo,
+    ProjectContext,
+)
+from repro.analysis.registry import ProjectRule, register
+
+#: Method names that constitute the two halves of the partial protocol.
+_EXPORT = "export_partial"
+_ABSORB = "absorb_partial"
+
+#: Constructors whose result is not picklable / not fork-safe when stored
+#: on instances that ship across the worker boundary.
+_UNPICKLABLE_CALLS = frozenset(
+    {
+        "open",
+        "numpy.memmap",
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Condition",
+        "threading.Event",
+        "threading.Semaphore",
+        "sqlite3.connect",
+    }
+)
+
+#: Mutating method names on dict/list/set-like module caches.
+_MUTATING_METHODS = frozenset(
+    {"append", "extend", "add", "update", "setdefault", "pop", "popitem", "clear", "insert", "remove"}
+)
+
+
+def _return_annotation(fn: FunctionNode) -> ast.expr | None:
+    return fn.returns
+
+
+def _absorbed_class_keys(project: ProjectContext) -> set[tuple[str, str]]:
+    """Classes accepted by any ``absorb_partial`` parameter annotation."""
+    absorbed: set[tuple[str, str]] = set()
+    for module in project.iter_modules():
+        for cls in module.classes.values():
+            fn = cls.methods.get(_ABSORB)
+            if fn is None:
+                continue
+            args = fn.args.posonlyargs + fn.args.args
+            for arg in args[1:]:  # skip self
+                for target in project.annotation_classes(module, arg.annotation):
+                    absorbed.add(target.key)
+    return absorbed
+
+
+def _is_mergeable(project: ProjectContext, cls: ClassInfo) -> bool:
+    return project.class_has_method(cls, "merge")
+
+
+@register
+class MergeCounterpartRule(ProjectRule):
+    """RL010: worker-boundary classes need a merge counterpart."""
+
+    rule_id = "RL010"
+    name = "merge-counterpart"
+    rationale = (
+        "A partial shipped back from an unordered fan-out is only safe if "
+        "the reduce can fold it independent of arrival order: the partial "
+        "class must be absorbed by an absorb_partial somewhere, and every "
+        "accumulator stored inside it must define an exact merge.  A "
+        "non-mergeable field (a P2-style estimator) silently makes the "
+        "result depend on the worker count."
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        absorbed = _absorbed_class_keys(project)
+        checked_partials: set[tuple[str, str]] = set()
+        for module in project.iter_modules():
+            for cls in sorted(module.classes.values(), key=lambda c: c.name):
+                export = cls.methods.get(_EXPORT)
+                if export is None:
+                    continue
+                partials = project.annotation_classes(
+                    module, _return_annotation(export)
+                )
+                if not partials:
+                    yield self.finding_at(
+                        module.path,
+                        export.lineno,
+                        export.col_offset,
+                        f"`{cls.name}.{_EXPORT}` has no resolvable partial-class "
+                        "return annotation",
+                        hint=(
+                            "annotate the partial class it returns so the "
+                            "merge contract is checkable"
+                        ),
+                    )
+                    continue
+                for partial in partials:
+                    if partial.key not in absorbed:
+                        yield self.finding_at(
+                            module.path,
+                            export.lineno,
+                            export.col_offset,
+                            f"partial class `{partial.name}` returned by "
+                            f"`{cls.name}.{_EXPORT}` is absorbed by no "
+                            f"`{_ABSORB}` in the project",
+                            hint=(
+                                f"add an {_ABSORB}({partial.name}) reducer "
+                                "or stop exporting the class"
+                            ),
+                        )
+                    if partial.key in checked_partials:
+                        continue
+                    checked_partials.add(partial.key)
+                    yield from self._check_partial_fields(project, partial, absorbed)
+            for call in project.pool_calls(module):
+                if call.ordered:
+                    continue
+                resolved = project.worker_function(module, call.func_expr)
+                if resolved is None:
+                    continue
+                fn_module, fn = resolved
+                for cls in project.annotation_classes(
+                    fn_module, _return_annotation(fn)
+                ):
+                    if cls.key in absorbed or _is_mergeable(project, cls):
+                        continue
+                    yield self.finding_at(
+                        module.path,
+                        call.node.lineno,
+                        call.node.col_offset,
+                        f"unordered fan-out `{call.method}` ships "
+                        f"`{cls.name}` instances, which have no merge and "
+                        "no absorb_partial reducer",
+                        hint=(
+                            "give the result class an exact merge, absorb "
+                            "it via the partial protocol, or use an "
+                            "ordered map"
+                        ),
+                    )
+
+    def _check_partial_fields(
+        self,
+        project: ProjectContext,
+        partial: ClassInfo,
+        absorbed: set[tuple[str, str]],
+    ) -> Iterator[Finding]:
+        module = project.modules.get(partial.module)
+        if module is None:
+            return
+        for field_name in sorted(partial.field_annotations):
+            annotation = partial.field_annotations[field_name]
+            for cls in project.annotation_classes(module, annotation):
+                if _is_mergeable(project, cls) or cls.key in absorbed:
+                    continue
+                yield self.finding_at(
+                    partial.path,
+                    annotation.lineno,
+                    annotation.col_offset,
+                    f"partial field `{partial.name}.{field_name}` holds "
+                    f"`{cls.name}`, which defines no merge",
+                    hint=(
+                        "use a mergeable accumulator (exact merge method) "
+                        "for state that crosses the worker boundary"
+                    ),
+                )
+
+
+@register
+class ForkHostileStateRule(ProjectRule):
+    """RL011: shipped state must be picklable; workers must not grow caches."""
+
+    rule_id = "RL011"
+    name = "fork-hostile-state"
+    rationale = (
+        "Classes crossing the worker boundary are pickled (spawn) or "
+        "snapshotted (fork): open files, memmaps, lambdas and locks stored "
+        "on them fail or silently diverge between start methods.  Map "
+        "workers mutating module-level caches grow per-process state that "
+        "depends on task scheduling — per-process state is installed by "
+        "pool initializers, before any task runs."
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        shipped = self._shipped_classes(project)
+        for key in sorted(shipped):
+            cls = shipped[key]
+            module = project.modules.get(cls.module)
+            if module is None:
+                continue
+            yield from self._check_unpicklable_state(module, cls)
+        for module in project.iter_modules():
+            yield from self._check_worker_cache_mutation(project, module)
+
+    def _shipped_classes(
+        self, project: ProjectContext
+    ) -> dict[tuple[str, str], ClassInfo]:
+        """Classes that cross a process boundary anywhere in the project."""
+        shipped: dict[tuple[str, str], ClassInfo] = {}
+
+        def note(classes: list[ClassInfo]) -> None:
+            for cls in classes:
+                shipped[cls.key] = cls
+
+        for module in project.iter_modules():
+            for cls in module.classes.values():
+                export = cls.methods.get(_EXPORT)
+                if export is not None:
+                    note(project.annotation_classes(module, export.returns))
+                absorb = cls.methods.get(_ABSORB)
+                if absorb is not None:
+                    args = absorb.args.posonlyargs + absorb.args.args
+                    for arg in args[1:]:
+                        note(project.annotation_classes(module, arg.annotation))
+            for call in project.pool_calls(module):
+                resolved = project.worker_function(module, call.func_expr)
+                if resolved is not None:
+                    fn_module, fn = resolved
+                    note(project.annotation_classes(fn_module, fn.returns))
+        return shipped
+
+    def _check_unpicklable_state(
+        self, module: ModuleInfo, cls: ClassInfo
+    ) -> Iterator[Finding]:
+        ctx = module.ctx
+        for method_name in sorted(cls.methods):
+            method = cls.methods[method_name]
+            for node in ast.walk(method):
+                value: ast.expr | None = None
+                if isinstance(node, ast.Assign):
+                    value = node.value
+                    targets = node.targets
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    value = node.value
+                    targets = [node.target]
+                else:
+                    continue
+                if not any(
+                    isinstance(t, ast.Attribute)
+                    and isinstance(t.value, ast.Name)
+                    and t.value.id == "self"
+                    for t in targets
+                ):
+                    continue
+                reason = self._unpicklable_reason(ctx, value)
+                if reason is not None:
+                    yield self.finding_at(
+                        module.path,
+                        node.lineno,
+                        node.col_offset,
+                        f"`{cls.name}` ships across the worker boundary but "
+                        f"stores {reason} on self",
+                        hint=(
+                            "keep shipped state to plain data (numbers, "
+                            "strings, arrays, mergeable accumulators); "
+                            "open resources per process instead"
+                        ),
+                    )
+
+    def _unpicklable_reason(self, ctx: object, value: ast.expr) -> str | None:
+        if isinstance(value, ast.Lambda):
+            return "a lambda"
+        if isinstance(value, ast.GeneratorExp):
+            return "a generator"
+        if isinstance(value, ast.Call):
+            func = value.func
+            if isinstance(func, ast.Name) and func.id == "open":
+                return "an open file handle"
+            name = ctx.resolve(func) if hasattr(ctx, "resolve") else None  # type: ignore[attr-defined]
+            if name in _UNPICKLABLE_CALLS:
+                return f"`{name}(...)`"
+        return None
+
+    def _check_worker_cache_mutation(
+        self, project: ProjectContext, module: ModuleInfo
+    ) -> Iterator[Finding]:
+        worker_fns: list[FunctionNode] = []
+        for call in project.pool_calls(module):
+            resolved = project.worker_function(module, call.func_expr)
+            if resolved is not None and resolved[0] is module:
+                worker_fns.append(resolved[1])
+        if not worker_fns:
+            return
+        caches = self._module_level_mutables(module)
+        if not caches:
+            return
+        seen: set[int] = set()
+        for fn in worker_fns:
+            if id(fn) in seen:
+                continue
+            seen.add(id(fn))
+            local_names = {
+                t.id
+                for stmt in ast.walk(fn)
+                if isinstance(stmt, ast.Assign)
+                for t in stmt.targets
+                if isinstance(t, ast.Name)
+            }
+            for node in ast.walk(fn):
+                target_name = self._mutated_cache_name(node)
+                if (
+                    target_name is not None
+                    and target_name in caches
+                    and target_name not in local_names
+                ):
+                    yield self.finding_at(
+                        module.path,
+                        node.lineno,
+                        node.col_offset,
+                        f"map worker `{fn.name}` mutates module-level cache "
+                        f"`{target_name}` after fork",
+                        hint=(
+                            "install per-process state in the pool "
+                            "initializer; map-function bodies must treat "
+                            "module state as read-only"
+                        ),
+                    )
+
+    def _module_level_mutables(self, module: ModuleInfo) -> set[str]:
+        caches: set[str] = set()
+        for stmt in module.ctx.tree.body:
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            if value is None:
+                continue
+            mutable = isinstance(value, (ast.Dict, ast.List, ast.Set)) or (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id
+                in ("dict", "list", "set", "defaultdict", "Counter", "OrderedDict")
+            )
+            if not mutable:
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    caches.add(target.id)
+        return caches
+
+    def _mutated_cache_name(self, node: ast.AST) -> str | None:
+        # cache[k] = v  /  cache[k] += v
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                if isinstance(target, ast.Subscript) and isinstance(
+                    target.value, ast.Name
+                ):
+                    return target.value.id
+        # cache.update(...) and friends
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATING_METHODS
+            and isinstance(node.func.value, ast.Name)
+        ):
+            return node.func.value.id
+        return None
+
+
+@register
+class UnsanctionedMultiprocessingRule(ProjectRule):
+    """RL012: process pools only in the sanctioned modules."""
+
+    rule_id = "RL012"
+    name = "unsanctioned-multiprocessing"
+    rationale = (
+        "Determinism under parallelism is an argued property of two code "
+        "paths (core.mapreduce's index-ordered fold, simulate.parallel's "
+        "contiguous-shard concatenation) and the lint runner's own "
+        "path-ordered pool.  A pool spun up anywhere else carries none of "
+        "those arguments — route fan-outs through the sanctioned entry "
+        "points so the bit-identity proof covers them."
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        allow = tuple(self._allowlist(project))
+        for module in project.iter_modules():
+            if module.path in allow:
+                continue
+            yield from self._check_module(module)
+
+    def _allowlist(self, project: ProjectContext) -> tuple[str, ...]:
+        return project.cfg.mp_allowlist
+
+    def _check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root == "multiprocessing" or alias.name.startswith(
+                        "concurrent"
+                    ):
+                        yield self._import_finding(module, node, alias.name)
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                root = node.module.split(".")[0]
+                if root in ("multiprocessing", "concurrent"):
+                    yield self._import_finding(module, node, node.module)
+            elif isinstance(node, ast.Call):
+                name = module.ctx.call_name(node)
+                if name in ("os.fork", "os.forkpty"):
+                    yield self.finding_at(
+                        module.path,
+                        node.lineno,
+                        node.col_offset,
+                        f"`{name}()` outside the sanctioned parallel entry points",
+                        hint="route process fan-outs through core.mapreduce",
+                    )
+
+    def _import_finding(
+        self, module: ModuleInfo, node: ast.stmt, imported: str
+    ) -> Finding:
+        return self.finding_at(
+            module.path,
+            node.lineno,
+            node.col_offset,
+            f"`{imported}` imported outside the sanctioned parallel entry "
+            "points",
+            hint=(
+                "use repro.core.mapreduce (analysis) or "
+                "repro.simulate.parallel (generation) instead of an ad-hoc "
+                "pool; extend [tool.repro-lint] mp-allowlist only with an "
+                "accompanying determinism argument"
+            ),
+        )
+
+
+@register
+class PoolCallableRule(ProjectRule):
+    """RL013: pool callables must be module-level functions."""
+
+    rule_id = "RL013"
+    name = "pool-callable"
+    rationale = (
+        "Workers receive their callable by pickling a reference: lambdas, "
+        "nested defs and bound methods either fail outright under spawn or "
+        "drag the enclosing instance through the pipe, making fork and "
+        "spawn runs behaviourally different.  Module-level functions ship "
+        "by qualified name and behave identically under both."
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for module in project.iter_modules():
+            nested = self._nested_callable_names(module)
+            for call in project.pool_calls(module):
+                expr = call.func_expr
+                if expr is None:
+                    continue
+                reason: str | None = None
+                if isinstance(expr, ast.Lambda):
+                    reason = "a lambda"
+                elif isinstance(expr, ast.Name) and expr.id in nested:
+                    reason = f"nested callable `{expr.id}`"
+                elif (
+                    isinstance(expr, ast.Attribute)
+                    and isinstance(expr.value, ast.Name)
+                    and expr.value.id == "self"
+                ):
+                    reason = f"bound method `self.{expr.attr}`"
+                if reason is not None:
+                    yield self.finding_at(
+                        module.path,
+                        expr.lineno,
+                        expr.col_offset,
+                        f"{reason} handed to pool `{call.method}`",
+                        hint=(
+                            "hoist the worker to a module-level function so "
+                            "it pickles by name and behaves the same under "
+                            "fork and spawn"
+                        ),
+                    )
+
+    def _nested_callable_names(self, module: ModuleInfo) -> set[str]:
+        """Names bound to lambdas anywhere, or defs nested inside functions."""
+        nested: set[str] = set()
+        for node in ast.walk(module.ctx.tree):
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Lambda):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        nested.add(target.id)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for child in ast.walk(node):
+                    if (
+                        child is not node
+                        and isinstance(
+                            child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                        )
+                    ):
+                        nested.add(child.name)
+        return nested

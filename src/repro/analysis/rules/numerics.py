@@ -1,0 +1,337 @@
+"""Numeric-determinism rules: keep reductions order- and width-independent.
+
+The columnar engine's bit-identity argument assumes every arithmetic step
+is exact or at least *stable*: float64 pairwise sums reproduce across
+chunkings only because numpy's reduction tree is deterministic for a fixed
+dtype, packed cell keys only round-trip because the arithmetic happens in
+int64, and merge paths stay exact only while nothing truncates midway.
+These rules flag the three ways code quietly steps off that path:
+
+* **RL014** — reducing a narrow-float array (float32/float16) without an
+  explicit widening ``dtype=``: the result then depends on summation order
+  and accumulator promotion, which varies across numpy versions and
+  layouts.
+* **RL015** — multiplicative/shift arithmetic on narrow-int arrays
+  (int32 and smaller, any unsigned): numpy wraps silently, so a packed
+  key built in int32 corrupts at ~2**31 rows-of-cells without raising.
+* **RL016** — truncating casts (``int``, ``round``, ``math.floor`` …)
+  inside merge paths: a merge that rounds is no longer associative, so the
+  fold result depends on worker count.
+
+All three rules only fire where the hazard is *statically visible* — a
+narrow dtype named in the same function, a truncation lexically inside a
+``merge``/``absorb_partial`` body — trading recall for a zero-false-positive
+gate on the real tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+
+#: Narrow dtypes whose reductions are promotion/order sensitive.
+_NARROW_FLOAT = frozenset({"float32", "float16", "half", "single"})
+
+#: Narrow integer dtypes that wrap under packed-key arithmetic.
+_NARROW_INT = frozenset(
+    {
+        "int32",
+        "int16",
+        "int8",
+        "uint64",
+        "uint32",
+        "uint16",
+        "uint8",
+        "intc",
+        "short",
+    }
+)
+
+#: Reductions whose result depends on accumulation order/width.
+_REDUCTIONS = frozenset(
+    {"sum", "prod", "mean", "std", "var", "dot", "cumsum", "cumprod", "trace"}
+)
+
+#: Method names that form the merge path of an accumulator.
+_MERGE_METHODS = frozenset({"merge", "absorb_partial", "absorb", "combine"})
+
+#: Safe accumulator dtypes for an explicit ``dtype=`` on a reduction.
+_WIDE_DTYPES = frozenset({"float64", "double", "float", "int64", "int", "longdouble"})
+
+
+def _dtype_token(ctx: FileContext, expr: ast.expr) -> str | None:
+    """The dtype name an expression denotes, if recognizable.
+
+    Handles ``np.float32``, a bare ``"float32"`` string, and the builtin
+    ``float``/``int`` names.
+    """
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        return expr.value
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        canonical = ctx.resolve(expr)
+        if canonical is not None and canonical.startswith("numpy."):
+            return canonical.split(".", 1)[1]
+        return expr.attr
+    return None
+
+
+def _narrowness_of(ctx: FileContext, expr: ast.expr) -> str | None:
+    """``"float"``/``"int"`` when ``expr`` builds a narrow-dtype array."""
+    if not isinstance(expr, ast.Call):
+        return None
+    token: str | None = None
+    func = expr.func
+    if isinstance(func, ast.Attribute) and func.attr == "astype" and expr.args:
+        token = _dtype_token(ctx, expr.args[0])
+    for kw in expr.keywords:
+        if kw.arg == "dtype":
+            token = _dtype_token(ctx, kw.value)
+    if token in _NARROW_FLOAT:
+        return "float"
+    if token in _NARROW_INT:
+        return "int"
+    return None
+
+
+def _narrow_names(ctx: FileContext, fn: ast.AST) -> dict[str, str]:
+    """Names assigned a narrow-dtype array directly inside ``fn``'s scope."""
+    narrow: dict[str, str] = {}
+    for node in _scope_walk(fn):
+        if isinstance(node, ast.Assign):
+            kind = _narrowness_of(ctx, node.value)
+            if kind is not None:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        narrow[target.id] = kind
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            kind = _narrowness_of(ctx, node.value)
+            if kind is not None and isinstance(node.target, ast.Name):
+                narrow[node.target.id] = kind
+    return narrow
+
+
+def _operand_kind(
+    ctx: FileContext, expr: ast.expr, narrow: dict[str, str]
+) -> str | None:
+    """Narrowness of one operand: a tracked name or an inline narrow build."""
+    if isinstance(expr, ast.Name):
+        return narrow.get(expr.id)
+    return _narrowness_of(ctx, expr)
+
+
+def _function_scopes(ctx: FileContext) -> list[ast.AST]:
+    """The module plus every def, nested or not, each scanned once."""
+    scopes: list[ast.AST] = [ctx.tree]
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            scopes.append(node)
+    return scopes
+
+
+def _scope_walk(scope: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``scope`` without descending into nested function scopes.
+
+    Keeps each def's narrow-name table local: a name bound to float32 in
+    one function must not taint a same-named float64 array in another, and
+    a call must be attributed to exactly one scope (nested defs appear in
+    ``_function_scopes`` in their own right).
+    """
+    stack: list[ast.AST] = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class NarrowFloatReductionRule(Rule):
+    """RL014: no reductions over narrow-float arrays without widening."""
+
+    rule_id = "RL014"
+    name = "narrow-float-reduction"
+    rationale = (
+        "float32/float16 reductions promote through an "
+        "implementation-chosen accumulator and a layout-dependent pairwise "
+        "tree, so the same data can sum to different bits across numpy "
+        "versions, strides and chunkings.  The pipeline's parity proofs "
+        "assume float64 end to end; a narrow reduction must say "
+        "dtype=np.float64 to stay inside that argument."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for fn in _function_scopes(ctx):
+            narrow = {
+                name: kind
+                for name, kind in _narrow_names(ctx, fn).items()
+                if kind == "float"
+            }
+            for node in _scope_walk(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                target = self._reduced_operand(ctx, node)
+                if target is None:
+                    continue
+                if self._widened(ctx, node):
+                    continue
+                kind = _operand_kind(ctx, target, narrow)
+                if kind == "float":
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        "reduction over a float32/float16 array without an "
+                        "explicit accumulator dtype",
+                        hint=(
+                            "pass dtype=np.float64 (or widen with "
+                            ".astype(np.float64) first) so the result is "
+                            "independent of summation order"
+                        ),
+                    )
+
+    def _reduced_operand(
+        self, ctx: FileContext, node: ast.Call
+    ) -> ast.expr | None:
+        """The array a reduction call operates on, if this is a reduction."""
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr not in _REDUCTIONS:
+            return None
+        canonical = ctx.resolve(func)
+        if canonical is not None and canonical.startswith("numpy."):
+            return node.args[0] if node.args else None
+        # Method form: arr.sum().  The receiver is the operand.
+        return func.value
+
+    def _widened(self, ctx: FileContext, node: ast.Call) -> bool:
+        for kw in node.keywords:
+            if kw.arg == "dtype":
+                return _dtype_token(ctx, kw.value) in _WIDE_DTYPES
+        return False
+
+
+@register
+class NarrowIntPackingRule(Rule):
+    """RL015: no multiplicative packing arithmetic on narrow-int arrays."""
+
+    rule_id = "RL015"
+    name = "narrow-int-packing"
+    rationale = (
+        "Packed composite keys (car_code * N + cell_code) rely on the "
+        "product staying exact; numpy integer arithmetic wraps silently on "
+        "overflow, so packing in int32 corrupts keys — and therefore group "
+        "identities — without raising.  Packing arithmetic must run in "
+        "int64 (the codebase's .astype(np.int64) idiom)."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for fn in _function_scopes(ctx):
+            narrow = {
+                name: kind
+                for name, kind in _narrow_names(ctx, fn).items()
+                if kind == "int"
+            }
+            for node in _scope_walk(fn):
+                if not isinstance(node, ast.BinOp) or not isinstance(
+                    node.op, (ast.Mult, ast.LShift, ast.Pow)
+                ):
+                    continue
+                for operand in (node.left, node.right):
+                    if _operand_kind(ctx, operand, narrow) == "int":
+                        yield self.finding(
+                            ctx,
+                            node.lineno,
+                            node.col_offset,
+                            "multiplicative arithmetic on a narrow integer "
+                            "array can overflow silently",
+                            hint=(
+                                "widen with .astype(np.int64) before "
+                                "packing — numpy wraps instead of raising"
+                            ),
+                        )
+                        break
+
+
+@register
+class TruncatingMergeRule(Rule):
+    """RL016: merge paths must not truncate."""
+
+    rule_id = "RL016"
+    name = "truncating-merge"
+    rationale = (
+        "Map-reduce folds are bit-identical only while absorb_partial is "
+        "associative; int()/round()/floor() inside a merge rounds "
+        "intermediate state, so ((a+b)+c) and (a+(b+c)) diverge and the "
+        "result depends on worker count.  Truncation belongs in finalize, "
+        "after the fold."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for cls in ast.walk(ctx.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            for method in cls.body:
+                if (
+                    not isinstance(
+                        method, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    )
+                    or method.name not in _MERGE_METHODS
+                ):
+                    continue
+                for node in ast.walk(method):
+                    reason = self._truncation(ctx, node)
+                    if reason is not None:
+                        yield self.finding(
+                            ctx,
+                            node.lineno,
+                            node.col_offset,
+                            f"{reason} inside `{cls.name}.{method.name}` "
+                            "breaks merge associativity",
+                            hint=(
+                                "keep merge state exact; round or floor "
+                                "only in finalize()"
+                            ),
+                        )
+
+    def _truncation(self, ctx: FileContext, node: ast.AST) -> str | None:
+        if not isinstance(node, ast.Call):
+            return None
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("int", "round"):
+            if node.args and self._floatish(node.args[0]):
+                return f"`{func.id}()` on a float expression"
+            return None
+        canonical = ctx.resolve(func)
+        if canonical in (
+            "math.floor",
+            "math.ceil",
+            "math.trunc",
+            "numpy.floor",
+            "numpy.ceil",
+            "numpy.trunc",
+            "numpy.rint",
+            "numpy.round",
+        ):
+            return f"`{canonical}()`"
+        return None
+
+    def _floatish(self, expr: ast.expr) -> bool:
+        """Whether an expression visibly produces a float."""
+        for node in ast.walk(expr):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+                return True
+            if isinstance(node, ast.Constant) and isinstance(node.value, float):
+                return True
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "float"
+            ):
+                return True
+        return False

@@ -1,8 +1,16 @@
-"""Lint runner: file discovery, per-file rule execution, baseline split.
+"""Lint runner: discovery, per-file pass, whole-program pass, baseline split.
 
 Discovery is sorted — the linter obeys its own RL004 — so two runs over
 the same tree report findings in the same order byte for byte, which the
-CI artifact diffing relies on.
+CI artifact diffing relies on.  ``jobs > 1`` fans the per-file pass over a
+process pool (:mod:`repro.analysis.parallel`) whose ordered ``imap`` keeps
+that guarantee at any worker count.
+
+After the per-file pass the runner builds one
+:class:`~repro.analysis.project.ProjectContext` from every successfully
+parsed file (plus the configured test tree) and runs the cross-module
+rules (RL010+) over it.  Project findings flow through the same severity
+scoping, fingerprinting and baseline machinery as per-file findings.
 """
 
 from __future__ import annotations
@@ -19,7 +27,9 @@ from repro.analysis.findings import (
     fingerprint_findings,
     sort_key,
 )
-from repro.analysis.registry import Rule, all_rules
+from repro.analysis.parallel import FileScan, ScanSpec, scan_file, scan_parallel
+from repro.analysis.project import ProjectContext
+from repro.analysis.registry import Rule, all_rules, project_rules
 
 
 @dataclass(frozen=True)
@@ -88,7 +98,7 @@ def _relpath(path: Path, root: Path) -> str:
 def lint_file(
     path: Path, root: Path, rules: list[Rule], cfg: LintConfig
 ) -> tuple[list[Finding], ParseFailure | None]:
-    """All findings of every rule in one file, fingerprinted and scoped."""
+    """All findings of every per-file rule in one file, fingerprinted."""
     relpath = _relpath(path, root)
     try:
         source = path.read_text()
@@ -106,26 +116,94 @@ def lint_file(
     return fingerprint_findings(findings, ctx.lines), None
 
 
+def _scan_files(files: list[Path], cfg: LintConfig, jobs: int) -> list[FileScan]:
+    """Per-file pass over ``files``, serial or pooled, in path order."""
+    spec = ScanSpec(
+        files=tuple(str(f) for f in files),
+        relpaths=tuple(_relpath(f, cfg.root) for f in files),
+        cfg=cfg,
+    )
+    n_workers = min(jobs, len(files))
+    if n_workers <= 1:
+        return [scan_file(spec, i) for i in range(len(files))]
+    return scan_parallel(spec, n_workers)
+
+
+def _test_contexts(cfg: LintConfig) -> list[FileContext]:
+    """Parsed test-tree files for the parity-contract index.
+
+    Unreadable or unparsable test files are skipped silently here: the
+    test tree is evidence for RL017, not a lint target, and the test suite
+    itself fails loudly on its own syntax errors.
+    """
+    contexts: list[FileContext] = []
+    for path in discover_files(cfg.test_paths, cfg):
+        relpath = _relpath(path, cfg.root)
+        try:
+            contexts.append(parse_file_context(relpath, path.read_text()))
+        except (OSError, SyntaxError, UnicodeDecodeError):
+            continue
+    return contexts
+
+
+def _project_findings(
+    contexts: list[FileContext], cfg: LintConfig
+) -> list[Finding]:
+    """Cross-module findings, severity-scoped and fingerprinted."""
+    rules = project_rules(ignore=cfg.ignore)
+    if not rules:
+        return []
+    project = ProjectContext(contexts, cfg, test_contexts=_test_contexts(cfg))
+    raw: list[Finding] = []
+    for rule in rules:
+        for finding in rule.check_project(project):
+            raw.append(
+                finding.with_severity(
+                    cfg.severity_for(finding.severity, finding.path)
+                )
+            )
+    lines_by_path = {ctx.path: ctx.lines for ctx in contexts}
+    by_path: dict[str, list[Finding]] = {}
+    for finding in raw:
+        by_path.setdefault(finding.path, []).append(finding)
+    out: list[Finding] = []
+    for path in sorted(by_path):
+        out.extend(
+            fingerprint_findings(by_path[path], lines_by_path.get(path, []))
+        )
+    return out
+
+
 def lint_paths(
     paths: tuple[str, ...],
     cfg: LintConfig,
     baseline: Baseline | None = None,
+    jobs: int = 1,
 ) -> LintResult:
-    """Run every registered rule over ``paths``."""
-    rules = all_rules(ignore=cfg.ignore)
+    """Run every registered rule — per-file then cross-module — over ``paths``."""
+    all_rules(ignore=cfg.ignore)  # fail fast on a malformed registry
     baseline = baseline if baseline is not None else Baseline()
     result = LintResult()
-    for path in discover_files(paths, cfg):
-        findings, failure = lint_file(path, cfg.root, rules, cfg)
+    files = discover_files(paths, cfg)
+    contexts: list[FileContext] = []
+    collected: list[Finding] = []
+    for scan in _scan_files(files, cfg, jobs):
         result.files_checked += 1
-        if failure is not None:
-            result.failures.append(failure)
+        if scan.error is not None or scan.tree is None:
+            result.failures.append(
+                ParseFailure(path=scan.relpath, error=scan.error or "")
+            )
             continue
-        for finding in findings:
-            if finding.fingerprint in baseline:
-                result.baselined.append(finding)
-            else:
-                result.findings.append(finding)
+        contexts.append(
+            FileContext(path=scan.relpath, source=scan.source, tree=scan.tree)
+        )
+        collected.extend(scan.findings)
+    collected.extend(_project_findings(contexts, cfg))
+    for finding in collected:
+        if finding.fingerprint in baseline:
+            result.baselined.append(finding)
+        else:
+            result.findings.append(finding)
     result.findings.sort(key=sort_key)
     result.baselined.sort(key=sort_key)
     result.failures.sort(key=lambda f: f.path)

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from typing import TYPE_CHECKING
 
 from repro.algorithms.timebins import StudyClock
 from repro.cdr.anonymize import Anonymizer
@@ -44,11 +45,19 @@ from repro.network.topology import build_topology
 from repro.simulate.generator import TraceGenerator
 from repro.simulate.scenarios import SCENARIOS, scenario
 
+if TYPE_CHECKING:
+    from collections.abc import Iterable
+
+    from repro.cdr.columnar import ColumnarCDRBatch
+    from repro.cdr.records import ConnectionRecord
+
 #: Writable trace formats; ``auto`` resolves from the output path suffix.
 _FORMATS = ("auto", "csv", "jsonl", "cdrz")
 
 
-def _add_generate(subparsers) -> None:
+def _add_generate(
+    subparsers: argparse._SubParsersAction[argparse.ArgumentParser],
+) -> None:
     p = subparsers.add_parser("generate", help="generate a synthetic CDR trace")
     p.add_argument("--scenario", default="default", choices=sorted(SCENARIOS))
     p.add_argument("--cars", type=int, default=200)
@@ -84,7 +93,9 @@ def _add_generate(subparsers) -> None:
     )
 
 
-def _add_convert(subparsers) -> None:
+def _add_convert(
+    subparsers: argparse._SubParsersAction[argparse.ArgumentParser],
+) -> None:
     p = subparsers.add_parser(
         "convert", help="convert a trace between csv/jsonl/cdrz"
     )
@@ -105,14 +116,18 @@ def _add_convert(subparsers) -> None:
     )
 
 
-def _add_inspect(subparsers) -> None:
+def _add_inspect(
+    subparsers: argparse._SubParsersAction[argparse.ArgumentParser],
+) -> None:
     p = subparsers.add_parser(
         "inspect", help="describe a cdrz container without loading rows"
     )
     p.add_argument("path", help=".cdrz file or shard directory")
 
 
-def _add_analyze(subparsers) -> None:
+def _add_analyze(
+    subparsers: argparse._SubParsersAction[argparse.ArgumentParser],
+) -> None:
     p = subparsers.add_parser("analyze", help="run the full paper analysis on a trace")
     p.add_argument("--trace", required=True, help="trace written by `generate`")
     p.add_argument("--scenario", default="default", choices=sorted(SCENARIOS))
@@ -131,7 +146,9 @@ def _add_analyze(subparsers) -> None:
     )
 
 
-def _add_stream(subparsers) -> None:
+def _add_stream(
+    subparsers: argparse._SubParsersAction[argparse.ArgumentParser],
+) -> None:
     p = subparsers.add_parser(
         "stream",
         help="out-of-core streaming analysis of a cdrz trace (map-reduce)",
@@ -162,13 +179,17 @@ def _add_stream(subparsers) -> None:
     )
 
 
-def _add_quality(subparsers) -> None:
+def _add_quality(
+    subparsers: argparse._SubParsersAction[argparse.ArgumentParser],
+) -> None:
     p = subparsers.add_parser("quality", help="data-quality diagnostics on a trace")
     p.add_argument("--trace", required=True)
     p.add_argument("--days", type=int, default=28)
 
 
-def _add_fota(subparsers) -> None:
+def _add_fota(
+    subparsers: argparse._SubParsersAction[argparse.ArgumentParser],
+) -> None:
     p = subparsers.add_parser(
         "fota", help="simulate FOTA delivery policies over a trace"
     )
@@ -182,7 +203,9 @@ def _add_fota(subparsers) -> None:
     )
 
 
-def _add_journeys(subparsers) -> None:
+def _add_journeys(
+    subparsers: argparse._SubParsersAction[argparse.ArgumentParser],
+) -> None:
     p = subparsers.add_parser(
         "journeys", help="reconstruct journeys and handover corridors"
     )
@@ -191,7 +214,9 @@ def _add_journeys(subparsers) -> None:
     p.add_argument("--days", type=int, default=28)
 
 
-def _add_saturate(subparsers) -> None:
+def _add_saturate(
+    subparsers: argparse._SubParsersAction[argparse.ArgumentParser],
+) -> None:
     p = subparsers.add_parser(
         "saturate", help="run the Figure 1 greedy-download saturation experiment"
     )
@@ -239,8 +264,8 @@ def _write_trace(
     out: str,
     fmt: str,
     shard_rows: int | None,
-    records=None,
-    columnar=None,
+    records: Iterable[ConnectionRecord] | None = None,
+    columnar: ColumnarCDRBatch | None = None,
 ) -> int:
     """Write a trace in any supported format; returns the row count.
 
@@ -253,6 +278,8 @@ def _write_trace(
         from repro.cdr.store import write_batch_cdrz, write_sharded_cdrz
 
         if columnar is None:
+            if records is None:
+                raise ValueError("need records or a columnar batch to write")
             columnar = ColumnarCDRBatch.from_records(list(records))
         if shard_rows is not None:
             write_sharded_cdrz(out, columnar, shard_rows=shard_rows)
@@ -260,13 +287,15 @@ def _write_trace(
             write_batch_cdrz(out, columnar)
         return len(columnar)
     if records is None:
+        if columnar is None:
+            raise ValueError("need records or a columnar batch to write")
         records = columnar.to_records()
     if fmt == "jsonl":
         return write_records_jsonl(out, records)
     return write_records_csv(out, records)
 
 
-def cmd_generate(args) -> int:
+def cmd_generate(args: argparse.Namespace) -> int:
     fmt = _resolve_format(args.format, args.out, args.shard_rows)
     if args.shard_rows is not None and fmt != "cdrz":
         print(f"--shard-rows requires the cdrz format, not {fmt}", file=sys.stderr)
@@ -299,7 +328,7 @@ def cmd_generate(args) -> int:
     return 0
 
 
-def cmd_convert(args) -> int:
+def cmd_convert(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     fmt = _resolve_format(args.format, args.dst, args.shard_rows)
@@ -315,7 +344,7 @@ def cmd_convert(args) -> int:
     return 0
 
 
-def cmd_inspect(args) -> int:
+def cmd_inspect(args: argparse.Namespace) -> int:
     from repro.cdr.store import inspect_cdrz, resolve_shards
 
     shards = resolve_shards(args.path)
@@ -409,13 +438,13 @@ def _run_stream(
     return 0
 
 
-def cmd_stream(args) -> int:
+def cmd_stream(args: argparse.Namespace) -> int:
     return _run_stream(
         args.trace, args.days, args.workers, args.chunk_rows, args.quantile_bin_s
     )
 
 
-def cmd_analyze(args) -> int:
+def cmd_analyze(args: argparse.Namespace) -> int:
     if args.workers != 1:
         return _run_stream(
             args.trace, args.days, args.workers, chunk_rows=None, quantile_bin_s=1.0
@@ -434,7 +463,7 @@ def cmd_analyze(args) -> int:
     return 0
 
 
-def cmd_quality(args) -> int:
+def cmd_quality(args: argparse.Namespace) -> int:
     clock = StudyClock(n_days=args.days)
     batch = load_trace(args.trace)
     report = assess_quality(batch, clock)
@@ -442,7 +471,7 @@ def cmd_quality(args) -> int:
     return 0 if report.clean else 2
 
 
-def cmd_fota(args) -> int:
+def cmd_fota(args: argparse.Namespace) -> int:
     from repro.core.busy import BusySchedule
     from repro.core.preprocess import preprocess
     from repro.core.segmentation import days_on_network
@@ -482,7 +511,7 @@ def cmd_fota(args) -> int:
     return 0
 
 
-def cmd_journeys(args) -> int:
+def cmd_journeys(args: argparse.Namespace) -> int:
     import numpy as np
 
     from repro.core.journeys import commute_peak_shares, reconstruct_journeys
@@ -510,7 +539,7 @@ def cmd_journeys(args) -> int:
     return 0
 
 
-def cmd_saturate(args) -> int:
+def cmd_saturate(args: argparse.Namespace) -> int:
     from repro.algorithms.timebins import BIN_SECONDS
     from repro.network.scheduler import DownloadFlow, PRBScheduler
     from repro.viz import sparkline

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 import numpy as np
+import numpy.typing as npt
 
 #: Modest sustained download rate for an update sharing a live cell; the
 #: paper's updates range "from Megabytes to even Gigabytes".
@@ -112,14 +113,14 @@ class CampaignResult:
             return 0.0
         return sum(o.busy_bytes for o in self.outcomes.values()) / total
 
-    def completion_days(self) -> np.ndarray:
+    def completion_days(self) -> npt.NDArray[np.float64]:
         """Days from campaign start to completion, completed cars only."""
         times = [
             o.completion_time - self.config.window_start
             for o in self.outcomes.values()
             if o.completion_time is not None
         ]
-        return np.asarray(times) / 86_400.0
+        return np.asarray(times, dtype=np.float64) / 86_400.0
 
     def time_to_fraction(self, fraction: float) -> float | None:
         """Days until ``fraction`` of all targeted cars completed, or None."""

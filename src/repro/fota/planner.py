@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.algorithms.timebins import StudyClock
 from repro.cdr.records import CDRBatch, ConnectionRecord
@@ -38,7 +39,7 @@ class DeliveryPlan:
     come from a model rather than the all-hours fallback.
     """
 
-    windows: dict[str, np.ndarray]
+    windows: dict[str, npt.NDArray[np.bool_]]
     predicted: frozenset[str]
 
     def window_hours(self, car_id: str) -> int:
@@ -88,7 +89,7 @@ class CampaignPlanner:
         self.offpeak_utilization = offpeak_utilization
         self.min_window_hours = min_window_hours
 
-    def network_offpeak_hours(self) -> np.ndarray:
+    def network_offpeak_hours(self) -> npt.NDArray[np.bool_]:
         """(168,) boolean mask of hours where the loaded cells sit off-peak."""
         hot = [
             cid
@@ -100,14 +101,15 @@ class CampaignPlanner:
         templates = np.stack([self.load_model.weekly_template(c) for c in hot])
         mean_bins = templates.mean(axis=0)  # 672 bins, Monday-first
         hourly = mean_bins.reshape(HOURS_PER_WEEK, 4).mean(axis=1)
-        return hourly <= self.offpeak_utilization
+        offpeak: npt.NDArray[np.bool_] = hourly <= self.offpeak_utilization
+        return offpeak
 
     def plan(self, train_batch: CDRBatch, train_weeks: int) -> DeliveryPlan:
         """Build per-car windows from the first ``train_weeks`` of history."""
         if train_weeks < 1:
             raise ValueError(f"train_weeks must be >= 1, got {train_weeks}")
         offpeak = self.network_offpeak_hours()
-        windows: dict[str, np.ndarray] = {}
+        windows: dict[str, npt.NDArray[np.bool_]] = {}
         predicted: set[str] = set()
         for car_id, records in train_batch.by_car().items():
             weeks = presence_by_week(records, self.clock)

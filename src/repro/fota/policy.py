@@ -87,14 +87,23 @@ class RareFirstPolicy(DeliveryPolicy):
 
     name = "rare-first"
 
-    def __init__(self, rare_threshold_days: int = 10, spread_fraction: float = 0.6):
+    def __init__(
+        self, rare_threshold_days: int = 10, spread_fraction: float = 0.6
+    ) -> None:
         if not 0 < spread_fraction <= 1:
             raise ValueError(f"spread_fraction must be in (0, 1], got {spread_fraction}")
         self.rare_threshold_days = rare_threshold_days
         self.spread_fraction = spread_fraction
         self._eligible_from: dict[str, float] = {}
 
-    def prepare(self, car_ids, days_on_network, window_start, window_end, rng):
+    def prepare(
+        self,
+        car_ids: list[str],
+        days_on_network: dict[str, int],
+        window_start: float,
+        window_end: float,
+        rng: np.random.Generator,
+    ) -> None:
         span = (window_end - window_start) * self.spread_fraction
         for car in car_ids:
             if days_on_network.get(car, 0) <= self.rare_threshold_days:
@@ -102,7 +111,9 @@ class RareFirstPolicy(DeliveryPolicy):
             else:
                 self._eligible_from[car] = window_start + float(rng.uniform(0, span))
 
-    def should_transfer(self, car_id, record, cell_busy):
+    def should_transfer(
+        self, car_id: str, record: ConnectionRecord, cell_busy: bool
+    ) -> bool:
         return record.start >= self._eligible_from.get(car_id, record.start)
 
 
@@ -111,7 +122,9 @@ class BusyAwarePolicy(RareFirstPolicy):
 
     name = "busy-aware"
 
-    def should_transfer(self, car_id, record, cell_busy):
+    def should_transfer(
+        self, car_id: str, record: ConnectionRecord, cell_busy: bool
+    ) -> bool:
         if cell_busy:
             return False
         return super().should_transfer(car_id, record, cell_busy)

@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.algorithms.timebins import BIN_SECONDS
-from repro.cdr.records import CDRBatch
+from repro.cdr.records import CDRBatch, ConnectionRecord
 from repro.core.busy import BusySchedule
 from repro.fota.campaign import CampaignConfig, CampaignResult, CarOutcome, TransferEvent
 from repro.fota.policy import DeliveryPolicy
@@ -142,7 +142,7 @@ class CampaignSimulator:
 
     def _transfer(
         self,
-        rec,
+        rec: ConnectionRecord,
         outcome: CarOutcome,
         remaining: float,
         busy_s: float,
@@ -183,7 +183,7 @@ class CampaignSimulator:
         return remaining
 
     def _split_busy_seconds(
-        self, rec, config: CampaignConfig
+        self, rec: ConnectionRecord, config: CampaignConfig
     ) -> tuple[float, float]:
         """Seconds of the record (clipped to the window) that are busy/quiet."""
         start = max(rec.start, config.window_start)

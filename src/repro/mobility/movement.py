@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.mobility.roads import RoadNetwork
 from repro.mobility.routing import Route
@@ -60,7 +61,7 @@ class EdgeCellIndex:
         self.sample_km = sample_km
         self._spans: dict[tuple[int, int], tuple[tuple[tuple[int, int], float], ...]] = {}
         #: n_samples -> linspace(0, 1, n_samples); edges share few counts.
-        self._fractions: dict[int, np.ndarray] = {}
+        self._fractions: dict[int, npt.NDArray[np.float64]] = {}
         #: Per-route flattened sector runs (see :meth:`route_runs`).
         self._route_runs: dict[
             tuple[int, ...], tuple[tuple[tuple[int, int], tuple[float, ...]], ...]

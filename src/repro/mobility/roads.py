@@ -11,8 +11,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import networkx as nx
+import networkx as nx  # type: ignore[import-untyped]
 import numpy as np
+import numpy.typing as npt
 
 from repro.network.geometry import Point, distance
 
@@ -49,7 +50,7 @@ class RoadNetwork:
             [(graph.nodes[n]["pos"].x, graph.nodes[n]["pos"].y) for n in self._node_ids]
         )
         #: (x, y, radius_km) -> node ids within the disc, for errand draws.
-        self._near_cache: dict[tuple[float, float, float], np.ndarray] = {}
+        self._near_cache: dict[tuple[float, float, float], npt.NDArray[np.intp]] = {}
 
     @property
     def n_nodes(self) -> int:

@@ -11,7 +11,7 @@ from dataclasses import dataclass
 from heapq import heappop, heappush
 from itertools import count
 
-import networkx as nx
+import networkx as nx  # type: ignore[import-untyped]
 
 from repro.mobility.roads import RoadNetwork
 

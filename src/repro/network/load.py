@@ -22,19 +22,23 @@ import math
 from dataclasses import dataclass
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.algorithms.timebins import BINS_PER_DAY, BINS_PER_WEEK, StudyClock
 from repro.network.geometry import distance
 from repro.network.topology import NetworkTopology, Tier
 
 
-def _bump(hours: np.ndarray, center: float, width: float) -> np.ndarray:
+def _bump(
+    hours: npt.NDArray[np.float64], center: float, width: float
+) -> npt.NDArray[np.float64]:
     """Gaussian bump over hour-of-day, wrapping around midnight."""
     delta = np.minimum(np.abs(hours - center), 24.0 - np.abs(hours - center))
-    return np.exp(-0.5 * (delta / width) ** 2)
+    bump: npt.NDArray[np.float64] = np.exp(-0.5 * (delta / width) ** 2)
+    return bump
 
 
-def weekday_shape() -> np.ndarray:
+def weekday_shape() -> npt.NDArray[np.float64]:
     """Normalized weekday diurnal shape, 96 bins, values in [0, 1]."""
     hours = np.arange(BINS_PER_DAY) / 4.0
     curve = (
@@ -46,7 +50,7 @@ def weekday_shape() -> np.ndarray:
     return curve / curve.max()
 
 
-def weekend_shape() -> np.ndarray:
+def weekend_shape() -> npt.NDArray[np.float64]:
     """Normalized weekend diurnal shape: later start, flatter afternoon."""
     hours = np.arange(BINS_PER_DAY) / 4.0
     curve = (
@@ -54,7 +58,8 @@ def weekend_shape() -> np.ndarray:
         + 0.65 * _bump(hours, 12.5, 3.5)
         + 0.90 * _bump(hours, 18.5, 4.2)
     )
-    return curve / curve.max()
+    shape: npt.NDArray[np.float64] = curve / curve.max()
+    return shape
 
 
 @dataclass(frozen=True)
@@ -115,7 +120,7 @@ class CellLoadModel:
         self.noise_std = noise_std
         self.hot_district_radius_km = hot_district_radius_km
         self._profiles: dict[int, LoadProfile] = {}
-        self._templates: dict[int, np.ndarray] = {}
+        self._templates: dict[int, npt.NDArray[np.float64]] = {}
         self._wd_shape = weekday_shape()
         self._we_shape = weekend_shape()
         self._assign_profiles()
@@ -126,7 +131,7 @@ class CellLoadModel:
         # of the serving base station, which is what lets some cars spend
         # most of their connected time on busy radios (Figure 7's tail).
         center = self.topology.config.center
-        hot_sites = {}
+        hot_sites: dict[int, bool] = {}
         for site in self.topology.sites:
             in_district = (
                 distance(site.location, center) <= self.hot_district_radius_km
@@ -156,7 +161,7 @@ class CellLoadModel:
         """Static load parameters of a cell."""
         return self._profiles[cell_id]
 
-    def weekly_template(self, cell_id: int) -> np.ndarray:
+    def weekly_template(self, cell_id: int) -> npt.NDArray[np.float64]:
         """Noise-free weekly utilization template, 672 bins starting Monday.
 
         The template always starts on Monday regardless of the study's start
@@ -167,11 +172,11 @@ class CellLoadModel:
         if cached is not None:
             return cached
         prof = self._profiles[cell_id]
-        days = []
+        days: list[npt.NDArray[np.float64]] = []
         for weekday in range(7):
             shape = self._we_shape if weekday >= 5 else self._wd_shape
             days.append(prof.floor + (prof.ceiling - prof.floor) * shape)
-        template = np.concatenate(days)
+        template: npt.NDArray[np.float64] = np.concatenate(days)
         if template.shape != (BINS_PER_WEEK,):
             raise RuntimeError(
                 f"weekly template has shape {template.shape}, "
@@ -180,30 +185,39 @@ class CellLoadModel:
         self._templates[cell_id] = template
         return template
 
-    def _day_noise(self, cell_id: int, day: int) -> np.ndarray:
+    def _day_noise(self, cell_id: int, day: int) -> npt.NDArray[np.float64]:
         day_rng = np.random.default_rng(
             (self.seed * 1_000_003 + cell_id) * 131 + day
         )
-        return day_rng.normal(0.0, self.noise_std, size=BINS_PER_DAY)
+        noise: npt.NDArray[np.float64] = day_rng.normal(
+            0.0, self.noise_std, size=BINS_PER_DAY
+        )
+        return noise
 
-    def day_series(self, cell_id: int, day: int) -> np.ndarray:
+    def day_series(self, cell_id: int, day: int) -> npt.NDArray[np.float64]:
         """Utilization of one cell for one study day, 96 bins in [0.01, 1]."""
         weekday = (day + self.clock.start_weekday) % 7
         shape = self._we_shape if weekday >= 5 else self._wd_shape
         prof = self._profiles[cell_id]
         series = prof.floor + (prof.ceiling - prof.floor) * shape
         series = series + self._day_noise(cell_id, day)
-        return np.clip(series, 0.01, 1.0)
+        clipped: npt.NDArray[np.float64] = np.clip(series, 0.01, 1.0)
+        return clipped
 
     def utilization(self, cell_id: int, t: float) -> float:
         """U_PRB of a cell in the 15-minute bin containing study time ``t``."""
         day = self.clock.day_index(t)
         return float(self.day_series(cell_id, day)[self.clock.bin15_of_day(t)])
 
-    def series(self, cell_id: int, n_days: int | None = None) -> np.ndarray:
+    def series(
+        self, cell_id: int, n_days: int | None = None
+    ) -> npt.NDArray[np.float64]:
         """Full utilization series for a cell, ``n_days * 96`` bins."""
         days = self.clock.n_days if n_days is None else n_days
-        return np.concatenate([self.day_series(cell_id, d) for d in range(days)])
+        series: npt.NDArray[np.float64] = np.concatenate(
+            [self.day_series(cell_id, d) for d in range(days)]
+        )
+        return series
 
     def mean_weekly_utilization(self, cell_id: int) -> float:
         """Mean of the cell's noise-free weekly template.
@@ -213,9 +227,12 @@ class CellLoadModel:
         """
         return float(self.weekly_template(cell_id).mean())
 
-    def busy_bins(self, cell_id: int, threshold: float = 0.80) -> np.ndarray:
+    def busy_bins(
+        self, cell_id: int, threshold: float = 0.80
+    ) -> npt.NDArray[np.bool_]:
         """Boolean mask over the full study of bins where U_PRB > threshold."""
-        return self.series(cell_id) > threshold
+        mask: npt.NDArray[np.bool_] = self.series(cell_id) > threshold
+        return mask
 
     def busy_cell_ids(self, mean_threshold: float = 0.70) -> list[int]:
         """Cells whose mean weekly utilization is at least ``mean_threshold``."""

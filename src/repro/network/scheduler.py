@@ -15,6 +15,7 @@ import math
 from dataclasses import dataclass, field
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.algorithms.timebins import BIN_SECONDS
 
@@ -62,13 +63,13 @@ class SchedulerResult:
     """Outcome of a scheduler run."""
 
     #: Mean PRB utilization per 15-minute bin, including background load.
-    bin_utilization: np.ndarray
+    bin_utilization: npt.NDArray[np.float64]
     #: Mean PRB utilization per bin from background traffic alone.
-    background_utilization: np.ndarray
+    background_utilization: npt.NDArray[np.float64]
     #: The flows after simulation (transferred bytes / completion filled in).
     flows: list[DownloadFlow]
 
-    def saturated_bins(self, threshold: float = 0.95) -> np.ndarray:
+    def saturated_bins(self, threshold: float = 0.95) -> npt.NDArray[np.intp]:
         """Indices of bins where utilization meets or exceeds ``threshold``."""
         return np.nonzero(self.bin_utilization >= threshold)[0]
 
@@ -95,7 +96,7 @@ class PRBScheduler:
     def __init__(
         self,
         prb_capacity: int,
-        background: np.ndarray,
+        background: npt.NDArray[np.float64],
         bps_per_prb: float = DEFAULT_BPS_PER_PRB,
         step_seconds: float = 60.0,
     ) -> None:
@@ -105,7 +106,7 @@ class PRBScheduler:
             raise ValueError(
                 f"step_seconds must be in (0, {BIN_SECONDS}], got {step_seconds}"
             )
-        bg = np.asarray(background, dtype=float)
+        bg = np.asarray(background, dtype=np.float64)
         if bg.ndim != 1 or bg.size == 0:
             raise ValueError("background must be a non-empty 1-D array")
         if np.any(bg < 0) or np.any(bg > 1):

@@ -15,7 +15,8 @@ import math
 from dataclasses import dataclass, field
 
 import numpy as np
-from scipy.spatial import cKDTree
+import numpy.typing as npt
+from scipy.spatial import cKDTree  # type: ignore[import-untyped]
 
 from repro.network.cells import CARRIERS, BaseStation, Cell, Sector
 from repro.network.geometry import Point, bearing_deg, distance, hex_grid
@@ -105,10 +106,15 @@ class NetworkTopology:
             for s in self.sites
         ]
         #: (sector_key, carrier) -> (sector, cell_or_None) memo.
-        self._sector_cell_cache: dict = {}
+        self._sector_cell_cache: dict[
+            tuple[tuple[int, int], str], tuple[Sector, Cell | None]
+        ] = {}
         #: Cached usable-cell lists and draw CDFs for the fallback pick in
         #: :meth:`choose_cell_in_sector`.
-        self._choice_cache: dict = {}
+        self._choice_cache: dict[
+            tuple[int, int, frozenset[str], tuple[tuple[str, float], ...] | None],
+            tuple[list[Cell], npt.NDArray[np.float64] | None],
+        ] = {}
 
     @property
     def n_cells(self) -> int:
@@ -132,7 +138,7 @@ class NetworkTopology:
         return site.sector_for_bearing(bearing_deg(site.location, location))
 
     def serving_sector_keys(
-        self, xs: np.ndarray, ys: np.ndarray
+        self, xs: npt.NDArray[np.float64], ys: npt.NDArray[np.float64]
     ) -> list[tuple[int, int]]:
         """Serving ``(base station id, sector index)`` for many locations.
 

@@ -8,9 +8,11 @@ undefined), mirroring how an operator would only evaluate cars still active.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.algorithms.timebins import StudyClock
 from repro.cdr.records import CDRBatch
@@ -29,14 +31,17 @@ class EvaluationResult:
     @property
     def f1(self) -> float:
         """Harmonic mean of precision and recall."""
-        if self.precision + self.recall == 0:
+        if self.precision + self.recall <= 0.0:
             return 0.0
         return 2 * self.precision * self.recall / (self.precision + self.recall)
 
 
 def train_test_split_weeks(
     batch: CDRBatch, clock: StudyClock, train_weeks: int
-) -> tuple[dict[str, list[np.ndarray]], dict[str, list[np.ndarray]]]:
+) -> tuple[
+    dict[str, list[npt.NDArray[np.bool_]]],
+    dict[str, list[npt.NDArray[np.bool_]]],
+]:
     """Split every car's weekly presence vectors into train and test sets.
 
     Only complete study weeks participate; the trailing partial week is
@@ -48,8 +53,8 @@ def train_test_split_weeks(
         raise ValueError(
             f"train_weeks must be in 1..{total_weeks - 1}, got {train_weeks}"
         )
-    train: dict[str, list[np.ndarray]] = {}
-    test: dict[str, list[np.ndarray]] = {}
+    train: dict[str, list[npt.NDArray[np.bool_]]] = {}
+    test: dict[str, list[npt.NDArray[np.bool_]]] = {}
     for car_id, records in batch.by_car().items():
         weeks = presence_by_week(records, clock)
         train[car_id] = [weeks[w] for w in sorted(weeks) if w < train_weeks]
@@ -60,9 +65,9 @@ def train_test_split_weeks(
 
 
 def evaluate_predictor(
-    make_predictor,
-    train: dict[str, list[np.ndarray]],
-    test: dict[str, list[np.ndarray]],
+    make_predictor: Callable[[], PresencePredictor],
+    train: dict[str, list[npt.NDArray[np.bool_]]],
+    test: dict[str, list[npt.NDArray[np.bool_]]],
 ) -> EvaluationResult:
     """Fit one predictor per car and score it on the test weeks.
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.algorithms.intervals import Interval
 
@@ -24,7 +25,7 @@ from repro.algorithms.intervals import Interval
 class GapModel:
     """Empirical inter-session gap distribution of one car (or a fleet)."""
 
-    gaps_s: np.ndarray
+    gaps_s: npt.NDArray[np.float64]
 
     @property
     def n_gaps(self) -> int:
@@ -50,13 +51,13 @@ class GapModel:
         return float((self.gaps_s <= horizon_s).mean())
 
 
-def gaps_from_sessions(sessions: list[Interval]) -> np.ndarray:
+def gaps_from_sessions(sessions: list[Interval]) -> npt.NDArray[np.float64]:
     """Gap durations between consecutive aggregate sessions, seconds."""
     if len(sessions) < 2:
         return np.zeros(0)
     ordered = sorted(sessions)
     return np.asarray(
-        [b.start - a.end for a, b in zip(ordered, ordered[1:])], dtype=float
+        [b.start - a.end for a, b in zip(ordered, ordered[1:])], dtype=np.float64
     )
 
 
@@ -71,7 +72,7 @@ def fit_gap_models(
     unpredictability the paper's segmentation already isolates.
     """
     per_car: dict[str, GapModel] = {}
-    all_gaps: list[np.ndarray] = []
+    all_gaps: list[npt.NDArray[np.float64]] = []
     for car_id, sessions in sessions_by_car.items():
         gaps = gaps_from_sessions(sessions)
         if gaps.size:

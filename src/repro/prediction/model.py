@@ -12,6 +12,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.algorithms.timebins import HOUR, StudyClock
 from repro.cdr.records import ConnectionRecord
@@ -21,14 +22,14 @@ HOURS_PER_WEEK = 24 * 7
 
 def presence_by_week(
     records: list[ConnectionRecord], clock: StudyClock
-) -> dict[int, np.ndarray]:
+) -> dict[int, npt.NDArray[np.bool_]]:
     """Boolean presence per hour-of-week for each study week.
 
     Returns ``{week index: (168,) bool array}``; hour-of-week indexing is
     Monday-zero regardless of the study's start weekday.  A record marks
     every hour it overlaps, consistent with the usage matrices.
     """
-    weeks: dict[int, np.ndarray] = {}
+    weeks: dict[int, npt.NDArray[np.bool_]] = {}
     for rec in records:
         first_hour = int(rec.start // HOUR)
         last_hour = int(rec.end // HOUR)
@@ -48,11 +49,11 @@ class PresencePredictor(ABC):
     name: str = "abstract"
 
     @abstractmethod
-    def fit(self, train_weeks: list[np.ndarray]) -> "PresencePredictor":
+    def fit(self, train_weeks: list[npt.NDArray[np.bool_]]) -> "PresencePredictor":
         """Learn from (168,) boolean presence vectors, one per training week."""
 
     @abstractmethod
-    def predict_week(self) -> np.ndarray:
+    def predict_week(self) -> npt.NDArray[np.bool_]:
         """(168,) boolean prediction for any future week."""
 
 
@@ -70,24 +71,27 @@ class HourOfWeekPredictor(PresencePredictor):
         if not 0 < threshold <= 1:
             raise ValueError(f"threshold must be in (0, 1], got {threshold}")
         self.threshold = threshold
-        self._frequency: np.ndarray | None = None
+        self._frequency: npt.NDArray[np.float64] | None = None
 
-    def fit(self, train_weeks: list[np.ndarray]) -> "HourOfWeekPredictor":
+    def fit(self, train_weeks: list[npt.NDArray[np.bool_]]) -> "HourOfWeekPredictor":
         if not train_weeks:
             self._frequency = np.zeros(HOURS_PER_WEEK)
             return self
-        self._frequency = np.mean([w.astype(float) for w in train_weeks], axis=0)
+        self._frequency = np.mean(
+            [w.astype(np.float64) for w in train_weeks], axis=0, dtype=np.float64
+        )
         return self
 
     @property
-    def frequency(self) -> np.ndarray:
+    def frequency(self) -> npt.NDArray[np.float64]:
         """Learned per-hour-of-week presence frequency."""
         if self._frequency is None:
             raise RuntimeError("predictor is not fitted")
         return self._frequency
 
-    def predict_week(self) -> np.ndarray:
-        return self.frequency >= self.threshold
+    def predict_week(self) -> npt.NDArray[np.bool_]:
+        prediction: npt.NDArray[np.bool_] = self.frequency >= self.threshold
+        return prediction
 
 
 class HourOfDayPredictor(PresencePredictor):
@@ -104,20 +108,22 @@ class HourOfDayPredictor(PresencePredictor):
         if not 0 < threshold <= 1:
             raise ValueError(f"threshold must be in (0, 1], got {threshold}")
         self.threshold = threshold
-        self._by_hour: np.ndarray | None = None
+        self._by_hour: npt.NDArray[np.float64] | None = None
 
-    def fit(self, train_weeks: list[np.ndarray]) -> "HourOfDayPredictor":
+    def fit(self, train_weeks: list[npt.NDArray[np.bool_]]) -> "HourOfDayPredictor":
         if not train_weeks:
             self._by_hour = np.zeros(24)
             return self
-        freq = np.mean([w.astype(float) for w in train_weeks], axis=0)
-        self._by_hour = freq.reshape(7, 24).mean(axis=0)
+        freq = np.mean(
+            [w.astype(np.float64) for w in train_weeks], axis=0, dtype=np.float64
+        )
+        self._by_hour = freq.reshape(7, 24).mean(axis=0, dtype=np.float64)
         return self
 
-    def predict_week(self) -> np.ndarray:
+    def predict_week(self) -> npt.NDArray[np.bool_]:
         if self._by_hour is None:
             raise RuntimeError("predictor is not fitted")
-        day = self._by_hour >= self.threshold
+        day: npt.NDArray[np.bool_] = self._by_hour >= self.threshold
         return np.tile(day, 7)
 
 
@@ -130,8 +136,8 @@ class AlwaysPredictor(PresencePredictor):
 
     name = "always"
 
-    def fit(self, train_weeks: list[np.ndarray]) -> "AlwaysPredictor":
+    def fit(self, train_weeks: list[npt.NDArray[np.bool_]]) -> "AlwaysPredictor":
         return self
 
-    def predict_week(self) -> np.ndarray:
-        return np.ones(HOURS_PER_WEEK, dtype=bool)
+    def predict_week(self) -> npt.NDArray[np.bool_]:
+        return np.ones(HOURS_PER_WEEK, dtype=np.bool_)

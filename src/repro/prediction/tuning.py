@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.prediction.evaluate import EvaluationResult, evaluate_predictor
 from repro.prediction.model import HourOfWeekPredictor
@@ -32,8 +33,8 @@ class SweepPoint:
 
 
 def threshold_sweep(
-    train: dict[str, list[np.ndarray]],
-    test: dict[str, list[np.ndarray]],
+    train: dict[str, list[npt.NDArray[np.bool_]]],
+    test: dict[str, list[npt.NDArray[np.bool_]]],
     thresholds: tuple[float, ...] = (0.2, 0.35, 0.5, 0.65, 0.8, 0.95),
 ) -> list[SweepPoint]:
     """Evaluate the hour-of-week predictor at each threshold."""

@@ -69,8 +69,10 @@ def _generate_shard(
     cfg: SimulationConfig = _WORKER_STATE["cfg"]
     substrates: GenerationSubstrates | None = _WORKER_STATE.get("substrates")
     if substrates is None:
+        # Direct-call path only: inside a pool the initializer (spawn) or
+        # the parent fill (fork) has already installed the substrates, and
+        # map-function bodies never write module state (RL011).
         substrates = build_substrates(cfg)
-        _WORKER_STATE["substrates"] = substrates
     records = records_for_cars(cfg, substrates, cars, car_seeds)
     return ColumnarCDRBatch.from_records(records)
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.algorithms.intervals import Interval
 
@@ -69,13 +70,15 @@ def hbar_chart(
     return "\n".join(lines)
 
 
-def heatmap(matrix: np.ndarray, col_labels: str = "M T W T F S S") -> str:
+def heatmap(
+    matrix: npt.NDArray[np.float64], col_labels: str = "M T W T F S S"
+) -> str:
     """Shade-ramp rendering of a 2-D matrix (rows x columns).
 
     Built for 24x7 hour-of-week matrices but works for any small 2-D array;
     values are scaled by the matrix maximum.
     """
-    m = np.asarray(matrix, dtype=float)
+    m = np.asarray(matrix, dtype=np.float64)
     if m.ndim != 2:
         raise ValueError(f"expected a 2-D matrix, got shape {m.shape}")
     peak = m.max()

@@ -1,0 +1,22 @@
+"""RL014 true negatives: widened or already-wide reductions."""
+
+import numpy as np
+
+
+def widened_accumulator(values):
+    x = np.asarray(values, dtype=np.float32)
+    return np.sum(x, dtype=np.float64)
+
+
+def already_float64(values):
+    x = np.asarray(values, dtype=np.float64)
+    return np.sum(x)
+
+
+def widened_before_reducing(values):
+    x = values.astype(np.float32)
+    return x.astype(np.float64).sum()
+
+
+def untracked_operand(values):
+    return np.sum(values)

@@ -1,0 +1,18 @@
+"""RL014 true positives: reductions over narrow-float arrays."""
+
+import numpy as np
+
+
+def module_sum(values):
+    x = np.asarray(values, dtype=np.float32)
+    return np.sum(x)  # RL014
+
+
+def method_sum(values):
+    x = values.astype(np.float32)
+    return x.sum()  # RL014
+
+
+def half_mean():
+    h = np.zeros(10, dtype=np.float16)
+    return h.mean()  # RL014

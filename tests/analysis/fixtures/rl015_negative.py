@@ -1,0 +1,17 @@
+"""RL015 true negatives: widened packing and untracked operands."""
+
+import numpy as np
+
+
+def pack_wide(car_codes, cell_codes):
+    cars = car_codes.astype(np.int64)
+    return cars * 100_000 + cell_codes
+
+
+def untracked_product(a, b):
+    return a * b
+
+
+def narrow_addition_only(codes):
+    small = np.asarray(codes, dtype=np.int16)
+    return small + 1

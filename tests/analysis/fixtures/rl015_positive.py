@@ -1,0 +1,13 @@
+"""RL015 true positives: packing arithmetic on narrow integer arrays."""
+
+import numpy as np
+
+
+def pack_keys(car_codes, cell_codes):
+    cars = car_codes.astype(np.int32)
+    return cars * 100_000 + cell_codes  # RL015
+
+
+def shifted(codes):
+    small = np.asarray(codes, dtype=np.uint32)
+    return small << 16  # RL015

@@ -1,0 +1,15 @@
+"""RL016 true negatives: exact merges; truncation only outside merge paths."""
+
+import math
+
+
+class Accumulator:
+    def merge(self, other):
+        self.total = self.total + other.total
+        self.count += other.count
+
+    def finalize(self):
+        return int(self.total / max(self.count, 1))
+
+    def observe(self, x):
+        self.bin = math.floor(x)

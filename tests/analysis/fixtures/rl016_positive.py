@@ -1,0 +1,12 @@
+"""RL016 true positives: truncating casts inside merge paths."""
+
+import math
+
+
+class Accumulator:
+    def merge(self, other):
+        self.total = int(self.total + other.total / 2.0)  # RL016
+        self.low = math.floor(self.low)  # RL016
+
+    def absorb_partial(self, partial):
+        self.mean = round(partial.mean / 2)  # RL016

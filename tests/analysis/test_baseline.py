@@ -94,6 +94,35 @@ def test_duplicate_lines_get_distinct_fingerprints(tmp_path):
     assert len(partial.baselined) == 1
 
 
+def test_fingerprints_survive_file_renames(tmp_path):
+    # Fingerprints hash rule + source text + occurrence index, not the path:
+    # a pure `git mv` must not invalidate a grandfathered entry.
+    _write(tmp_path, VIOLATION)
+    first = _lint(tmp_path)
+    baseline = Baseline.from_findings(first.findings)
+
+    (tmp_path / "module.py").rename(tmp_path / "renamed.py")
+    result = _lint(tmp_path, baseline=baseline)
+    assert result.findings == []
+    assert len(result.baselined) == 1
+    assert result.baselined[0].path.endswith("renamed.py")
+    assert {f.fingerprint for f in result.baselined} == {
+        f.fingerprint for f in first.findings
+    }
+
+
+def test_rename_into_a_package_keeps_fingerprints(tmp_path):
+    # Deeper moves (src reorganizations) are the common case for renames.
+    _write(tmp_path, VIOLATION)
+    fingerprints = {f.fingerprint for f in _lint(tmp_path).findings}
+
+    pkg = tmp_path / "pkg" / "sub"
+    pkg.mkdir(parents=True)
+    (tmp_path / "module.py").rename(pkg / "moved.py")
+    moved = _lint(tmp_path)
+    assert {f.fingerprint for f in moved.findings} == fingerprints
+
+
 def test_baseline_roundtrip_is_deterministic(tmp_path):
     _write(tmp_path, VIOLATION)
     baseline = Baseline.from_findings(_lint(tmp_path).findings)

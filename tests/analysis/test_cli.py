@@ -106,6 +106,39 @@ def test_write_baseline_then_clean_run(tmp_path, capsys):
     assert main(["--root", str(tmp_path), "--no-baseline", src]) == 1
 
 
+def test_jobs_flag_keeps_stdout_identical(tmp_path, capsys):
+    _project(tmp_path, DIRTY)
+    argv = ["--root", str(tmp_path), "--format", "json", str(tmp_path / "pkg")]
+
+    assert main(argv + ["--jobs", "1"]) == 0
+    serial = capsys.readouterr()
+    assert main(argv + ["--jobs", "2"]) == 0
+    parallel = capsys.readouterr()
+
+    assert serial.out == parallel.out, "stdout must be byte-identical"
+    assert "files in" in serial.err and "(1 job)" in serial.err
+    assert "(2 jobs)" in parallel.err
+
+
+def test_negative_jobs_is_a_usage_error(tmp_path, capsys):
+    _project(tmp_path, DIRTY)
+    code = main(["--root", str(tmp_path), "--jobs", "-1", str(tmp_path / "pkg")])
+    assert code == 2
+    assert "--jobs" in capsys.readouterr().err
+
+
+def test_sarif_format(tmp_path, capsys):
+    _project(tmp_path, DIRTY)
+    code = main(
+        ["--root", str(tmp_path), "--format", "sarif", str(tmp_path / "pkg")]
+    )
+    doc = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert doc["version"] == "2.1.0"
+    (result,) = doc["runs"][0]["results"]
+    assert result["ruleId"] == "RL003"
+
+
 def test_syntax_error_exits_two(tmp_path, capsys):
     (tmp_path / "pkg").mkdir()
     (tmp_path / "pkg" / "broken.py").write_text("def f(:\n")

@@ -1,0 +1,72 @@
+"""Parallel scanning: any ``--jobs`` value must produce identical output."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.config import LintConfig
+from repro.analysis.reporting import render_json, render_text
+from repro.analysis.runner import lint_paths
+
+#: One RL003 and one RL001 violation per file — enough to exercise merge
+#: order across workers.
+_TEMPLATE = """\
+import time
+
+import numpy as np
+
+
+def stamp_{i}():
+    return time.time()
+
+
+def draw_{i}():
+    return np.random.rand({i} + 1)
+"""
+
+
+def _tree(tmp_path: Path, files: int = 7) -> LintConfig:
+    for i in range(files):
+        sub = tmp_path / f"pkg{i % 3}"
+        sub.mkdir(exist_ok=True)
+        (sub / f"mod{i}.py").write_text(_TEMPLATE.format(i=i))
+    return LintConfig(root=tmp_path, paths=(str(tmp_path),))
+
+
+def test_parallel_scan_matches_serial(tmp_path):
+    cfg = _tree(tmp_path)
+    serial = lint_paths((str(tmp_path),), cfg, jobs=1)
+    parallel = lint_paths((str(tmp_path),), cfg, jobs=2)
+
+    assert serial.files_checked == parallel.files_checked == 7
+    assert serial.findings == parallel.findings
+    assert render_json(serial) == render_json(parallel)
+    assert render_text(serial) == render_text(parallel)
+
+
+def test_parallel_scan_respects_baseline(tmp_path):
+    cfg = _tree(tmp_path, files=4)
+    baseline = Baseline.from_findings(
+        lint_paths((str(tmp_path),), cfg, jobs=1).findings
+    )
+    result = lint_paths((str(tmp_path),), cfg, baseline=baseline, jobs=3)
+    assert result.findings == []
+    assert len(result.baselined) == 8
+    assert result.exit_code() == 0
+
+
+def test_oversubscribed_pool_is_harmless(tmp_path):
+    # More workers than files: the chunked imap must still cover everything.
+    cfg = _tree(tmp_path, files=2)
+    result = lint_paths((str(tmp_path),), cfg, jobs=8)
+    assert result.files_checked == 2
+    assert len(result.findings) == 4
+
+
+def test_findings_are_path_sorted_at_any_job_count(tmp_path):
+    cfg = _tree(tmp_path)
+    for jobs in (1, 2, 4):
+        result = lint_paths((str(tmp_path),), cfg, jobs=jobs)
+        keys = [(f.path, f.line, f.col, f.rule_id) for f in result.findings]
+        assert keys == sorted(keys)

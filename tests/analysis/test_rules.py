@@ -13,7 +13,7 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.findings import Severity
-from repro.analysis.registry import all_rules, get_rule
+from repro.analysis.registry import all_rules, file_rules, get_rule, project_rules
 
 #: rule id -> (positive fixture, expected finding count).
 EXPECTED_POSITIVES = {
@@ -25,11 +25,23 @@ EXPECTED_POSITIVES = {
     "RL006": ("rl006_positive.py", 4),
     "RL007": ("rl007_positive.py", 3),
     "RL008": ("rl008_positive.py", 2),
+    "RL014": ("rl014_positive.py", 3),
+    "RL015": ("rl015_positive.py", 2),
+    "RL016": ("rl016_positive.py", 3),
 }
+
+#: cross-module rules exercised in test_project_rules.py, not via fixtures.
+PROJECT_RULE_IDS = {"RL010", "RL011", "RL012", "RL013", "RL017"}
 
 
 def test_every_rule_has_fixture_coverage():
-    assert {r.rule_id for r in all_rules()} == set(EXPECTED_POSITIVES)
+    # Per-file rules get snippet fixtures; project rules need multi-module
+    # trees and are covered in test_project_rules.py instead.
+    assert {r.rule_id for r in file_rules()} == set(EXPECTED_POSITIVES)
+    assert {r.rule_id for r in project_rules()} == PROJECT_RULE_IDS
+    assert {r.rule_id for r in all_rules()} == (
+        set(EXPECTED_POSITIVES) | PROJECT_RULE_IDS
+    )
 
 
 @pytest.mark.parametrize("rule_id", sorted(EXPECTED_POSITIVES))
@@ -60,7 +72,7 @@ def test_true_negatives(rule_id, fixture_findings):
 
 def test_rule_metadata():
     rules = all_rules()
-    assert len(rules) == 8
+    assert len(rules) == 16
     for rule in rules:
         assert rule.rule_id.startswith("RL")
         assert rule.name
@@ -78,4 +90,17 @@ def test_ignore_filters_registry():
     remaining = {r.rule_id for r in all_rules(ignore=("RL005", "RL008"))}
     assert "RL005" not in remaining
     assert "RL008" not in remaining
-    assert len(remaining) == 6
+    assert len(remaining) == 14
+
+
+def test_rl005_gates_by_default():
+    # Float-equality comparisons are CI-gating: neither the default config
+    # nor the repo's pyproject may ignore RL005.
+    from pathlib import Path
+
+    from repro.analysis.config import LintConfig, load_config
+
+    assert LintConfig().ignore == ()
+    repo_cfg = load_config(Path(__file__).resolve().parents[2])
+    assert "RL005" not in repo_cfg.ignore
+    assert "RL005" in {r.rule_id for r in all_rules(ignore=repo_cfg.ignore)}

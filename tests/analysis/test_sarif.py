@@ -1,0 +1,87 @@
+"""SARIF output: valid 2.1.0 shape, stable fingerprints, suppressions."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.config import LintConfig
+from repro.analysis.registry import all_rules
+from repro.analysis.reporting import render_sarif
+from repro.analysis.runner import lint_paths
+
+_SOURCE = """\
+import time
+
+import numpy as np
+
+
+def stamp():
+    return time.time()
+
+
+def draw():
+    return np.random.rand(3)
+"""
+
+
+def _lint(tmp_path: Path, baseline: Baseline | None = None):
+    (tmp_path / "module.py").write_text(_SOURCE)
+    cfg = LintConfig(root=tmp_path, paths=(str(tmp_path),))
+    return lint_paths((str(tmp_path),), cfg, baseline=baseline)
+
+
+def test_sarif_document_shape(tmp_path):
+    doc = json.loads(render_sarif(_lint(tmp_path)))
+    assert doc["version"] == "2.1.0"
+    assert "sarif-2.1.0" in doc["$schema"]
+
+    (run,) = doc["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-lint"
+    assert {r["id"] for r in driver["rules"]} == {
+        rule.rule_id for rule in all_rules()
+    }
+
+    assert len(run["results"]) == 2
+    for result in run["results"]:
+        assert result["level"] in ("error", "warning")
+        assert result["message"]["text"]
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "module.py"
+        assert location["region"]["startLine"] >= 1
+        assert location["region"]["startColumn"] >= 1
+        assert result["partialFingerprints"]["reproLint/v1"]
+
+
+def test_sarif_marks_baselined_findings_suppressed(tmp_path):
+    baseline = Baseline.from_findings(_lint(tmp_path).findings)
+    doc = json.loads(render_sarif(_lint(tmp_path, baseline=baseline)))
+    (run,) = doc["runs"]
+    assert len(run["results"]) == 2, "suppressed results stay visible"
+    for result in run["results"]:
+        (suppression,) = result["suppressions"]
+        assert suppression["kind"] == "external"
+
+
+def test_sarif_output_is_deterministic(tmp_path):
+    result = _lint(tmp_path)
+    assert render_sarif(result) == render_sarif(result)
+    doc = json.loads(render_sarif(result))
+    fingerprints = [
+        r["partialFingerprints"]["reproLint/v1"] for r in doc["runs"][0]["results"]
+    ]
+    assert fingerprints == [f.fingerprint for f in result.findings]
+
+
+def test_sarif_reports_parse_failures_as_notifications(tmp_path):
+    (tmp_path / "broken.py").write_text("def oops(:\n")
+    cfg = LintConfig(root=tmp_path, paths=(str(tmp_path),))
+    result = lint_paths((str(tmp_path),), cfg)
+    doc = json.loads(render_sarif(result))
+    (invocation,) = doc["runs"][0]["invocations"]
+    assert invocation["executionSuccessful"] is False
+    notes = invocation["toolExecutionNotifications"]
+    assert len(notes) == 1
+    assert "broken.py" in notes[0]["message"]["text"]
