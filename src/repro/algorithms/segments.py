@@ -69,6 +69,15 @@ def segmented_cummax(
     n = out.size
     if n == 0:
         return out
+    starts = np.flatnonzero(is_start)
+    # With few segments a per-segment ``maximum.accumulate`` loop is O(n)
+    # and beats the O(n log n) doubling scan; both are exact, because
+    # ``maximum`` never rounds.
+    if starts.size * 16 <= n:
+        bounds = np.append(starts, n).tolist()
+        for a, b in zip(bounds[:-1], bounds[1:]):
+            np.maximum.accumulate(out[a:b], out=out[a:b])
+        return out
     seg = segment_ids(is_start)
     shift = 1
     while shift < n:

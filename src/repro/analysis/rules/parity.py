@@ -1,11 +1,13 @@
-"""Parity-contract rule: every ``*_columnar`` twin stays parity-tested.
+"""Parity-contract rule: every fast-path twin stays parity-tested.
 
 PRs 3–6 kept the columnar fast paths honest with one discipline: each
 vectorized twin (``busy_exposure_columnar`` …) is asserted bit-identical to
 its record-based reference in a dedicated parity test.  That discipline
 lived in review habit; RL017 turns it into a machine-checked invariant by
 cross-referencing the source tree's twin inventory against the test tree's
-identifier index.
+identifier index.  PR 8 widened the twin inventory: the fused engine's
+public ``*_fused`` entry points carry the same bit-identity promise as the
+``*_columnar`` twins, so they fall under the same contract.
 """
 
 from __future__ import annotations
@@ -17,28 +19,40 @@ from repro.analysis.findings import Finding
 from repro.analysis.project import ModuleInfo, ProjectContext
 from repro.analysis.registry import ProjectRule, register
 
-_SUFFIX = "_columnar"
+#: Suffixes that mark a fast-path twin of a record-based reference.
+_SUFFIXES = ("_columnar", "_fused")
+
+
+def _twin_suffix(name: str) -> str | None:
+    """The twin suffix of a public definition name, if it has one."""
+    if name.startswith("_"):
+        return None
+    for suffix in _SUFFIXES:
+        if name.endswith(suffix):
+            return suffix
+    return None
 
 
 @register
 class ParityContractRule(ProjectRule):
-    """RL017: ``*_columnar`` twins need a registered parity test."""
+    """RL017: ``*_columnar`` / ``*_fused`` twins need a parity test."""
 
     rule_id = "RL017"
     name = "parity-contract"
     rationale = (
-        "A columnar twin is only trustworthy while some test asserts it "
+        "A fast-path twin is only trustworthy while some test asserts it "
         "bit-identical to the record-based reference; once either side "
         "drifts untested, every Section-4 figure silently depends on which "
-        "engine ran.  Each *_columnar definition must be exercised by a "
-        "test file that also exercises its reference implementation."
+        "engine ran.  Each public *_columnar or *_fused definition must be "
+        "exercised by a test file that also exercises its reference "
+        "implementation."
     )
 
     def check_project(self, project: ProjectContext) -> Iterator[Finding]:
         test_index = project.test_identifier_index()
         for module in project.iter_modules():
-            for name, node in self._columnar_defs(module):
-                base = name[: -len(_SUFFIX)]
+            for name, suffix, node in self._twin_defs(module):
+                base = name[: -len(suffix)]
                 base_required = self._symbol_exists(project, module, base)
                 covering = [
                     path
@@ -61,7 +75,7 @@ class ParityContractRule(ProjectRule):
                         f"add an assertion pitting {name} against {base}"
                     )
                 else:
-                    message = f"columnar twin `{name}` has no parity test"
+                    message = f"fast-path twin `{name}` has no parity test"
                     hint = (
                         f"register a test asserting {name} bit-identical "
                         f"to {base} (see tests/core/test_vectorized_parity.py)"
@@ -70,21 +84,21 @@ class ParityContractRule(ProjectRule):
                     module.path, node.lineno, node.col_offset, message, hint
                 )
 
-    def _columnar_defs(
+    def _twin_defs(
         self, module: ModuleInfo
-    ) -> list[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]]:
-        """Public ``*_columnar`` defs in one module: top level and methods."""
-        defs: list[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]] = []
+    ) -> list[tuple[str, str, ast.FunctionDef | ast.AsyncFunctionDef]]:
+        """Public twin defs in one module: top level and methods."""
+        defs: list[tuple[str, str, ast.FunctionDef | ast.AsyncFunctionDef]] = []
         for name in sorted(module.functions):
-            if name.endswith(_SUFFIX) and not name.startswith("_"):
-                defs.append((name, module.functions[name]))
+            suffix = _twin_suffix(name)
+            if suffix is not None:
+                defs.append((name, suffix, module.functions[name]))
         for cls_name in sorted(module.classes):
             cls = module.classes[cls_name]
             for method_name in sorted(cls.methods):
-                if method_name.endswith(_SUFFIX) and not method_name.startswith(
-                    "_"
-                ):
-                    defs.append((method_name, cls.methods[method_name]))
+                suffix = _twin_suffix(method_name)
+                if suffix is not None:
+                    defs.append((method_name, suffix, cls.methods[method_name]))
         return defs
 
     def _symbol_exists(

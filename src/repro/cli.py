@@ -137,12 +137,21 @@ def _add_analyze(
         "--markdown", action="store_true", help="emit the report as markdown"
     )
     p.add_argument(
+        "--engine",
+        default="fused",
+        choices=("fused", "vectorized", "reference"),
+        help="Section 4 implementation: fused (default, one pass over "
+        "shared intermediates), vectorized (per-analysis columnar twins) "
+        "or reference (record loops); all three are bit-identical",
+    )
+    p.add_argument(
         "--workers",
         type=int,
         default=1,
         help="worker processes; >1 switches to the out-of-core map-reduce "
-        "engine over cdrz shards and prints the streaming report (the full "
-        "in-memory report needs --workers 1; 0 = one worker per CPU)",
+        "path over cdrz shards — with --engine fused it still prints the "
+        "full Section 4 statistics, other engines fall back to the "
+        "streaming summary (0 = one worker per CPU)",
     )
 
 
@@ -444,8 +453,93 @@ def cmd_stream(args: argparse.Namespace) -> int:
     )
 
 
+def _run_analyze_fused_shards(args: argparse.Namespace) -> int:
+    """``analyze --engine fused --workers N``: full Section 4 statistics.
+
+    Unlike the streaming summary, the fused map-reduce path folds exact
+    per-shard partials, so every statistic below matches the in-memory
+    report bit for bit at any worker count.
+    """
+    import os
+
+    from repro.cdr.errors import CDRValidationError
+    from repro.cdr.store import shard_manifest
+    from repro.core.busy import BusySchedule
+    from repro.core.mapreduce import analyze_shards_fused
+
+    config = scenario(args.scenario, n_cars=1, n_days=args.days)
+    clock = StudyClock(n_days=args.days)
+    topology = build_topology(config.topology)
+    load_model = CellLoadModel(topology, clock, seed=config.load_seed)
+    schedule = BusySchedule.from_load_model(load_model)
+    n_workers = args.workers if args.workers > 0 else (os.cpu_count() or 1)
+    try:
+        manifest = shard_manifest(args.trace)
+        report, stats = analyze_shards_fused(
+            args.trace,
+            clock,
+            schedule=schedule,
+            cells=topology.cells,
+            workers=n_workers,
+        )
+    except CDRValidationError as exc:
+        print(f"fused shard analysis needs a cdrz trace: {exc}", file=sys.stderr)
+        return 2
+    total_rows = sum(entry.n_rows for entry in manifest)
+    print(
+        f"fused map-reduce over {stats.n_shards} shard(s), {total_rows:,} "
+        f"rows, {stats.workers} worker(s); peak RSS "
+        f"{stats.peak_rss_bytes / 1e6:.0f} MB"
+    )
+    print(
+        f"records kept {stats.n_records:,} "
+        f"(+{stats.n_ghosts_dropped:,} ghosts dropped; "
+        f"{stats.n_empty_shards} empty shard(s))"
+    )
+    presence = report.presence
+    print(
+        f"presence: {presence.n_cars_total:,} cars over "
+        f"{presence.n_cells_total:,} cells; mean daily car share "
+        f"{presence.car_fraction.mean():.1%}, cell share "
+        f"{presence.cell_fraction.mean():.1%}"
+    )
+    connect = report.connect_time
+    print(
+        f"connect time: mean share {connect.mean_full:.2%} "
+        f"(truncated {connect.mean_truncated:.2%}) over "
+        f"{len(connect.car_ids):,} cars"
+    )
+    shares = ", ".join(
+        f"{carrier} {fraction:.1%}"
+        for carrier, fraction in report.carriers.time_fraction.items()
+    )
+    print(f"carrier time shares: {shares or 'n/a'}")
+    if report.exposure is not None:
+        print(
+            "busy exposure: mean busy share "
+            f"{report.exposure.busy_share.mean():.1%}"
+        )
+    if report.segmentation is not None:
+        for row in report.segmentation.rows:
+            print(
+                f"segment {row.label}: {row.total:.1%} of cars "
+                f"(busy {row.busy:.1%}, non-busy {row.non_busy:.1%}, "
+                f"both {row.both:.1%})"
+            )
+    if report.handovers is not None:
+        ho = report.handovers
+        print(
+            f"handovers: {ho.total_handovers:,} across "
+            f"{ho.n_sessions:,} network sessions "
+            f"(median {ho.percentile(50):.1f}/session)"
+        )
+    return 0
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
     if args.workers != 1:
+        if args.engine == "fused":
+            return _run_analyze_fused_shards(args)
         return _run_stream(
             args.trace, args.days, args.workers, chunk_rows=None, quantile_bin_s=1.0
         )
@@ -455,7 +549,9 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     load_model = CellLoadModel(topology, clock, seed=config.load_seed)
     batch = load_trace(args.trace)
     pipeline = AnalysisPipeline(clock, load_model, topology.cells)
-    report = pipeline.run(batch, with_clustering=not args.no_clustering)
+    report = pipeline.run(
+        batch, with_clustering=not args.no_clustering, engine=args.engine
+    )
     if args.markdown:
         print(format_report_markdown(report))
     else:

@@ -43,6 +43,14 @@ class BusySchedule:
             raise ValueError(f"threshold must be in (0, 1), got {threshold}")
         self._masks = masks
         self.threshold = threshold
+        self._table: (
+            tuple[
+                npt.NDArray[np.int64],
+                npt.NDArray[np.int64],
+                npt.NDArray[np.bool_],
+            ]
+            | None
+        ) = None
 
     @classmethod
     def from_load_model(
@@ -74,6 +82,42 @@ class BusySchedule:
             mask = model.series(cell_id) > self.threshold
             self._masks[cell_id] = mask
         return mask
+
+    def mask_table(
+        self,
+    ) -> tuple[
+        npt.NDArray[np.int64], npt.NDArray[np.int64], npt.NDArray[np.bool_]
+    ]:
+        """Every known cell's mask as one padded grid, built once.
+
+        Returns ``(cell_ids, lens, grid)``: sorted cell ids, each mask's
+        bin count, and a ``(n_cells, max_bins)`` boolean grid padded with
+        ``False``.  The fused busy kernel gathers straight from this layout
+        instead of re-assembling a per-chunk table; the masks are a pure
+        function of the load model, so the grid is cached for the
+        schedule's lifetime (like the per-cell masks themselves).
+        """
+        table = self._table
+        if table is None:
+            model: CellLoadModel | None = getattr(self, "_model", None)
+            known = set(self._masks)
+            if model is not None:
+                known |= set(model.topology.cells)
+            cell_ids = np.fromiter(
+                sorted(known), dtype=np.int64, count=len(known)
+            )
+            masks = [self.busy_mask(int(c)) for c in cell_ids]
+            lens = np.asarray(
+                [0 if m is None else m.size for m in masks], dtype=np.int64
+            )
+            width = int(lens.max()) if len(masks) else 0
+            grid = np.zeros((len(masks), width), dtype=np.bool_)
+            for row, mask in enumerate(masks):
+                if mask is not None:
+                    grid[row, : mask.size] = mask
+            table = (cell_ids, lens, grid)
+            self._table = table
+        return table
 
     def is_busy(self, cell_id: int, global_bin: int) -> bool:
         """Whether the cell was busy in the given absolute 15-minute bin."""

@@ -1,0 +1,1914 @@
+"""Fused single-pass analysis engine over shared columnar intermediates.
+
+The per-analysis columnar twins (``daily_presence_columnar`` …) each
+re-derive the same expensive intermediates from the same arrays: sort
+permutations, ``np.unique`` vocabularies, packed day/car keys, bin
+fragments, and segmented session scans.  This module fuses them: one pass
+per chunk computes a shared :class:`ChunkIntermediates` bundle, and every
+registered analysis kernel consumes that bundle — adding an analysis costs
+one kernel, not one more pass over the data.
+
+Three ways to run it, strongest guarantee first:
+
+* **Whole batch / any chunk size, one process** — :class:`FusedEngine`
+  consumed over chunks of a batch (or one shard's cdrz chunks) is
+  *bit-identical* to the record-based references at any chunk size.  The
+  carry discipline that makes this true: float chains are carried per car
+  and per carrier (``np.cumsum`` over ``[carry] + chunk values`` reproduces
+  the reference's sequential adds exactly), union segments and network
+  sessions carry their open tail across chunk boundaries so each closed
+  segment still contributes the reference's single subtraction, and the
+  set-valued statistics (distinct day/car/cell pairs) are exact integers.
+* **Map-reduce across shards** — workers export a picklable
+  :class:`FusedPartial` per shard and the parent folds them in shard-index
+  order (:func:`repro.core.mapreduce.analyze_shards_fused`).  The fold is
+  deterministic and *worker-count invariant*: any ``--workers`` value
+  yields the same bits.  Counts, pair sets and session/handover statistics
+  merge exactly (bit-identical to the references); per-car and per-carrier
+  float sums merge to reassociation precision against a serial pass — the
+  same contract :mod:`repro.core.mapreduce` established for the streaming
+  analyzer, for the same reason (a sequential float chain cannot be
+  reconstructed from shard subtotals).
+
+Kernels implement the small :class:`FusedAnalysis` protocol —
+``consume(intermediates)`` plus the ``export_partial`` / ``absorb_partial``
+pair — so the repo's merge-safety rules (RL010–RL013) apply to them
+unchanged.  To register a new analysis: derive its per-chunk arithmetic
+from :class:`ChunkIntermediates` (never from the raw chunk), keep every
+cross-chunk float in a carried chain, give its partial an
+``absorb_partial`` that folds a *later* shard into ``self``, and wire it
+into :class:`FusedEngine`.  The record-based references and the columnar
+twins remain the bit-identity oracle (``tests/core/test_fused_parity.py``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Protocol
+
+import numpy as np
+import numpy.typing as npt
+
+from repro.algorithms.segments import ragged_ranges, segment_ids, segmented_cummax
+from repro.algorithms.timebins import BIN_SECONDS, DAY, StudyClock
+from repro.cdr.columnar import ColumnarCDRBatch
+from repro.core.busy import BusyExposure, BusySchedule, _shares
+from repro.core.carriers import CARRIER_ORDER, CarrierUsage
+from repro.core.connect_time import ConnectTimeResult
+from repro.core.handover import HandoverStats, HandoverType
+from repro.core.preprocess import (
+    GHOST_DURATION_S,
+    GHOST_TOLERANCE_S,
+    PreprocessConfig,
+    PreprocessResult,
+)
+from repro.core.presence import DailyPresence
+from repro.core.segmentation import CarSegmentation, segment_cars
+from repro.network.cells import Cell
+
+#: Collapse accumulated pair-set fragments into one union once the backlog
+#: reaches this many chunk arrays, bounding finalize-time concatenation.
+_PAIR_COLLAPSE = 32
+
+#: Handover kind codes, in the classification precedence order the twins
+#: use (``classify_handover``): technology change wins, then base station,
+#: sector, carrier.
+_KIND_ORDER = (
+    HandoverType.INTER_RAT,
+    HandoverType.INTER_BASE_STATION,
+    HandoverType.INTER_SECTOR,
+    HandoverType.INTER_CARRIER,
+)
+
+
+class ChunkIntermediates:
+    """Shared per-chunk derivations, computed lazily and cached.
+
+    Built once per raw columnar chunk; the ghost drop (Section 3 rule 1)
+    happens here so every kernel sees the same cleaned arrays.  Each cached
+    property is computed at most once per chunk no matter how many kernels
+    ask for it — that sharing *is* the fusion:
+
+    * ``car_order`` / ``car_starts`` — one stable argsort serves the
+      connect-time union scan and the handover session scan.
+    * ``trunc_cummax`` — one segmented high-water-mark scan serves both the
+      truncated connect-time union and the handover gap test.
+    * ``day_car_packed`` / ``day_cell_pairs`` — one packed ``np.unique``
+      serves daily presence *and* days-on-network.
+    * ``cell_groups`` — one ``np.unique(..., return_inverse=True)`` over
+      the cell column serves the busy-mask gather.
+
+    Invariants: all rows are ghost-free; ``start``/``duration`` are the
+    chunk's original row order (time-sorted for every writer in
+    :mod:`repro.cdr.io`); car-major views preserve chronology within each
+    car because the underlying argsort is stable.
+    """
+
+    def __init__(
+        self,
+        chunk: ColumnarCDRBatch,
+        clock: StudyClock,
+        truncate_s: float,
+    ) -> None:
+        self.clock = clock
+        self.truncate_s = truncate_s
+        duration = chunk.duration
+        ghost = np.abs(duration - GHOST_DURATION_S) <= GHOST_TOLERANCE_S
+        self.n_ghosts = int(np.count_nonzero(ghost))
+        if self.n_ghosts:
+            keep = np.flatnonzero(~ghost)
+            self.start = chunk.start[keep]
+            self.duration = duration[keep]
+            self.cell_id = chunk.cell_id[keep]
+            self.car_code = chunk.car_code[keep]
+            self.carrier_code = chunk.carrier_code[keep]
+        else:
+            self.start = chunk.start
+            self.duration = duration
+            self.cell_id = chunk.cell_id
+            self.car_code = chunk.car_code
+            self.carrier_code = chunk.carrier_code
+        self.car_ids = chunk.car_ids
+        self.carriers = chunk.carriers
+        self.n = len(self.start)
+
+    # -- plain columns ---------------------------------------------------
+
+    @cached_property
+    def trunc_duration(self) -> npt.NDArray[np.float64]:
+        """Durations capped at ``truncate_s`` (Section 3 rule 2)."""
+        out: npt.NDArray[np.float64] = np.minimum(self.duration, self.truncate_s)
+        return out
+
+    @cached_property
+    def present_codes(self) -> npt.NDArray[np.int64]:
+        """Sorted car codes occurring in this chunk, widened to int64.
+
+        Computed with a vocabulary-sized flag array instead of a sort: the
+        vocabulary is tiny next to the chunk, so membership costs O(n)
+        instead of O(n log n).
+        """
+        flags = np.zeros(len(self.car_ids), dtype=np.bool_)
+        flags[self.car_code] = True
+        out: npt.NDArray[np.int64] = np.flatnonzero(flags).astype(np.int64)
+        return out
+
+    # -- calendar --------------------------------------------------------
+
+    @cached_property
+    def _study_rows(
+        self,
+    ) -> tuple[npt.NDArray[np.int64], npt.NDArray[np.bool_]]:
+        """In-study day index per kept row plus the in-study mask.
+
+        Float day indices dodge int64 overflow on absurd timestamps while
+        comparing exactly like the references' arbitrary-precision ints
+        (the established ``consume_columnar`` idiom).
+        """
+        day_f = np.floor_divide(self.start, DAY)
+        in_study = (day_f >= 0.0) & (day_f < self.clock.n_days)
+        return day_f[in_study].astype(np.int64), in_study
+
+    @property
+    def study_day(self) -> npt.NDArray[np.int64]:
+        """Study day index of each in-study row (see :attr:`in_study`)."""
+        return self._study_rows[0]
+
+    @property
+    def in_study(self) -> npt.NDArray[np.bool_]:
+        """Mask over kept rows whose start falls inside the study period."""
+        return self._study_rows[1]
+
+    @cached_property
+    def day_car_packed(self) -> npt.NDArray[np.int64]:
+        """Distinct ``car * n_days + day`` keys over in-study rows.
+
+        One packed ``np.unique`` answers both Figure 2 (per-day distinct
+        cars: key ``% n_days``) and Figure 6 (per-car distinct days: key
+        ``// n_days``) — integer-exact equivalents of the references'
+        per-record set adds.
+        """
+        study_day, in_study = self._study_rows
+        n_days = np.int64(self.clock.n_days)
+        cars = self.car_code[in_study].astype(np.int64)
+        # The key space (vocabulary x study days) is tiny next to the chunk,
+        # so a presence bitmap beats sorting: O(n) and already ordered.
+        flags = np.zeros(len(self.car_ids) * self.clock.n_days, dtype=np.bool_)
+        flags[cars * n_days + study_day] = True
+        out: npt.NDArray[np.int64] = np.flatnonzero(flags).astype(np.int64)
+        return out
+
+    @cached_property
+    def day_cell_pairs(
+        self,
+    ) -> tuple[npt.NDArray[np.int64], npt.NDArray[np.int64]]:
+        """Distinct ``(day, cell_id)`` pairs over in-study rows.
+
+        Cell ids are arbitrary (possibly huge) int64 values, so the pairs
+        are packed against the chunk's dense cell codes (shared with the
+        busy kernel via :attr:`cell_groups`) and returned unpacked —
+        cross-chunk unions re-pack against the global cell vocabulary.
+        The day-by-vocabulary key space is tiny, so a presence bitmap
+        replaces the sort.
+        """
+        study_day, in_study = self._study_rows
+        cells_v, row_codes = self.cell_groups
+        codes = row_codes[in_study]
+        n_vocab = np.int64(max(int(cells_v.size), 1))
+        flags = np.zeros(
+            self.clock.n_days * int(n_vocab), dtype=np.bool_
+        )
+        flags[study_day * n_vocab + codes] = True
+        packed = np.flatnonzero(flags).astype(np.int64)
+        return packed // n_vocab, cells_v[packed % n_vocab]
+
+    # -- car-major views -------------------------------------------------
+
+    @cached_property
+    def _car_major(
+        self,
+    ) -> tuple[npt.NDArray[np.intp], npt.NDArray[np.intp]]:
+        """Stable car-major permutation and per-car run starts."""
+        if self.n == 0:
+            empty = np.empty(0, dtype=np.intp)
+            return empty, empty
+        order = np.argsort(self.car_code, kind="stable").astype(np.intp)
+        # Run starts fall on the cumulative counts of the present cars —
+        # the sorted codes never need materializing.
+        counts = np.bincount(self.car_code, minlength=len(self.car_ids))
+        run_lens = counts[counts > 0]
+        starts: npt.NDArray[np.intp] = np.concatenate(
+            (
+                np.zeros(1, dtype=np.intp),
+                np.cumsum(run_lens[:-1]).astype(np.intp),
+            )
+        )
+        return order, starts
+
+    @property
+    def car_order(self) -> npt.NDArray[np.intp]:
+        """Car-major row permutation (chronological within each car)."""
+        return self._car_major[0]
+
+    @property
+    def car_starts(self) -> npt.NDArray[np.intp]:
+        """Offsets in :attr:`car_order` where each car's run begins."""
+        return self._car_major[1]
+
+    @cached_property
+    def is_car_start(self) -> npt.NDArray[np.bool_]:
+        """Boolean mask over car-major rows marking each car's first row."""
+        flags = np.zeros(self.n, dtype=np.bool_)
+        flags[self.car_starts] = True
+        return flags
+
+    @cached_property
+    def s_sorted(self) -> npt.NDArray[np.float64]:
+        """Start times in car-major order."""
+        out: npt.NDArray[np.float64] = self.start[self.car_order]
+        return out
+
+    @cached_property
+    def car_sorted(self) -> npt.NDArray[np.int64]:
+        """Car codes in car-major order, widened to int64."""
+        out = self.car_code[self.car_order].astype(np.int64)
+        return out
+
+    @cached_property
+    def cell_sorted(self) -> npt.NDArray[np.int64]:
+        """Cell ids in car-major order."""
+        out: npt.NDArray[np.int64] = self.cell_id[self.car_order]
+        return out
+
+    @cached_property
+    def full_cummax(self) -> npt.NDArray[np.float64]:
+        """Segmented running max of *full* record ends, car-major."""
+        ends = self.s_sorted + self.duration[self.car_order]
+        return segmented_cummax(ends, self.is_car_start)
+
+    @cached_property
+    def trunc_cummax(self) -> npt.NDArray[np.float64]:
+        """Segmented running max of *truncated* record ends, car-major.
+
+        Shared by the truncated connect-time union and the handover
+        session-gap test — the single most expensive scan in the chunk.
+        """
+        ends = self.s_sorted + self.trunc_duration[self.car_order]
+        return segmented_cummax(ends, self.is_car_start)
+
+    # -- cells and bins --------------------------------------------------
+
+    @cached_property
+    def cell_groups(
+        self,
+    ) -> tuple[npt.NDArray[np.int64], npt.NDArray[np.int64]]:
+        """``(distinct cell ids, per-row inverse codes)`` in row order.
+
+        When the ids are small non-negative integers (every synthetic
+        topology and any sane operator export) a presence bitmap plus a
+        rank table replaces the ``np.unique`` sort: O(n + max_id) instead
+        of O(n log n).  Arbitrary ids fall back to ``np.unique``.
+        """
+        cell_id = self.cell_id
+        if self.n:
+            lo = int(cell_id.min())
+            hi = int(cell_id.max())
+            if 0 <= lo and hi < (1 << 22):
+                flags = np.zeros(hi + 1, dtype=np.bool_)
+                flags[cell_id] = True
+                cells = np.flatnonzero(flags).astype(np.int64)
+                rank = np.zeros(hi + 1, dtype=np.int64)
+                rank[cells] = np.arange(cells.size, dtype=np.int64)
+                return cells, rank[cell_id]
+        cells, row = np.unique(cell_id, return_inverse=True)
+        return cells, row.astype(np.int64)
+
+    @cached_property
+    def bin_span(
+        self,
+    ) -> tuple[npt.NDArray[np.int64], npt.NDArray[np.int64]]:
+        """First and last 15-minute bin each *truncated* record straddles.
+
+        Half-open interval semantics: an end exactly on a bin boundary
+        excludes that bin, and zero-duration records still touch the single
+        bin holding their start — matching ``Interval.bins_straddled``.
+        """
+        start = self.start
+        end = start + self.trunc_duration
+        first = np.floor_divide(start, BIN_SECONDS).astype(np.int64)
+        last = np.floor_divide(end, BIN_SECONDS).astype(np.int64)
+        last[np.mod(end, BIN_SECONDS) == 0] -= 1
+        last = np.maximum(last, first)
+        return first, last
+
+
+class FusedAnalysis(Protocol):
+    """What the engine requires of a registered analysis kernel.
+
+    Beyond ``consume``, every shipped kernel also implements
+    ``export_partial() -> <ItsPartial>`` with a concrete return annotation,
+    and its partial class implements ``absorb_partial(partial) -> None``
+    folding a *later* shard into ``self`` — the pair RL010 checks
+    structurally, which is why the protocol does not redeclare them with a
+    type-erased signature.
+    """
+
+    def consume(self, inter: ChunkIntermediates) -> None:
+        """Fold one chunk's shared intermediates into the kernel state."""
+        ...
+
+
+def _car_index(union: tuple[str, ...]) -> dict[str, int]:
+    """Map car id -> position in a sorted union vocabulary."""
+    return {name: i for i, name in enumerate(union)}
+
+
+def _union_vocab(a: tuple[str, ...], b: tuple[str, ...]) -> tuple[str, ...]:
+    """Sorted union of two sorted vocabularies."""
+    if a == b:
+        return a
+    return tuple(sorted(set(a) | set(b)))
+
+
+def _remap_codes(
+    old: tuple[str, ...], union: tuple[str, ...]
+) -> npt.NDArray[np.int64]:
+    """Old-code -> union-code translation table."""
+    index = _car_index(union)
+    return np.asarray([index[name] for name in old], dtype=np.int64)
+
+
+def _dedupe_cell_days(
+    days: npt.NDArray[np.int64], cells: npt.NDArray[np.int64]
+) -> tuple[npt.NDArray[np.int64], npt.NDArray[np.int64]]:
+    """Distinct ``(day, cell_id)`` pairs from parallel (possibly dirty) arrays."""
+    vocab, codes = np.unique(cells, return_inverse=True)
+    n_vocab = np.int64(max(int(vocab.size), 1))
+    packed = np.unique(days * n_vocab + codes.astype(np.int64))
+    return packed // n_vocab, vocab[packed % n_vocab]
+
+
+@dataclass
+class PresencePartial:
+    """Distinct day/car and day/cell pair sets of one shard (exact)."""
+
+    car_ids: tuple[str, ...]
+    n_days: int
+    #: Distinct ``car * n_days + day`` keys, sorted.
+    car_pairs: npt.NDArray[np.int64]
+    #: Parallel arrays of distinct ``(day, cell_id)`` pairs.
+    cell_days: npt.NDArray[np.int64]
+    cell_ids: npt.NDArray[np.int64]
+
+    def absorb_partial(self, partial: "PresencePartial") -> None:
+        """Union another shard's pair sets into this one (integer-exact)."""
+        if partial.n_days != self.n_days:
+            raise ValueError(
+                f"study length mismatch: {self.n_days} vs {partial.n_days} days"
+            )
+        n_days = np.int64(self.n_days)
+        union = _union_vocab(self.car_ids, partial.car_ids)
+        if union != self.car_ids:
+            remap = _remap_codes(self.car_ids, union)
+            self.car_pairs = (
+                remap[self.car_pairs // n_days] * n_days + self.car_pairs % n_days
+            )
+        theirs = partial.car_pairs
+        if union != partial.car_ids:
+            remap = _remap_codes(partial.car_ids, union)
+            theirs = remap[theirs // n_days] * n_days + theirs % n_days
+        self.car_ids = union
+        self.car_pairs = np.union1d(self.car_pairs, theirs)
+        self.cell_days, self.cell_ids = _dedupe_cell_days(
+            np.concatenate((self.cell_days, partial.cell_days)),
+            np.concatenate((self.cell_ids, partial.cell_ids)),
+        )
+
+
+class PresenceKernel:
+    """Figure 2: distinct cars and cells per study day.
+
+    Accumulates the chunks' distinct packed pair sets and unions them at
+    finalize — per-day counts are exact integers, so the closing divisions
+    are the same single correctly-rounded IEEE operations the reference
+    performs.
+    """
+
+    def __init__(self, clock: StudyClock, car_ids: tuple[str, ...]) -> None:
+        self._clock = clock
+        self._car_ids = car_ids
+        self._car_pairs: list[npt.NDArray[np.int64]] = []
+        self._cell_days: list[npt.NDArray[np.int64]] = []
+        self._cell_ids: list[npt.NDArray[np.int64]] = []
+
+    def consume(self, inter: ChunkIntermediates) -> None:
+        self._car_pairs.append(inter.day_car_packed)
+        days, cells = inter.day_cell_pairs
+        self._cell_days.append(days)
+        self._cell_ids.append(cells)
+        if len(self._car_pairs) >= _PAIR_COLLAPSE:
+            self._collapse()
+
+    def _collapse(self) -> None:
+        # Each consumed block is already a distinct sorted pair set, so a
+        # single block needs no re-dedupe — only cross-chunk unions do.
+        if len(self._car_pairs) == 1:
+            return
+        if not self._car_pairs:
+            empty = np.empty(0, dtype=np.int64)
+            self._car_pairs = [empty]
+            self._cell_days = [empty]
+            self._cell_ids = [empty]
+            return
+        self._car_pairs = [np.unique(np.concatenate(self._car_pairs))]
+        days, cells = _dedupe_cell_days(
+            np.concatenate(self._cell_days), np.concatenate(self._cell_ids)
+        )
+        self._cell_days = [days]
+        self._cell_ids = [cells]
+
+    def export_partial(self) -> PresencePartial:
+        self._collapse()
+        return PresencePartial(
+            car_ids=self._car_ids,
+            n_days=self._clock.n_days,
+            car_pairs=self._car_pairs[0],
+            cell_days=self._cell_days[0],
+            cell_ids=self._cell_ids[0],
+        )
+
+    def finalize(self) -> DailyPresence:
+        partial = self.export_partial()
+        return finalize_presence(partial, self._clock)
+
+
+def finalize_presence(
+    partial: PresencePartial, clock: StudyClock
+) -> DailyPresence:
+    """Close a presence partial into the Figure 2 series.
+
+    Relies on the partial invariant that both pair sets hold *distinct*
+    pairs (chunks emit deduplicated sets and every union re-dedupes), so
+    per-day counts are plain ``bincount`` tallies: each pair counts once.
+    """
+    n_days = np.int64(clock.n_days)
+    pairs = partial.car_pairs
+    car_counts = np.bincount(pairs % n_days, minlength=clock.n_days)
+    # ``car_pairs`` is sorted, so distinct cars are its run boundaries.
+    codes = pairs // n_days
+    n_cars_total = (
+        int(np.count_nonzero(np.diff(codes))) + 1 if codes.size else 0
+    )
+    n_cells_total = int(np.unique(partial.cell_ids).size)
+    cell_counts = np.bincount(partial.cell_days, minlength=clock.n_days)
+    return DailyPresence(
+        clock=clock,
+        car_fraction=car_counts / max(n_cars_total, 1),
+        cell_fraction=cell_counts / max(n_cells_total, 1),
+        n_cars_total=n_cars_total,
+        n_cells_total=n_cells_total,
+    )
+
+
+@dataclass
+class DaysPartial:
+    """Distinct day/car pair set of one shard (exact)."""
+
+    car_ids: tuple[str, ...]
+    n_days: int
+    car_pairs: npt.NDArray[np.int64]
+
+    def absorb_partial(self, partial: "DaysPartial") -> None:
+        """Union another shard's day/car pairs into this one."""
+        if partial.n_days != self.n_days:
+            raise ValueError(
+                f"study length mismatch: {self.n_days} vs {partial.n_days} days"
+            )
+        n_days = np.int64(self.n_days)
+        union = _union_vocab(self.car_ids, partial.car_ids)
+        if union != self.car_ids:
+            remap = _remap_codes(self.car_ids, union)
+            self.car_pairs = (
+                remap[self.car_pairs // n_days] * n_days + self.car_pairs % n_days
+            )
+        theirs = partial.car_pairs
+        if union != partial.car_ids:
+            remap = _remap_codes(partial.car_ids, union)
+            theirs = remap[theirs // n_days] * n_days + theirs % n_days
+        self.car_ids = union
+        self.car_pairs = np.union1d(self.car_pairs, theirs)
+
+
+class DaysKernel:
+    """Figure 6: distinct study days each car appeared on the network."""
+
+    def __init__(self, clock: StudyClock, car_ids: tuple[str, ...]) -> None:
+        self._clock = clock
+        self._car_ids = car_ids
+        self._car_pairs: list[npt.NDArray[np.int64]] = []
+
+    def consume(self, inter: ChunkIntermediates) -> None:
+        self._car_pairs.append(inter.day_car_packed)
+        if len(self._car_pairs) >= _PAIR_COLLAPSE:
+            self._car_pairs = [np.unique(np.concatenate(self._car_pairs))]
+
+    def export_partial(self) -> DaysPartial:
+        # Chunk blocks are already distinct sorted sets; only cross-chunk
+        # unions need the dedupe.
+        if len(self._car_pairs) != 1:
+            self._car_pairs = [
+                np.unique(np.concatenate(self._car_pairs))
+                if self._car_pairs
+                else np.empty(0, dtype=np.int64)
+            ]
+        return DaysPartial(
+            car_ids=self._car_ids,
+            n_days=self._clock.n_days,
+            car_pairs=self._car_pairs[0],
+        )
+
+    def finalize(self) -> dict[str, int]:
+        partial = self.export_partial()
+        return finalize_days(partial)
+
+
+def finalize_days(partial: DaysPartial) -> dict[str, int]:
+    """Close a days partial into the per-car distinct-day counts."""
+    codes, counts = np.unique(
+        partial.car_pairs // np.int64(partial.n_days), return_counts=True
+    )
+    return {
+        partial.car_ids[int(c)]: int(n)
+        for c, n in zip(codes.tolist(), counts.tolist())
+    }
+
+
+@dataclass
+class CarriersPartial:
+    """Per-carrier time chains and distinct carrier/car pairs of one shard."""
+
+    car_ids: tuple[str, ...]
+    carrier_names: tuple[str, ...]
+    #: Per carrier-vocab-entry sequential duration sums.
+    time: npt.NDArray[np.float64]
+    total_time: float
+    #: Distinct ``carrier * n_car_vocab + car`` keys, sorted.
+    pairs: npt.NDArray[np.int64]
+    #: Per car-vocab-entry "appeared in the shard" flags.
+    seen: npt.NDArray[np.bool_]
+
+    def absorb_partial(self, partial: "CarriersPartial") -> None:
+        """Fold a later shard: exact pair/flag unions, float sums added."""
+        car_union = _union_vocab(self.car_ids, partial.car_ids)
+        carrier_union = _union_vocab(self.carrier_names, partial.carrier_names)
+        n_cars = np.int64(max(len(car_union), 1))
+        time = np.zeros(len(carrier_union))
+        seen = np.zeros(len(car_union), dtype=np.bool_)
+        remapped: list[npt.NDArray[np.int64]] = []
+        for part in (self, partial):
+            car_map = _remap_codes(part.car_ids, car_union)
+            carrier_map = _remap_codes(part.carrier_names, carrier_union)
+            time[carrier_map] += part.time
+            seen[car_map] |= part.seen
+            old_cars = np.int64(max(len(part.car_ids), 1))
+            remapped.append(
+                carrier_map[part.pairs // old_cars] * n_cars
+                + car_map[part.pairs % old_cars]
+            )
+        merged = np.union1d(remapped[0], remapped[1])
+        self.car_ids = car_union
+        self.carrier_names = carrier_union
+        self.time = time
+        self.total_time = self.total_time + partial.total_time
+        self.pairs = merged
+        self.seen = seen
+
+
+class CarriersKernel:
+    """Table 3: per-carrier car reach and time share.
+
+    Per-carrier and total duration sums run as carry-chained ``np.cumsum``
+    over each chunk's rows in batch order — exactly the sequence of adds the
+    reference's ``+=`` loop performs, so a single-engine pass is
+    bit-identical at any chunk size.  Distinct (carrier, car) pairs replace
+    the reference's per-carrier sets with one packed ``np.unique``.
+    """
+
+    def __init__(
+        self,
+        car_ids: tuple[str, ...],
+        carrier_names: tuple[str, ...],
+        carriers: tuple[str, ...],
+    ) -> None:
+        self._car_ids = car_ids
+        self._carrier_names = carrier_names
+        self._carriers = carriers
+        vocab = {name: i for i, name in enumerate(carrier_names)}
+        self._tracked = [
+            code for name in carriers if (code := vocab.get(name)) is not None
+        ]
+        self._time = np.zeros(len(carrier_names))
+        self._total_time = 0.0
+        self._pairs: list[npt.NDArray[np.int64]] = []
+        self._seen = np.zeros(len(car_ids), dtype=np.bool_)
+
+    def consume(self, inter: ChunkIntermediates) -> None:
+        if inter.n == 0:
+            return
+        duration = inter.duration
+        self._total_time = float(
+            np.cumsum(np.concatenate(([self._total_time], duration)))[-1]
+        )
+        for code in self._tracked:
+            rows = inter.carrier_code == code
+            if rows.any():
+                self._time[code] = np.cumsum(
+                    np.concatenate(([self._time[code]], duration[rows]))
+                )[-1]
+        n_cars = np.int64(max(len(self._car_ids), 1))
+        flags = np.zeros(
+            len(self._carrier_names) * int(n_cars), dtype=np.bool_
+        )
+        flags[
+            inter.carrier_code.astype(np.int64) * n_cars
+            + inter.car_code.astype(np.int64)
+        ] = True
+        self._pairs.append(np.flatnonzero(flags).astype(np.int64))
+        self._seen[inter.present_codes] = True
+        if len(self._pairs) >= _PAIR_COLLAPSE:
+            self._pairs = [np.unique(np.concatenate(self._pairs))]
+
+    def export_partial(self) -> CarriersPartial:
+        if len(self._pairs) != 1:
+            self._pairs = [
+                np.unique(np.concatenate(self._pairs))
+                if self._pairs
+                else np.empty(0, dtype=np.int64)
+            ]
+        return CarriersPartial(
+            car_ids=self._car_ids,
+            carrier_names=self._carrier_names,
+            time=self._time,
+            total_time=self._total_time,
+            pairs=self._pairs[0],
+            seen=self._seen,
+        )
+
+    def finalize(self) -> CarrierUsage:
+        return finalize_carriers(self.export_partial(), self._carriers)
+
+
+def finalize_carriers(
+    partial: CarriersPartial, carriers: tuple[str, ...] = CARRIER_ORDER
+) -> CarrierUsage:
+    """Close a carriers partial into Table 3."""
+    total_time = partial.total_time
+    n_cars_total = int(np.count_nonzero(partial.seen))
+    n_cars = max(n_cars_total, 1)
+    n_car_vocab = np.int64(max(len(partial.car_ids), 1))
+    per_carrier_cars = np.bincount(
+        partial.pairs // n_car_vocab, minlength=len(partial.carrier_names)
+    )
+    vocab = {name: i for i, name in enumerate(partial.carrier_names)}
+    cars_fraction: dict[str, float] = {}
+    time_fraction: dict[str, float] = {}
+    for name in carriers:
+        code = vocab.get(name)
+        if code is None or int(per_carrier_cars[code]) == 0:
+            cars_fraction[name] = 0.0
+            time_fraction[name] = 0.0
+            continue
+        cars_fraction[name] = int(per_carrier_cars[code]) / n_cars
+        time_fraction[name] = (
+            float(partial.time[code]) / total_time if total_time > 0 else 0.0
+        )
+    return CarrierUsage(
+        cars_fraction=cars_fraction,
+        time_fraction=time_fraction,
+        n_cars=n_cars_total,
+        total_time_s=total_time,
+    )
+
+
+@dataclass
+class BusyPartial:
+    """Per-car busy/total second tallies of one shard."""
+
+    car_ids: tuple[str, ...]
+    busy: npt.NDArray[np.float64]
+    total: npt.NDArray[np.float64]
+    seen: npt.NDArray[np.bool_]
+
+    def absorb_partial(self, partial: "BusyPartial") -> None:
+        """Fold a later shard: flags union exactly, float tallies added."""
+        union = _union_vocab(self.car_ids, partial.car_ids)
+        busy = np.zeros(len(union))
+        total = np.zeros(len(union))
+        seen = np.zeros(len(union), dtype=np.bool_)
+        for part in (self, partial):
+            remap = _remap_codes(part.car_ids, union)
+            busy[remap] += part.busy
+            total[remap] += part.total
+            seen[remap] |= part.seen
+        self.car_ids = union
+        self.busy = busy
+        self.total = total
+        self.seen = seen
+
+
+class BusyKernel:
+    """Figure 7: per-car seconds in busy vs all cells.
+
+    The twin's fragment machinery, indexed straight by car code into
+    vocabulary-sized tallies: each truncated record splits into one fragment
+    per 15-minute bin it straddles (records on cells without a busy mask
+    stay whole), fragment seconds accumulate with the unbuffered
+    ``np.add.at`` in record-major bin-minor order — the reference's add
+    order — so a single-engine pass is bit-identical at any chunk size.
+    Busy bits gather from the schedule's cached whole-directory mask grid
+    (:meth:`BusySchedule.mask_table`) instead of re-assembling a per-chunk
+    table.
+    """
+
+    def __init__(self, schedule: BusySchedule, car_ids: tuple[str, ...]) -> None:
+        self._schedule = schedule
+        self._car_ids = car_ids
+        self._busy = np.zeros(len(car_ids))
+        self._total = np.zeros(len(car_ids))
+        self._seen = np.zeros(len(car_ids), dtype=np.bool_)
+
+    def consume(self, inter: ChunkIntermediates) -> None:
+        if inter.n == 0:
+            return
+        self._seen[inter.present_codes] = True
+        cells, cell_row = inter.cell_groups
+        dir_cells, dir_lens, grid = self._schedule.mask_table()
+        if dir_cells.size:
+            pos = np.searchsorted(dir_cells, cells)
+            pos_c = np.minimum(pos, dir_cells.size - 1)
+            known_cell = dir_cells[pos_c] == cells
+        else:
+            known_cell = np.zeros(len(cells), dtype=np.bool_)
+            pos_c = np.zeros(len(cells), dtype=np.intp)
+        lens = np.where(known_cell, dir_lens[pos_c], 0)
+
+        start = inter.start
+        duration = inter.trunc_duration
+        end = start + duration
+        first, last = inter.bin_span
+        known_row = known_cell[cell_row]
+        counts = np.where(known_row, last - first + 1, 1)
+
+        owner, offset = ragged_ranges(counts)
+        f_bin = first[owner] + offset
+        f_known = known_row[owner]
+        lo = np.maximum(start[owner], f_bin * BIN_SECONDS)
+        hi = np.minimum(end[owner], (f_bin + 1) * BIN_SECONDS)
+        seconds = np.where(f_known, np.maximum(0.0, hi - lo), duration[owner])
+
+        f_row = cell_row[owner]
+        f_busy = np.zeros(len(owner), dtype=np.bool_)
+        in_range = f_known & (f_bin >= 0) & (f_bin < lens[f_row])
+        sel = np.flatnonzero(in_range)
+        f_busy[sel] = grid[pos_c[f_row[sel]], f_bin[sel]]
+
+        car = inter.car_code
+        np.add.at(self._total, car[owner], seconds)
+        np.add.at(self._busy, car[owner[f_busy]], seconds[f_busy])
+
+    def export_partial(self) -> BusyPartial:
+        return BusyPartial(
+            car_ids=self._car_ids,
+            busy=self._busy,
+            total=self._total,
+            seen=self._seen,
+        )
+
+    def finalize(self) -> BusyExposure:
+        return finalize_busy(self.export_partial())
+
+
+def finalize_busy(partial: BusyPartial) -> BusyExposure:
+    """Close a busy partial into the per-car exposure shares."""
+    present = np.flatnonzero(partial.seen)
+    car_ids = [partial.car_ids[int(c)] for c in present]
+    return _shares(car_ids, partial.busy[present], partial.total[present])
+
+
+@dataclass
+class ConnectPartial:
+    """Per-car union-chain endpoint table of one shard (exact).
+
+    A car's connected time is a sum of ``cm - start`` over its union chains
+    (maximal runs of overlapping intervals).  The partial ships every
+    chain's raw endpoints, grouped by car and chronological within car —
+    no float arithmetic happens until finalize, so welding shards and then
+    closing reproduces the reference's exact operation sequence: merging is
+    comparisons and ``max`` only, and an earlier shard's last chain can
+    swallow any prefix of a later shard's chains (one arbitrarily long
+    record may span several of them), which the weld loop walks until the
+    reference's ``start <= cm`` merge test first fails.
+    """
+
+    car_ids: tuple[str, ...]
+    #: Chain car codes, grouped by car, chronological within car.
+    car: npt.NDArray[np.int64]
+    start: npt.NDArray[np.float64]
+    cm: npt.NDArray[np.float64]
+
+    def absorb_partial(self, partial: "ConnectPartial") -> None:
+        """Weld a later shard's chain table onto this one (exact)."""
+        union = _union_vocab(self.car_ids, partial.car_ids)
+        acc_car = self.car
+        if union != self.car_ids:
+            acc_car = _remap_codes(self.car_ids, union)[acc_car]
+        inc_car = partial.car
+        if union != partial.car_ids:
+            inc_car = _remap_codes(partial.car_ids, union)[inc_car]
+        acc_cm = self.cm.copy()
+        inc_start = partial.start
+        inc_cm = partial.cm
+
+        # Last chain row per car on the accumulated side; first run per car
+        # on the incoming side.  Both tables are grouped by (monotone-
+        # remapped) car code, so runs are contiguous.
+        n_acc = len(acc_car)
+        drop = np.zeros(len(inc_car), dtype=np.bool_)
+        if n_acc and len(inc_car):
+            acc_last: dict[int, int] = {}
+            bounds = np.flatnonzero(np.diff(acc_car))
+            for row in np.append(bounds, n_acc - 1).tolist():
+                acc_last[int(acc_car[row])] = row
+            inc_cars, inc_first = np.unique(inc_car, return_index=True)
+            inc_end = np.append(inc_first[1:], len(inc_car))
+            starts_l = inc_start.tolist()
+            cms_l = inc_cm.tolist()
+            for c, j0, j1 in zip(
+                inc_cars.tolist(), inc_first.tolist(), inc_end.tolist()
+            ):
+                row = acc_last.get(int(c))
+                if row is None:
+                    continue
+                cm_acc = float(acc_cm[row])
+                j = j0
+                while j < j1 and starts_l[j] <= cm_acc:
+                    if cms_l[j] > cm_acc:
+                        cm_acc = cms_l[j]
+                    drop[j] = True
+                    j += 1
+                acc_cm[row] = cm_acc
+
+        keep = ~drop
+        car = np.concatenate((acc_car, inc_car[keep]))
+        order = np.argsort(car, kind="stable")
+        self.car_ids = union
+        self.car = car[order]
+        self.start = np.concatenate((self.start, inc_start[keep]))[order]
+        self.cm = np.concatenate((acc_cm, inc_cm[keep]))[order]
+
+
+class ConnectKernel:
+    """Figure 3: per-car union-of-intervals connected seconds.
+
+    Within a chunk, union chains come from the shared segmented running
+    maximum; across chunks each car carries its open chain ``(start, cm)``
+    so a chain closing later still contributes the reference's single
+    ``cm - start`` subtraction.  A carried chain can swallow a *prefix* of
+    the next chunk's chunk-local chains (a long earlier record may span
+    several of them), handled per car before the vectorized interior adds.
+
+    ``track_partials=False`` accumulates chain durations per car in
+    chronological order — bit-identical to the reference at any chunk size.
+    ``track_partials=True`` instead collects the chain *endpoints* for
+    :class:`ConnectPartial`, deferring all float sums to the reducer's
+    finalize — which is what makes the map-reduce path exact too.
+    """
+
+    def __init__(
+        self,
+        car_ids: tuple[str, ...],
+        *,
+        truncated: bool,
+        track_partials: bool = False,
+    ) -> None:
+        n = len(car_ids)
+        self._car_ids = car_ids
+        self._truncated = truncated
+        self._track = track_partials
+        self._totals = np.zeros(n)
+        self._open_start = np.zeros(n)
+        self._open_cm = np.zeros(n)
+        self._has_open = np.zeros(n, dtype=np.bool_)
+        #: Closed-chain (car, start, cm) blocks, per-car chronological.
+        self._blocks: list[
+            tuple[
+                npt.NDArray[np.int64],
+                npt.NDArray[np.float64],
+                npt.NDArray[np.float64],
+            ]
+        ] = []
+
+    def consume(self, inter: ChunkIntermediates) -> None:
+        n = inter.n
+        if n == 0:
+            return
+        s = inter.s_sorted
+        cm = inter.trunc_cummax if self._truncated else inter.full_cummax
+        car = inter.car_sorted
+        is_start = inter.is_car_start
+        new_seg = is_start.copy()
+        new_seg[1:] |= ~is_start[1:] & (s[1:] > cm[:-1])
+        seg_first = np.flatnonzero(new_seg)
+        seg_last = np.append(seg_first[1:] - 1, n - 1)
+        seg_car = car[seg_first]
+        seg_s = s[seg_first]
+        seg_cm = cm[seg_last]
+        n_seg = len(seg_first)
+        run_first = np.flatnonzero(
+            np.concatenate(([True], seg_car[1:] != seg_car[:-1]))
+        )
+        run_last = np.append(run_first[1:], n_seg)
+
+        interior = np.zeros(n_seg, dtype=np.bool_)
+        totals = self._totals
+        track = self._track
+        has_open = self._has_open
+        open_start = self._open_start
+        open_cm = self._open_cm
+        close_car: list[int] = []
+        close_s: list[float] = []
+        close_cm: list[float] = []
+        for a, b in zip(run_first.tolist(), run_last.tolist()):
+            c = int(seg_car[a])
+            k = a
+            if has_open[c]:
+                oc = float(open_cm[c])
+                while k < b and seg_s[k] <= oc:
+                    if seg_cm[k] > oc:
+                        oc = float(seg_cm[k])
+                    k += 1
+                if k == b:
+                    open_cm[c] = oc
+                    continue
+                if track:
+                    close_car.append(c)
+                    close_s.append(float(open_start[c]))
+                    close_cm.append(oc)
+                else:
+                    totals[c] += oc - open_start[c]
+            interior[k : b - 1] = True
+            open_start[c] = seg_s[b - 1]
+            open_cm[c] = seg_cm[b - 1]
+            has_open[c] = True
+        sel = np.flatnonzero(interior)
+        if track:
+            self._blocks.append(
+                (
+                    np.concatenate(
+                        (np.asarray(close_car, dtype=np.int64), seg_car[sel])
+                    ),
+                    np.concatenate((np.asarray(close_s), seg_s[sel])),
+                    np.concatenate((np.asarray(close_cm), seg_cm[sel])),
+                )
+            )
+        else:
+            np.add.at(totals, seg_car[sel], seg_cm[sel] - seg_s[sel])
+
+    def export_partial(self) -> ConnectPartial:
+        if not self._track:
+            raise ValueError(
+                "export_partial requires ConnectKernel(track_partials=True)"
+            )
+        opens = np.flatnonzero(self._has_open)
+        blocks = self._blocks + [
+            (
+                opens.astype(np.int64),
+                self._open_start[opens],
+                self._open_cm[opens],
+            )
+        ]
+        car = np.concatenate([b[0] for b in blocks])
+        start = np.concatenate([b[1] for b in blocks])
+        cm = np.concatenate([b[2] for b in blocks])
+        # Stable car sort: blocks are appended chronologically and each
+        # block is per-car chronological, so grouping by car preserves each
+        # car's chain order; the open chains land last, where they belong.
+        order = np.argsort(car, kind="stable")
+        return ConnectPartial(
+            car_ids=self._car_ids,
+            car=car[order],
+            start=start[order],
+            cm=cm[order],
+        )
+
+    def totals_exact(
+        self,
+    ) -> tuple[npt.NDArray[np.intp], npt.NDArray[np.float64]]:
+        """Present car codes and their closed totals (serial mode).
+
+        Adds each car's still-open chain as the final ``cm - start``
+        subtraction, exactly as the reference closes its last merged
+        interval.  Only valid with ``track_partials=False``.
+        """
+        if self._track:
+            raise ValueError(
+                "totals_exact requires ConnectKernel(track_partials=False)"
+            )
+        present = np.flatnonzero(self._has_open)
+        totals = self._totals[present] + (
+            self._open_cm[present] - self._open_start[present]
+        )
+        return present, totals
+
+
+def finalize_connect_partial(
+    partial: ConnectPartial,
+) -> tuple[npt.NDArray[np.intp], npt.NDArray[np.float64]]:
+    """Present car codes and totals from a (possibly merged) chain table.
+
+    One subtraction per chain and per-car in-order adds — the reference's
+    exact operation sequence, so the result is bit-identical at any worker
+    count.
+    """
+    present = np.unique(partial.car).astype(np.intp)
+    totals = np.zeros(len(present))
+    idx = np.searchsorted(present, partial.car)
+    np.add.at(totals, idx, partial.cm - partial.start)
+    return present, totals
+
+
+# -- handovers (Section 4.5) ----------------------------------------------
+
+#: Column layout of the packed int64 session table: car code, record count,
+#: known-cell record count, handovers, then the first/last known-cell
+#: attribute blocks (cell id, technology index, base station, sector; -1
+#: where the session has no known-cell record yet).
+(
+    _H_CAR,
+    _H_SIZE,
+    _H_KNOWN,
+    _H_HO,
+    _H_FCELL,
+    _H_FTECH,
+    _H_FBS,
+    _H_FSEC,
+    _H_LCELL,
+    _H_LTECH,
+    _H_LBS,
+    _H_LSEC,
+) = range(12)
+
+
+def _boundary_kind(
+    l_tech: int, l_bs: int, l_sec: int, f_tech: int, f_bs: int, f_sec: int
+) -> int:
+    """Kind code of one handover between two known, different cells.
+
+    Same precedence as ``classify_handover`` / the columnar twin's nested
+    ``np.where``: technology change wins, then base station, sector,
+    carrier — indices into :data:`_KIND_ORDER`.
+    """
+    if l_tech != f_tech:
+        return 0
+    if l_bs != f_bs:
+        return 1
+    if l_sec != f_sec:
+        return 2
+    return 3
+
+
+@dataclass
+class HandoverPartial:
+    """Per-session handover table of one shard (exact).
+
+    One row per network session, grouped by car code and chronological
+    within car.  The whole table ships — not just counts — because a later
+    shard's gap test can join its leading sessions onto this shard's last
+    session per car, which changes the joined session's size/known tallies
+    and can add a boundary handover; the ``min_records`` keep filter must
+    therefore wait until :func:`finalize_handover`.  Every column is an
+    integer count or attribute except the float ``start``/``cm`` endpoints,
+    whose only merge operations are comparisons and ``max`` — so folding
+    partials in shard order is bit-identical to the serial pass.
+    """
+
+    car_ids: tuple[str, ...]
+    gap: float
+    min_records: int
+    #: Session first-record start and running-max end.
+    start: npt.NDArray[np.float64]
+    cm: npt.NDArray[np.float64]
+    #: Per-session handover counts by kind, ``(n, 4)`` in ``_KIND_ORDER``.
+    kinds: npt.NDArray[np.int64]
+    #: Packed integer columns, ``(n, 12)`` — see ``_H_*``.
+    ints: npt.NDArray[np.int64]
+
+    def absorb_partial(self, partial: "HandoverPartial") -> None:
+        """Weld a later shard's session table onto this one (exact).
+
+        Per car, the incoming shard's leading sessions join this shard's
+        last session while the reference's gap test holds (``start`` minus
+        the joined session's running-max end ``<= gap``); a join may add one
+        boundary handover between the two sessions' adjacent known cells.
+        All arithmetic is integer adds plus float comparisons/``max``.
+        """
+        if partial.gap != self.gap or partial.min_records != self.min_records:
+            raise ValueError("handover partials disagree on gap/min_records")
+        union = _union_vocab(self.car_ids, partial.car_ids)
+        acc_ints = self.ints
+        if union != self.car_ids:
+            acc_ints = acc_ints.copy()
+            acc_ints[:, _H_CAR] = _remap_codes(self.car_ids, union)[
+                acc_ints[:, _H_CAR]
+            ]
+        inc_ints = partial.ints.copy()
+        if union != partial.car_ids:
+            inc_ints[:, _H_CAR] = _remap_codes(partial.car_ids, union)[
+                inc_ints[:, _H_CAR]
+            ]
+        acc_kinds = self.kinds
+        acc_cm = self.cm.copy()
+        inc_kinds = partial.kinds
+        inc_start = partial.start
+        inc_cm = partial.cm
+
+        n_acc = len(acc_ints)
+        n_inc = len(inc_ints)
+        drop = np.zeros(n_inc, dtype=np.bool_)
+        if n_acc and n_inc:
+            acc_car = acc_ints[:, _H_CAR]
+            acc_last: dict[int, int] = {}
+            bounds = np.flatnonzero(np.diff(acc_car))
+            for row in np.append(bounds, n_acc - 1).tolist():
+                acc_last[int(acc_car[row])] = row
+            inc_cars, inc_first = np.unique(
+                inc_ints[:, _H_CAR], return_index=True
+            )
+            inc_end = np.append(inc_first[1:], n_inc)
+            starts_l = inc_start.tolist()
+            for c, j0, j1 in zip(
+                inc_cars.tolist(), inc_first.tolist(), inc_end.tolist()
+            ):
+                r = acc_last.get(int(c))
+                if r is None:
+                    continue
+                row = acc_ints[r]
+                cm_acc = float(acc_cm[r])
+                j = j0
+                while j < j1 and starts_l[j] - cm_acc <= self.gap:
+                    inc_row = inc_ints[j]
+                    if (
+                        row[_H_LCELL] >= 0
+                        and inc_row[_H_FCELL] >= 0
+                        and row[_H_LCELL] != inc_row[_H_FCELL]
+                    ):
+                        kind = _boundary_kind(
+                            int(row[_H_LTECH]),
+                            int(row[_H_LBS]),
+                            int(row[_H_LSEC]),
+                            int(inc_row[_H_FTECH]),
+                            int(inc_row[_H_FBS]),
+                            int(inc_row[_H_FSEC]),
+                        )
+                        row[_H_HO] += 1
+                        acc_kinds[r, kind] += 1
+                    row[_H_HO] += inc_row[_H_HO]
+                    acc_kinds[r] += inc_kinds[j]
+                    row[_H_SIZE] += inc_row[_H_SIZE]
+                    row[_H_KNOWN] += inc_row[_H_KNOWN]
+                    if inc_row[_H_FCELL] >= 0:
+                        if row[_H_FCELL] < 0:
+                            row[_H_FCELL : _H_FSEC + 1] = inc_row[
+                                _H_FCELL : _H_FSEC + 1
+                            ]
+                        row[_H_LCELL:] = inc_row[_H_LCELL:]
+                    if inc_cm[j] > cm_acc:
+                        cm_acc = float(inc_cm[j])
+                    drop[j] = True
+                    j += 1
+                acc_cm[r] = cm_acc
+
+        keep = ~drop
+        ints = np.concatenate((acc_ints, inc_ints[keep]))
+        order = np.argsort(ints[:, _H_CAR], kind="stable")
+        self.car_ids = union
+        self.ints = ints[order]
+        self.kinds = np.concatenate((acc_kinds, inc_kinds[keep]))[order]
+        self.start = np.concatenate((self.start, inc_start[keep]))[order]
+        self.cm = np.concatenate((acc_cm, inc_cm[keep]))[order]
+
+
+class HandoverKernel:
+    """Section 4.5: handovers per network session, classified by kind.
+
+    Per chunk, network-session boundaries come from the shared truncated
+    running-max scan (a session breaks exactly where the reference's gap
+    grouping breaks), handovers are counted vectorized between consecutive
+    known-cell rows of each session, and per-session first/last known-cell
+    attributes are gathered for the boundary checks.  Each car carries its
+    open session across chunks; a carried session can swallow a *prefix* of
+    the next chunk's sessions (one long record keeps the gap test alive
+    across several of them), merged per car with integer adds — so a
+    single-engine pass is bit-identical to the reference at any chunk size,
+    and the exported table merges across shards exactly.
+
+    All shards of one trace must classify against the same ``cells``
+    directory: attribute codes ride in the partials.
+    """
+
+    def __init__(
+        self,
+        car_ids: tuple[str, ...],
+        cells: dict[int, Cell],
+        *,
+        gap: float,
+        min_records: int,
+    ) -> None:
+        self._car_ids = car_ids
+        self._gap = gap
+        self._min_records = min_records
+        directory = np.fromiter(sorted(cells), dtype=np.int64, count=len(cells))
+        tech_index = {
+            t: i
+            for i, t in enumerate(
+                sorted(
+                    {c.technology for c in cells.values()}, key=lambda t: t.value
+                )
+            )
+        }
+        self._directory = directory
+        self._dir_tech = np.asarray(
+            [tech_index[cells[int(c)].technology] for c in directory],
+            dtype=np.int64,
+        )
+        self._dir_bs = np.asarray(
+            [cells[int(c)].base_station_id for c in directory], dtype=np.int64
+        )
+        self._dir_sector = np.asarray(
+            [cells[int(c)].sector_index for c in directory], dtype=np.int64
+        )
+        n = len(car_ids)
+        self._has_open = np.zeros(n, dtype=np.bool_)
+        self._o_start = np.zeros(n)
+        self._o_cm = np.zeros(n)
+        self._o_kinds = np.zeros((n, 4), dtype=np.int64)
+        self._o_ints = np.full((n, 12), -1, dtype=np.int64)
+        #: Closed-session (start, cm, kinds, ints) blocks, per-car
+        #: chronological within each block.
+        self._blocks: list[
+            tuple[
+                npt.NDArray[np.float64],
+                npt.NDArray[np.float64],
+                npt.NDArray[np.int64],
+                npt.NDArray[np.int64],
+            ]
+        ] = []
+
+    def consume(self, inter: ChunkIntermediates) -> None:
+        n = inter.n
+        if n == 0:
+            return
+        s = inter.s_sorted
+        cm = inter.trunc_cummax
+        cell = inter.cell_sorted
+        is_start = inter.is_car_start
+        new_sess = is_start.copy()
+        new_sess[1:] |= ~is_start[1:] & (s[1:] - cm[:-1] > self._gap)
+        sid = segment_ids(new_sess)
+        n_sess = int(sid[-1]) + 1
+        sess_first = np.flatnonzero(new_sess)
+        sess_last = np.append(sess_first[1:] - 1, n - 1)
+        sess_car = inter.car_sorted[sess_first]
+        sess_start = s[sess_first]
+        sess_cm = cm[sess_last]
+
+        # Directory membership at vocabulary level (shared with the busy
+        # kernel's cell grouping), then gathered per car-major row — the
+        # vocabulary is tiny next to the chunk.
+        directory = self._directory
+        cells_v, row_codes = inter.cell_groups
+        if directory.size:
+            pos_v = np.searchsorted(directory, cells_v)
+            pos_vc = np.minimum(pos_v, directory.size - 1)
+            known_v = directory[pos_vc] == cells_v
+        else:
+            known_v = np.zeros(cells_v.size, dtype=np.bool_)
+            pos_vc = np.zeros(cells_v.size, dtype=np.intp)
+        codes_sorted = row_codes[inter.car_order]
+        known = known_v[codes_sorted]
+        kr = np.flatnonzero(known)
+        k_dir = pos_vc[codes_sorted[kr]]
+
+        ints = np.full((n_sess, 12), -1, dtype=np.int64)
+        ints[:, _H_CAR] = sess_car
+        ints[:, _H_SIZE] = np.bincount(sid, minlength=n_sess)
+        ints[:, _H_KNOWN] = np.bincount(sid[kr], minlength=n_sess)
+
+        # Handovers between consecutive known rows of one session, plus the
+        # kind breakdown — no keep filter here: sessions may still grow by
+        # merging, so filtering waits for finalize.
+        src = kr[:-1]
+        dst = kr[1:]
+        pair = (sid[src] == sid[dst]) & (cell[src] != cell[dst])
+        pair_sid = sid[src[pair]]
+        ints[:, _H_HO] = np.bincount(pair_sid, minlength=n_sess)
+        src_a = k_dir[:-1][pair]
+        dst_a = k_dir[1:][pair]
+        kind = np.where(
+            self._dir_tech[src_a] != self._dir_tech[dst_a],
+            0,
+            np.where(
+                self._dir_bs[src_a] != self._dir_bs[dst_a],
+                1,
+                np.where(
+                    self._dir_sector[src_a] != self._dir_sector[dst_a], 2, 3
+                ),
+            ),
+        )
+        kinds_per = np.bincount(
+            pair_sid * 4 + kind, minlength=n_sess * 4
+        ).reshape(n_sess, 4)
+
+        # First/last known-cell attributes per session.  ``sid`` is
+        # non-decreasing in car-major order, so the first/last known row of
+        # each session falls on run boundaries — no sort needed.
+        sid_k = sid[kr]
+        if len(sid_k):
+            new_run = np.concatenate(([True], sid_k[1:] != sid_k[:-1]))
+            first_idx = np.flatnonzero(new_run)
+            last_idx = np.append(first_idx[1:] - 1, len(sid_k) - 1)
+            uniq = sid_k[first_idx]
+        else:
+            first_idx = np.empty(0, dtype=np.intp)
+            last_idx = first_idx
+            uniq = np.empty(0, dtype=np.int64)
+        for col_cell, col_tech, idx in (
+            (_H_FCELL, _H_FTECH, first_idx),
+            (_H_LCELL, _H_LTECH, last_idx),
+        ):
+            at = k_dir[idx]
+            ints[uniq, col_cell] = cell[kr[idx]]
+            ints[uniq, col_tech] = self._dir_tech[at]
+            ints[uniq, col_tech + 1] = self._dir_bs[at]
+            ints[uniq, col_tech + 2] = self._dir_sector[at]
+
+        # Per-car chunk-boundary merging: the carried open session swallows
+        # the prefix of this chunk's sessions while the gap test holds.
+        run_first = np.flatnonzero(
+            np.concatenate(([True], sess_car[1:] != sess_car[:-1]))
+        )
+        run_last = np.append(run_first[1:], n_sess)
+        interior = np.zeros(n_sess, dtype=np.bool_)
+        has_open = self._has_open
+        o_start = self._o_start
+        o_cm = self._o_cm
+        o_kinds = self._o_kinds
+        o_ints = self._o_ints
+        close_start: list[float] = []
+        close_cm: list[float] = []
+        close_kinds: list[npt.NDArray[np.int64]] = []
+        close_ints: list[npt.NDArray[np.int64]] = []
+        for a, b in zip(run_first.tolist(), run_last.tolist()):
+            c = int(sess_car[a])
+            k = a
+            if has_open[c]:
+                row = o_ints[c]
+                ocm = float(o_cm[c])
+                while k < b and sess_start[k] - ocm <= self._gap:
+                    inc = ints[k]
+                    if (
+                        row[_H_LCELL] >= 0
+                        and inc[_H_FCELL] >= 0
+                        and row[_H_LCELL] != inc[_H_FCELL]
+                    ):
+                        bk = _boundary_kind(
+                            int(row[_H_LTECH]),
+                            int(row[_H_LBS]),
+                            int(row[_H_LSEC]),
+                            int(inc[_H_FTECH]),
+                            int(inc[_H_FBS]),
+                            int(inc[_H_FSEC]),
+                        )
+                        row[_H_HO] += 1
+                        o_kinds[c, bk] += 1
+                    row[_H_HO] += inc[_H_HO]
+                    o_kinds[c] += kinds_per[k]
+                    row[_H_SIZE] += inc[_H_SIZE]
+                    row[_H_KNOWN] += inc[_H_KNOWN]
+                    if inc[_H_FCELL] >= 0:
+                        if row[_H_FCELL] < 0:
+                            row[_H_FCELL : _H_FSEC + 1] = inc[
+                                _H_FCELL : _H_FSEC + 1
+                            ]
+                        row[_H_LCELL:] = inc[_H_LCELL:]
+                    if sess_cm[k] > ocm:
+                        ocm = float(sess_cm[k])
+                    k += 1
+                o_cm[c] = ocm
+                if k == b:
+                    continue
+                close_start.append(float(o_start[c]))
+                close_cm.append(ocm)
+                close_kinds.append(o_kinds[c].copy())
+                close_ints.append(o_ints[c].copy())
+            interior[k : b - 1] = True
+            o_start[c] = sess_start[b - 1]
+            o_cm[c] = sess_cm[b - 1]
+            o_kinds[c] = kinds_per[b - 1]
+            o_ints[c] = ints[b - 1]
+            has_open[c] = True
+
+        sel = np.flatnonzero(interior)
+        self._blocks.append(
+            (
+                np.concatenate((np.asarray(close_start), sess_start[sel])),
+                np.concatenate((np.asarray(close_cm), sess_cm[sel])),
+                np.concatenate(
+                    (
+                        np.asarray(close_kinds, dtype=np.int64).reshape(-1, 4),
+                        kinds_per[sel],
+                    )
+                ),
+                np.concatenate(
+                    (
+                        np.asarray(close_ints, dtype=np.int64).reshape(-1, 12),
+                        ints[sel],
+                    )
+                ),
+            )
+        )
+
+    def export_partial(self) -> HandoverPartial:
+        opens = np.flatnonzero(self._has_open)
+        blocks = self._blocks + [
+            (
+                self._o_start[opens],
+                self._o_cm[opens],
+                self._o_kinds[opens],
+                self._o_ints[opens],
+            )
+        ]
+        start = np.concatenate([b[0] for b in blocks])
+        cm = np.concatenate([b[1] for b in blocks])
+        kinds = np.concatenate([b[2] for b in blocks])
+        ints = np.concatenate([b[3] for b in blocks])
+        # Stable car sort: blocks are chronological and per-car ordered
+        # within themselves, and the open sessions sit in the final block,
+        # so each car's sessions come out chronological with its open
+        # session last — the reference's emission order.
+        order = np.argsort(ints[:, _H_CAR], kind="stable")
+        return HandoverPartial(
+            car_ids=self._car_ids,
+            gap=self._gap,
+            min_records=self._min_records,
+            start=start[order],
+            cm=cm[order],
+            kinds=kinds[order],
+            ints=ints[order],
+        )
+
+    def finalize(self) -> HandoverStats:
+        return finalize_handover(self.export_partial())
+
+
+def finalize_handover(partial: HandoverPartial) -> HandoverStats:
+    """Close a handover partial into the Section 4.5 statistics.
+
+    Applies the reference's keep rule — drop sessions whose *known* records
+    fall below ``min_records`` while their total size does not — and its
+    emission order (cars sorted by id, sessions chronological), both of
+    which the table already encodes.
+    """
+    size = partial.ints[:, _H_SIZE]
+    known = partial.ints[:, _H_KNOWN]
+    keep = ~(
+        (known < partial.min_records) & (size >= partial.min_records)
+    )
+    per_session = partial.ints[keep, _H_HO].astype(float)
+    kind_counts = partial.kinds[keep].sum(axis=0)
+    types: Counter[HandoverType] = Counter()
+    for i, ho_type in enumerate(_KIND_ORDER):
+        if int(kind_counts[i]) > 0:
+            types[ho_type] = int(kind_counts[i])
+    return HandoverStats(per_session=per_session, type_counts=types)
+
+
+# -- the engine -----------------------------------------------------------
+
+
+@dataclass
+class FusedPartial:
+    """Everything one shard contributes, in one picklable bundle.
+
+    Folding shards in index order with :meth:`absorb_partial` and then
+    finalizing reproduces the serial engine: every sub-partial's merge is
+    exact (integer counts, pair-set unions, endpoint welds), except the
+    per-car busy tallies and per-carrier time sums, which merge to
+    reassociation precision — the same contract ``core.mapreduce``
+    documents for the streaming analyzer.
+    """
+
+    n_records: int
+    n_ghosts: int
+    presence: PresencePartial
+    days: DaysPartial
+    carriers: CarriersPartial
+    connect_full: ConnectPartial
+    connect_trunc: ConnectPartial
+    busy: BusyPartial | None
+    handover: HandoverPartial | None
+
+    def absorb_partial(self, partial: "FusedPartial") -> None:
+        """Fold a later shard's bundle into this one, kernel by kernel."""
+        if (self.busy is None) != (partial.busy is None) or (
+            self.handover is None
+        ) != (partial.handover is None):
+            raise ValueError("fused partials ran different kernel sets")
+        self.n_records = self.n_records + partial.n_records
+        self.n_ghosts = self.n_ghosts + partial.n_ghosts
+        self.presence.absorb_partial(partial.presence)
+        self.days.absorb_partial(partial.days)
+        self.carriers.absorb_partial(partial.carriers)
+        self.connect_full.absorb_partial(partial.connect_full)
+        self.connect_trunc.absorb_partial(partial.connect_trunc)
+        if self.busy is not None and partial.busy is not None:
+            self.busy.absorb_partial(partial.busy)
+        if self.handover is not None and partial.handover is not None:
+            self.handover.absorb_partial(partial.handover)
+
+
+@dataclass(frozen=True)
+class FusedReport:
+    """Results of one fused pass, one field per registered analysis.
+
+    ``exposure`` and ``segmentation`` are ``None`` when the engine ran
+    without a :class:`BusySchedule`; ``handovers`` is ``None`` without a
+    cell directory — mirroring how :class:`AnalysisPipeline` treats those
+    optional inputs.
+    """
+
+    presence: DailyPresence
+    days: dict[str, int]
+    connect_time: ConnectTimeResult
+    carriers: CarrierUsage
+    exposure: BusyExposure | None
+    segmentation: CarSegmentation | None
+    handovers: HandoverStats | None
+    n_ghosts: int
+
+
+class FusedEngine:
+    """One pass per chunk, every Section 4 analysis at once.
+
+    Feed raw columnar chunks (one shard's `.cdrz` chunks, or an in-memory
+    batch in one go) to :meth:`consume`; ghost cleaning happens inside the
+    shared :class:`ChunkIntermediates`, so no separate preprocessing pass
+    is needed.  All chunks must share one car/carrier vocabulary — exactly
+    the guarantee `.cdrz` shards give — and cross-shard work goes through
+    :meth:`export_partial` / :meth:`FusedPartial.absorb_partial` instead of
+    feeding one engine from two shards.
+
+    ``track_partials`` selects the connect-time representation: ``False``
+    (default) accumulates per-car totals in place — the fast path for a
+    single-process run — while ``True`` keeps union-chain endpoint tables
+    so the engine can export a :class:`FusedPartial`.  Both are
+    bit-identical to the references for a single engine; only partial
+    export requires tracking.
+    """
+
+    def __init__(
+        self,
+        clock: StudyClock,
+        config: PreprocessConfig | None = None,
+        *,
+        schedule: BusySchedule | None = None,
+        cells: dict[int, Cell] | None = None,
+        carriers: tuple[str, ...] = CARRIER_ORDER,
+        min_records: int = 2,
+        track_partials: bool = False,
+    ) -> None:
+        self.clock = clock
+        self.config = config or PreprocessConfig()
+        self._schedule = schedule
+        self._cells = cells
+        self._carrier_order = carriers
+        self._min_records = min_records
+        self._track = track_partials
+        self._n_records = 0
+        self._n_ghosts = 0
+        self._vocab: tuple[tuple[str, ...], tuple[str, ...]] | None = None
+        self._kernels: list[FusedAnalysis] = []
+        self._presence: PresenceKernel | None = None
+        self._days: DaysKernel | None = None
+        self._carriers: CarriersKernel | None = None
+        self._connect_full: ConnectKernel | None = None
+        self._connect_trunc: ConnectKernel | None = None
+        self._busy: BusyKernel | None = None
+        self._handover: HandoverKernel | None = None
+
+    def _bind(
+        self, car_ids: tuple[str, ...], carrier_names: tuple[str, ...]
+    ) -> None:
+        self._vocab = (car_ids, carrier_names)
+        self._presence = PresenceKernel(self.clock, car_ids)
+        self._days = DaysKernel(self.clock, car_ids)
+        self._carriers = CarriersKernel(
+            car_ids, carrier_names, self._carrier_order
+        )
+        self._connect_full = ConnectKernel(
+            car_ids, truncated=False, track_partials=self._track
+        )
+        self._connect_trunc = ConnectKernel(
+            car_ids, truncated=True, track_partials=self._track
+        )
+        kernels: list[FusedAnalysis] = [
+            self._presence,
+            self._days,
+            self._carriers,
+            self._connect_full,
+            self._connect_trunc,
+        ]
+        if self._schedule is not None:
+            self._busy = BusyKernel(self._schedule, car_ids)
+            kernels.append(self._busy)
+        if self._cells is not None:
+            self._handover = HandoverKernel(
+                car_ids,
+                self._cells,
+                gap=self.config.network_session_gap_s,
+                min_records=self._min_records,
+            )
+            kernels.append(self._handover)
+        self._kernels = kernels
+
+    def consume(self, chunk: ColumnarCDRBatch) -> None:
+        """Run every kernel over one raw chunk's shared intermediates."""
+        if self._vocab is None:
+            self._bind(chunk.car_ids, chunk.carriers)
+        elif self._vocab != (chunk.car_ids, chunk.carriers):
+            raise ValueError(
+                "chunk vocabulary changed mid-stream; use one FusedEngine "
+                "per shard and merge FusedPartials instead"
+            )
+        inter = ChunkIntermediates(chunk, self.clock, self.config.truncate_s)
+        self._n_records += inter.n
+        self._n_ghosts += inter.n_ghosts
+        for kernel in self._kernels:
+            kernel.consume(inter)
+
+    def _bound(self) -> tuple[tuple[str, ...], tuple[str, ...]]:
+        if self._vocab is None:
+            raise ValueError("FusedEngine has consumed no chunks")
+        return self._vocab
+
+    def _connect_result(self) -> ConnectTimeResult:
+        full = self._connect_full
+        trunc = self._connect_trunc
+        if full is None or trunc is None:
+            raise ValueError("FusedEngine has consumed no chunks")
+        if self._track:
+            present, full_totals = finalize_connect_partial(
+                full.export_partial()
+            )
+            _, trunc_totals = finalize_connect_partial(trunc.export_partial())
+        else:
+            present, full_totals = full.totals_exact()
+            _, trunc_totals = trunc.totals_exact()
+        car_vocab = self._bound()[0]
+        duration = float(self.clock.duration)
+        return ConnectTimeResult(
+            car_ids=[car_vocab[int(c)] for c in present],
+            full_share=full_totals / duration,
+            truncated_share=trunc_totals / duration,
+        )
+
+    def finalize(self) -> FusedReport:
+        """Close every kernel into its paper statistic."""
+        self._bound()
+        presence_k = self._presence
+        days_k = self._days
+        carriers_k = self._carriers
+        if presence_k is None or days_k is None or carriers_k is None:
+            raise ValueError("FusedEngine has consumed no chunks")
+        days = days_k.finalize()
+        exposure = self._busy.finalize() if self._busy is not None else None
+        segmentation = (
+            segment_cars(days, exposure) if exposure is not None else None
+        )
+        return FusedReport(
+            presence=presence_k.finalize(),
+            days=days,
+            connect_time=self._connect_result(),
+            carriers=carriers_k.finalize(),
+            exposure=exposure,
+            segmentation=segmentation,
+            handovers=(
+                self._handover.finalize() if self._handover is not None else None
+            ),
+            n_ghosts=self._n_ghosts,
+        )
+
+    def export_partial(self) -> FusedPartial:
+        """Ship this shard's state for an index-ordered cross-shard fold."""
+        self._bound()
+        presence_k = self._presence
+        days_k = self._days
+        carriers_k = self._carriers
+        full_k = self._connect_full
+        trunc_k = self._connect_trunc
+        if (
+            presence_k is None
+            or days_k is None
+            or carriers_k is None
+            or full_k is None
+            or trunc_k is None
+        ):
+            raise ValueError("FusedEngine has consumed no chunks")
+        return FusedPartial(
+            n_records=self._n_records,
+            n_ghosts=self._n_ghosts,
+            presence=presence_k.export_partial(),
+            days=days_k.export_partial(),
+            carriers=carriers_k.export_partial(),
+            connect_full=full_k.export_partial(),
+            connect_trunc=trunc_k.export_partial(),
+            busy=self._busy.export_partial() if self._busy is not None else None,
+            handover=(
+                self._handover.export_partial()
+                if self._handover is not None
+                else None
+            ),
+        )
+
+
+def finalize_fused(partial: FusedPartial, clock: StudyClock) -> FusedReport:
+    """Close a (possibly merged) :class:`FusedPartial` into a report."""
+    days = finalize_days(partial.days)
+    exposure = (
+        finalize_busy(partial.busy) if partial.busy is not None else None
+    )
+    duration = float(clock.duration)
+    present, full_totals = finalize_connect_partial(partial.connect_full)
+    _, trunc_totals = finalize_connect_partial(partial.connect_trunc)
+    connect = ConnectTimeResult(
+        car_ids=[partial.connect_full.car_ids[int(c)] for c in present],
+        full_share=full_totals / duration,
+        truncated_share=trunc_totals / duration,
+    )
+    return FusedReport(
+        presence=finalize_presence(partial.presence, clock),
+        days=days,
+        connect_time=connect,
+        carriers=finalize_carriers(partial.carriers),
+        exposure=exposure,
+        segmentation=(
+            segment_cars(days, exposure) if exposure is not None else None
+        ),
+        handovers=(
+            finalize_handover(partial.handover)
+            if partial.handover is not None
+            else None
+        ),
+        n_ghosts=partial.n_ghosts,
+    )
+
+
+# -- standalone fused twins ----------------------------------------------
+#
+# One public entry point per analysis, running just that kernel over a
+# whole columnar batch in one chunk.  They exist for the parity suite (the
+# RL017 contract pairs each with its record-based reference) and for
+# callers who want one statistic without a pipeline.
+
+#: Calendar placeholder for kernels that never look at the clock.
+_NO_CLOCK = StudyClock()
+
+#: Truncation placeholder for kernels that never read truncated durations.
+_TRUNCATE_DEFAULT = PreprocessConfig().truncate_s
+
+
+def daily_presence_fused(
+    col: ColumnarCDRBatch, clock: StudyClock
+) -> DailyPresence:
+    """Fused-kernel twin of :func:`repro.core.presence.daily_presence`."""
+    kernel = PresenceKernel(clock, col.car_ids)
+    kernel.consume(ChunkIntermediates(col, clock, _TRUNCATE_DEFAULT))
+    return kernel.finalize()
+
+
+def days_on_network_fused(
+    col: ColumnarCDRBatch, clock: StudyClock
+) -> dict[str, int]:
+    """Fused-kernel twin of :func:`repro.core.segmentation.days_on_network`."""
+    kernel = DaysKernel(clock, col.car_ids)
+    kernel.consume(ChunkIntermediates(col, clock, _TRUNCATE_DEFAULT))
+    return kernel.finalize()
+
+
+def carrier_usage_fused(
+    col: ColumnarCDRBatch, carriers: tuple[str, ...] = CARRIER_ORDER
+) -> CarrierUsage:
+    """Fused-kernel twin of :func:`repro.core.carriers.carrier_usage`."""
+    kernel = CarriersKernel(col.car_ids, col.carriers, carriers)
+    kernel.consume(ChunkIntermediates(col, _NO_CLOCK, _TRUNCATE_DEFAULT))
+    return kernel.finalize()
+
+
+def busy_exposure_fused(
+    col: ColumnarCDRBatch,
+    schedule: BusySchedule,
+    truncate_s: float = 600.0,
+) -> BusyExposure:
+    """Fused-kernel twin of :func:`repro.core.busy.busy_exposure`.
+
+    Accepts either the full or the already-truncated columnar view: the
+    kernel caps durations at ``truncate_s`` itself, and capping is
+    idempotent.
+    """
+    kernel = BusyKernel(schedule, col.car_ids)
+    kernel.consume(ChunkIntermediates(col, _NO_CLOCK, truncate_s))
+    return kernel.finalize()
+
+
+def connect_time_analysis_fused(
+    pre: PreprocessResult, clock: StudyClock
+) -> ConnectTimeResult:
+    """Fused twin of :func:`repro.core.connect_time.connect_time_analysis`.
+
+    Both the full and the truncated union run off one shared intermediates
+    bundle built from the full view — the truncated scan derives its capped
+    durations internally.
+    """
+    col = pre.columnar_full()
+    inter = ChunkIntermediates(col, clock, pre.config.truncate_s)
+    full_k = ConnectKernel(col.car_ids, truncated=False)
+    trunc_k = ConnectKernel(col.car_ids, truncated=True)
+    full_k.consume(inter)
+    trunc_k.consume(inter)
+    present, full_totals = full_k.totals_exact()
+    _, trunc_totals = trunc_k.totals_exact()
+    duration = float(clock.duration)
+    return ConnectTimeResult(
+        car_ids=[col.car_ids[int(c)] for c in present],
+        full_share=full_totals / duration,
+        truncated_share=trunc_totals / duration,
+    )
+
+
+def handover_analysis_fused(
+    pre: PreprocessResult,
+    cells: dict[int, Cell],
+    min_records: int = 2,
+) -> HandoverStats:
+    """Fused twin of :func:`repro.core.handover.handover_analysis`."""
+    col = pre.columnar_full()
+    kernel = HandoverKernel(
+        col.car_ids,
+        cells,
+        gap=pre.config.network_session_gap_s,
+        min_records=min_records,
+    )
+    kernel.consume(ChunkIntermediates(col, _NO_CLOCK, pre.config.truncate_s))
+    return kernel.finalize()

@@ -39,11 +39,20 @@ from pathlib import Path
 
 from repro.algorithms.timebins import StudyClock
 from repro.cdr.store import DEFAULT_CHUNK_ROWS, iter_cdrz_chunks, resolve_shards
+from repro.core.busy import BusySchedule
+from repro.core.fused import (
+    FusedEngine,
+    FusedPartial,
+    FusedReport,
+    finalize_fused,
+)
+from repro.core.preprocess import PreprocessConfig
 from repro.core.streaming import (
     StreamingAnalyzer,
     StreamingPartial,
     StreamingResult,
 )
+from repro.network.cells import Cell
 
 try:  # pragma: no cover - absent only on non-POSIX platforms
     import resource
@@ -216,3 +225,167 @@ def analyze_shards(
         peak_rss_bytes=peak_rss_bytes(),
     )
     return result, stats
+
+
+# -- fused Section-4 map-reduce -------------------------------------------
+
+
+@dataclass(frozen=True)
+class FusedMapSpec:
+    """Everything a fused map worker needs for one shard.
+
+    Shipped to workers whole (inherited through fork, pickled under
+    spawn), so the optional :class:`~repro.core.busy.BusySchedule` and
+    cell directory must be picklable — both are plain data.
+    """
+
+    shards: tuple[Path, ...]
+    clock: StudyClock
+    config: PreprocessConfig
+    schedule: BusySchedule | None
+    cells: dict[int, Cell] | None
+    min_records: int
+    chunk_rows: int
+
+
+#: Per-process fused map spec, mirroring :data:`_WORKER_SPEC`.
+_FUSED_SPEC: FusedMapSpec | None = None
+
+
+def _init_fused_worker(spec: FusedMapSpec) -> None:
+    """Spawn-path initializer: install the pickled fused map spec."""
+    global _FUSED_SPEC
+    _FUSED_SPEC = spec
+
+
+def map_shard_fused(spec: FusedMapSpec, index: int) -> FusedPartial | None:
+    """Map one shard through the fused engine (pure in the shard bytes).
+
+    Returns ``None`` for a shard with no chunks at all — the engine never
+    binds a vocabulary, and the reducer skips it as empty.
+    """
+    engine = FusedEngine(
+        spec.clock,
+        spec.config,
+        schedule=spec.schedule,
+        cells=spec.cells,
+        min_records=spec.min_records,
+        track_partials=True,
+    )
+    consumed = False
+    for chunk in iter_cdrz_chunks(spec.shards[index], chunk_rows=spec.chunk_rows):
+        engine.consume(chunk)
+        consumed = True
+    if not consumed:
+        return None
+    return engine.export_partial()
+
+
+def _map_fused_indexed(index: int) -> tuple[int, FusedPartial | None]:
+    """Fused worker body: claim one shard index, return its partial."""
+    spec = _FUSED_SPEC
+    if spec is None:
+        raise RuntimeError("fused map worker used before initialization")
+    return index, map_shard_fused(spec, index)
+
+
+def _map_fused_parallel(
+    spec: FusedMapSpec, n_workers: int
+) -> dict[int, FusedPartial | None]:
+    """Fan shard indices over a pool; collect fused partials by index."""
+    global _FUSED_SPEC
+    methods = multiprocessing.get_all_start_methods()
+    use_fork = "fork" in methods
+    ctx = multiprocessing.get_context("fork" if use_fork else "spawn")
+    initializer: Callable[[FusedMapSpec], None] | None
+    initargs: tuple[FusedMapSpec, ...]
+    if use_fork:
+        _FUSED_SPEC = spec
+        initializer, initargs = None, ()
+    else:
+        initializer, initargs = _init_fused_worker, (spec,)
+    indexed: dict[int, FusedPartial | None] = {}
+    try:
+        with ctx.Pool(
+            processes=n_workers, initializer=initializer, initargs=initargs
+        ) as pool:
+            for index, partial in pool.imap_unordered(
+                _map_fused_indexed, range(len(spec.shards)), chunksize=1
+            ):
+                indexed[index] = partial
+    finally:
+        _FUSED_SPEC = None
+    return indexed
+
+
+def analyze_shards_fused(
+    source: str | Path | Sequence[str | Path],
+    clock: StudyClock,
+    *,
+    schedule: BusySchedule | None = None,
+    cells: dict[int, Cell] | None = None,
+    workers: int = 1,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    config: PreprocessConfig | None = None,
+    min_records: int = 2,
+) -> tuple[FusedReport, MapReduceStats]:
+    """Run every Section 4 analysis over shards with ``workers`` processes.
+
+    The fused counterpart of :func:`analyze_shards`: workers stream each
+    shard through one :class:`~repro.core.fused.FusedEngine` in
+    partial-tracking mode, and the parent folds the returned
+    :class:`~repro.core.fused.FusedPartial` bundles in *shard index order*
+    before closing them with :func:`~repro.core.fused.finalize_fused`.
+    Presence, days-on-network, connect time, handovers, carrier reach and
+    the ghost count reduce *exactly* — bit-identical to a single serial
+    engine (and to the record-based references) at any worker count — while
+    the per-car busy tallies and per-carrier time sums merge to
+    reassociation precision, the same contract :func:`analyze_shards`
+    documents.  ``exposure``/``segmentation``/``handovers`` are ``None``
+    unless ``schedule``/``cells`` are given, mirroring the pipeline.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    shards = tuple(resolve_shards(source))
+    spec = FusedMapSpec(
+        shards=shards,
+        clock=clock,
+        config=config or PreprocessConfig(),
+        schedule=schedule,
+        cells=cells,
+        min_records=min_records,
+        chunk_rows=chunk_rows,
+    )
+    n_workers = min(workers, len(shards))
+    if n_workers <= 1:
+        indexed = {i: map_shard_fused(spec, i) for i in range(len(shards))}
+    else:
+        indexed = _map_fused_parallel(spec, n_workers)
+
+    merged: FusedPartial | None = None
+    n_empty = 0
+    for index in range(len(shards)):
+        partial = indexed[index]
+        if partial is None:
+            n_empty += 1
+            continue
+        if partial.n_records == 0 and partial.n_ghosts == 0:
+            n_empty += 1
+        if merged is None:
+            merged = partial
+        else:
+            merged.absorb_partial(partial)
+    if merged is None:
+        raise ValueError(
+            "no rows in any shard; the fused engine needs at least one chunk"
+        )
+    report = finalize_fused(merged, clock)
+    stats = MapReduceStats(
+        n_shards=len(shards),
+        n_empty_shards=n_empty,
+        n_records=merged.n_records,
+        n_ghosts_dropped=merged.n_ghosts,
+        workers=n_workers,
+        peak_rss_bytes=peak_rss_bytes(),
+    )
+    return report, stats

@@ -25,12 +25,18 @@ from repro.core.connect_time import (
     connect_time_analysis,
     connect_time_analysis_columnar,
 )
+from repro.core.fused import FusedEngine
 from repro.core.handover import (
     HandoverStats,
     handover_analysis,
     handover_analysis_columnar,
 )
-from repro.core.preprocess import PreprocessConfig, PreprocessResult, preprocess
+from repro.core.preprocess import (
+    PreprocessConfig,
+    PreprocessResult,
+    preprocess,
+    preprocess_lazy,
+)
 from repro.core.presence import (
     DailyPresence,
     WeekdayRow,
@@ -116,11 +122,14 @@ class AnalysisPipeline:
         """Run every analysis and return the filled report.
 
         ``engine`` selects the implementation of the Section 4 analyses:
-        ``"vectorized"`` (default) runs them on the batch's columnar arrays
-        — no per-record Python on the hot path — while ``"reference"`` runs
-        the original record-based loops.  Both produce identical reports
-        (the parity suite asserts bit-equality), so the switch exists for
-        verification and benchmarking, not correctness.
+        ``"fused"`` makes one pass over the batch computing shared
+        intermediates for every analysis at once
+        (:class:`repro.core.fused.FusedEngine`) with lazy preprocessing —
+        the fastest path; ``"vectorized"`` (default) runs the per-analysis
+        columnar twins; ``"reference"`` runs the original record-based
+        loops.  All three produce identical reports (the parity suites
+        assert bit-equality), so the switch exists for verification and
+        benchmarking, not correctness.
 
         ``exclude_loss_days`` runs the data-quality loss-day detector and
         removes flagged days from the Table 1 weekday statistics (the paper
@@ -129,21 +138,43 @@ class AnalysisPipeline:
         no usable records: every downstream statistic would be undefined,
         and an explicit error beats a report full of NaNs.
         """
-        if engine not in ("vectorized", "reference"):
+        if engine not in ("vectorized", "reference", "fused"):
             raise ValueError(
-                f"engine must be 'vectorized' or 'reference', got {engine!r}"
+                "engine must be 'vectorized', 'reference' or 'fused', "
+                f"got {engine!r}"
             )
         vectorized = engine == "vectorized"
+        fused = engine == "fused"
         notes: list[str] = []
-        pre = preprocess(batch, self.preprocess_config)
-        if len(pre.full) == 0:
+        # The fused path defers record materialization: its engine runs on
+        # the columnar views alone, so building ConnectionRecord objects
+        # would be pure overhead unless clustering or loss-day detection
+        # asks for them later.
+        if fused:
+            pre = preprocess_lazy(batch, self.preprocess_config)
+        else:
+            pre = preprocess(batch, self.preprocess_config)
+        if pre.n_kept == 0:
             raise ValueError(
                 "batch contains no usable records after preprocessing "
                 f"({pre.n_dropped_ghosts} ghost records dropped)"
             )
         notes.append(f"dropped {pre.n_dropped_ghosts} exactly-1-hour ghost records")
 
-        if vectorized:
+        fused_report = None
+        if fused:
+            fused_engine = FusedEngine(
+                self.clock,
+                self.preprocess_config,
+                schedule=self.schedule,
+                cells=self.cells,
+            )
+            fused_engine.consume(pre.columnar_full())
+            fused_report = fused_engine.finalize()
+
+        if fused_report is not None:
+            presence = fused_report.presence
+        elif vectorized:
             presence = daily_presence_columnar(pre.full.columnar(), self.clock)
         else:
             presence = daily_presence(pre.full, self.clock)
@@ -160,20 +191,33 @@ class AnalysisPipeline:
                 )
         weekday_rows = weekday_table(presence, exclude_days=excluded)
         schedule = self.schedule
-        if vectorized:
-            connect_time = connect_time_analysis_columnar(pre, self.clock)
-            days = days_on_network_columnar(pre.full.columnar(), self.clock)
-            exposure = busy_exposure_columnar(pre.truncated.columnar(), schedule)
-            carriers = carrier_usage_columnar(pre.full.columnar())
+        if fused_report is not None:
+            connect_time = fused_report.connect_time
+            days = fused_report.days
+            carriers = fused_report.carriers
+            if fused_report.exposure is None or fused_report.segmentation is None:
+                raise RuntimeError("fused pipeline ran without a schedule")
+            exposure = fused_report.exposure
+            segmentation = fused_report.segmentation
         else:
-            connect_time = connect_time_analysis(pre, self.clock)
-            days = days_on_network(pre.full, self.clock)
-            exposure = busy_exposure(pre.truncated, schedule)
-            carriers = carrier_usage(pre.full)
-        segmentation = segment_cars(days, exposure)
+            if vectorized:
+                connect_time = connect_time_analysis_columnar(pre, self.clock)
+                days = days_on_network_columnar(pre.full.columnar(), self.clock)
+                exposure = busy_exposure_columnar(
+                    pre.truncated.columnar(), schedule
+                )
+                carriers = carrier_usage_columnar(pre.full.columnar())
+            else:
+                connect_time = connect_time_analysis(pre, self.clock)
+                days = days_on_network(pre.full, self.clock)
+                exposure = busy_exposure(pre.truncated, schedule)
+                carriers = carrier_usage(pre.full)
+            segmentation = segment_cars(days, exposure)
 
         handovers: HandoverStats | None = None
-        if self.cells is not None:
+        if fused_report is not None:
+            handovers = fused_report.handovers
+        elif self.cells is not None:
             if vectorized:
                 handovers = handover_analysis_columnar(pre, self.cells)
             else:

@@ -53,14 +53,11 @@ from repro.algorithms.streaming import (
     RunningMoments,
     StreamingHistogram,
 )
-from repro.algorithms.timebins import DAY, StudyClock
+from repro.algorithms.timebins import StudyClock
 from repro.cdr.columnar import ColumnarCDRBatch
 from repro.cdr.records import ConnectionRecord
-from repro.core.preprocess import (
-    GHOST_DURATION_S,
-    GHOST_TOLERANCE_S,
-    is_ghost_record,
-)
+from repro.core.fused import ChunkIntermediates
+from repro.core.preprocess import is_ghost_record
 
 
 @dataclass(frozen=True)
@@ -294,34 +291,45 @@ class StreamingAnalyzer:
     def consume_columnar(self, chunk: ColumnarCDRBatch) -> None:
         """Fold one columnar chunk into the pass, bit-identical to scalar.
 
-        No :class:`~repro.cdr.records.ConnectionRecord` objects are built.
-        Order-independent statistics (ghost mask, histogram bins, day
-        indices, HyperLogLog inserts) are vectorized; the order-sensitive
-        float accumulators run in one tight loop over plain Python floats
-        pulled from the arrays, applying exactly the operations the scalar
-        path applies, in the same row order — hence bit-identical results.
+        Thin wrapper: builds the shared :class:`ChunkIntermediates` bundle
+        (which applies the ghost drop) and delegates to
+        :meth:`consume_intermediates`.  Callers already holding a bundle —
+        the fused engine's map-reduce workers — skip straight there so the
+        cleaning pass is shared rather than repeated.
         """
         if len(chunk) == 0:
             return
-        duration = chunk.duration
-        ghost = np.abs(duration - GHOST_DURATION_S) <= GHOST_TOLERANCE_S
-        n_ghosts = int(np.count_nonzero(ghost))
-        self._n_ghosts += n_ghosts
-        if n_ghosts:
-            keep = ~ghost
-            duration = duration[keep]
-            start = chunk.start[keep]
-            cell_id = chunk.cell_id[keep]
-            car_code = chunk.car_code[keep]
-            carrier_code = chunk.carrier_code[keep]
-        else:
-            start = chunk.start
-            cell_id = chunk.cell_id
-            car_code = chunk.car_code
-            carrier_code = chunk.carrier_code
-        n = len(duration)
+        self.consume_intermediates(
+            ChunkIntermediates(chunk, self.clock, self.truncate_s)
+        )
+
+    def consume_intermediates(self, inter: ChunkIntermediates) -> None:
+        """Fold one chunk's shared intermediates into the pass.
+
+        No :class:`~repro.cdr.records.ConnectionRecord` objects are built.
+        Order-independent statistics (histogram bins, day indices,
+        HyperLogLog inserts) are vectorized; the order-sensitive float
+        accumulators run in one tight loop over plain Python floats pulled
+        from the arrays, applying exactly the operations the scalar path
+        applies, in the same row order — hence bit-identical results.  The
+        bundle must have been built against this analyzer's clock and
+        truncation cutoff.
+        """
+        if inter.clock is not self.clock and inter.clock != self.clock:
+            raise ValueError("intermediates built against a different clock")
+        if inter.truncate_s != self.truncate_s:
+            raise ValueError(
+                "intermediates built against a different truncation cutoff"
+            )
+        self._n_ghosts += inter.n_ghosts
+        n = inter.n
         if n == 0:
             return
+        start = inter.start
+        duration = inter.duration
+        cell_id = inter.cell_id
+        car_code = inter.car_code
+        carrier_code = inter.carrier_code
         self._n_records += n
         start_min = float(start.min())
         start_max = float(start.max())
@@ -339,16 +347,15 @@ class StreamingAnalyzer:
 
         # Distinct cars/cells per day: HLL registers are maxima, so inserts
         # are idempotent and order-free — insert each (day, id) pair once.
-        # Float day indices dodge int64 overflow on absurd timestamps while
-        # comparing exactly like the scalar path's arbitrary-precision ints.
-        clock = self.clock
-        day_f = np.floor_divide(start, DAY)
-        in_study = (day_f >= 0.0) & (day_f < clock.n_days)
+        # The bundle's study-day indices use float day arithmetic, dodging
+        # int64 overflow on absurd timestamps while comparing exactly like
+        # the scalar path's arbitrary-precision ints.
+        in_study = inter.in_study
         if bool(np.any(in_study)):
-            study_days = day_f[in_study].astype(np.int64)
+            study_days = inter.study_day
             study_cars = car_code[in_study]
             study_cells = cell_id[in_study]
-            car_vocab = chunk.car_ids
+            car_vocab = inter.car_ids
             for day in np.unique(study_days).tolist():
                 sel = study_days == day
                 car_sketch = self._cars_per_day[day]
@@ -359,12 +366,11 @@ class StreamingAnalyzer:
                     cell_sketch.add(str(cell))
 
         # Order-sensitive accumulators: plain floats, scalar op order.
-        truncated = np.minimum(duration, self.truncate_s)
         starts = start.tolist()
         durations = duration.tolist()
-        truncs = truncated.tolist()
-        car_names = [chunk.car_ids[code] for code in car_code.tolist()]
-        carrier_names = [chunk.carriers[code] for code in carrier_code.tolist()]
+        truncs = inter.trunc_duration.tolist()
+        car_names = [inter.car_ids[code] for code in car_code.tolist()]
+        carrier_names = [inter.carriers[code] for code in carrier_code.tolist()]
         use_p2 = quantile_hist is None
         median_add = self._median.add
         p73_add = self._p73.add

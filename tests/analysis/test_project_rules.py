@@ -512,3 +512,54 @@ def test_rl017_twin_without_reference_needs_only_its_own_test():
         },
     )
     assert run_rule("RL017", project) == []
+
+
+FUSED_TWINNED = {
+    "src/repro/metrics.py": """\
+        def daily_presence(batch):
+            return len(batch)
+
+        def daily_presence_fused(col):
+            return int(col.n)
+        """,
+}
+
+
+def test_rl017_fused_twin_with_parity_test_is_clean():
+    project = build_project(
+        FUSED_TWINNED,
+        tests={
+            "tests/test_fused.py": """\
+                from repro.metrics import daily_presence, daily_presence_fused
+
+                def test_parity(batch, col):
+                    assert daily_presence_fused(col) == daily_presence(batch)
+                """,
+        },
+    )
+    assert run_rule("RL017", project) == []
+
+
+def test_rl017_flags_untested_fused_twin():
+    project = build_project(FUSED_TWINNED, tests={})
+    findings = run_rule("RL017", project)
+    assert len(findings) == 1
+    assert "daily_presence_fused" in findings[0].message
+    assert "has no parity test" in findings[0].message
+
+
+def test_rl017_fused_twin_tested_without_reference_is_flagged():
+    project = build_project(
+        FUSED_TWINNED,
+        tests={
+            "tests/test_fast.py": """\
+                from repro.metrics import daily_presence_fused
+
+                def test_runs(col):
+                    assert daily_presence_fused(col) >= 0
+                """,
+        },
+    )
+    findings = run_rule("RL017", project)
+    assert len(findings) == 1
+    assert "no single test file also exercises its reference" in findings[0].message

@@ -203,7 +203,9 @@ class TestWorkflows:
             outputs.append(out.split("\n", 1)[1])
         assert outputs[0] == outputs[1]
 
-    def test_analyze_workers_routes_to_streaming_engine(self, shard_dir, capsys):
+    def test_analyze_workers_routes_to_fused_mapreduce(self, shard_dir, capsys):
+        # Default engine: the fused map-reduce path, which prints the full
+        # Section 4 statistics rather than the streaming summary.
         code = main(
             [
                 "analyze",
@@ -213,6 +215,28 @@ class TestWorkflows:
                 "7",
                 "--workers",
                 "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fused map-reduce over" in out
+        assert "connect time: mean share" in out
+        assert "carrier time shares" in out
+
+    def test_analyze_workers_with_vectorized_engine_streams(
+        self, shard_dir, capsys
+    ):
+        code = main(
+            [
+                "analyze",
+                "--trace",
+                str(shard_dir),
+                "--days",
+                "7",
+                "--workers",
+                "2",
+                "--engine",
+                "vectorized",
             ]
         )
         out = capsys.readouterr().out
