@@ -90,11 +90,20 @@ class CdrzHeader:
         carrier, technology, duration) — the order ``CDRBatch`` maintains —
         so a load can pass ``assume_sorted=True`` and skip the O(n log n)
         construction sort.
+    t_min / t_max:
+        Earliest record start and latest record end in the shard, in study
+        seconds, or ``None`` for an empty shard (and for containers written
+        before these fields existed).  They let manifest-level planning —
+        ``repro-cars inspect`` day spans, the service's ingest detection —
+        reason about a shard's calendar coverage from the header alone,
+        without paging in any column data.
     """
 
     schema_version: int
     n_rows: int
     sorted: bool
+    t_min: float | None = None
+    t_max: float | None = None
 
     def to_json(self) -> str:
         """Serialize with sorted keys, for byte-stable containers."""
@@ -104,6 +113,8 @@ class CdrzHeader:
                 "n_rows": self.n_rows,
                 "schema_version": self.schema_version,
                 "sorted": self.sorted,
+                "t_max": self.t_max,
+                "t_min": self.t_min,
             },
             sort_keys=True,
         )
@@ -194,8 +205,17 @@ def write_batch_cdrz(
     """
     if assume_sorted is None:
         assume_sorted = is_record_sorted(batch)
+    t_min: float | None = None
+    t_max: float | None = None
+    if len(batch):
+        t_min = float(batch.start.min())
+        t_max = float((batch.start + batch.duration).max())
     header = CdrzHeader(
-        schema_version=SCHEMA_VERSION, n_rows=len(batch), sorted=assume_sorted
+        schema_version=SCHEMA_VERSION,
+        n_rows=len(batch),
+        sorted=assume_sorted,
+        t_min=t_min,
+        t_max=t_max,
     )
     with open(path, "wb") as fh:
         with zipfile.ZipFile(fh, "w", zipfile.ZIP_STORED) as zf:
@@ -257,8 +277,18 @@ def _parse_header(raw: object, path: str | Path) -> CdrzHeader:
     n_rows = fields.get("n_rows")
     if not isinstance(n_rows, int) or n_rows < 0:
         raise CDRValidationError(f"{path}: invalid cdrz row count {n_rows!r}")
+    spans: dict[str, float | None] = {}
+    for key in ("t_min", "t_max"):
+        value = fields.get(key)
+        if value is not None and not isinstance(value, (int, float)):
+            raise CDRValidationError(f"{path}: invalid cdrz {key} {value!r}")
+        spans[key] = None if value is None else float(value)
     return CdrzHeader(
-        schema_version=version, n_rows=n_rows, sorted=bool(fields.get("sorted"))
+        schema_version=version,
+        n_rows=n_rows,
+        sorted=bool(fields.get("sorted")),
+        t_min=spans["t_min"],
+        t_max=spans["t_max"],
     )
 
 
@@ -402,11 +432,17 @@ def read_cdr_batch(path: str | Path, *, mmap: bool = True) -> CDRBatch:
 
 @dataclass(frozen=True)
 class ShardManifestEntry:
-    """Header-level facts about one shard, in fold order."""
+    """Header-level facts about one shard, in fold order.
+
+    ``t_min``/``t_max`` mirror the header's time-span fields and are
+    ``None`` for empty shards or pre-span containers.
+    """
 
     path: str
     n_rows: int
     sorted: bool
+    t_min: float | None = None
+    t_max: float | None = None
 
 
 def read_cdrz_header(path: str | Path) -> CdrzHeader:
@@ -438,7 +474,11 @@ def shard_manifest(
         header = read_cdrz_header(path)
         entries.append(
             ShardManifestEntry(
-                path=str(path), n_rows=header.n_rows, sorted=header.sorted
+                path=str(path),
+                n_rows=header.n_rows,
+                sorted=header.sorted,
+                t_min=header.t_min,
+                t_max=header.t_max,
             )
         )
     return entries

@@ -12,6 +12,8 @@ Python::
     python -m repro.cli quality  --trace trace.cdrz --days 28
     python -m repro.cli fota     --trace trace.cdrz --days 28 [--max-concurrent N]
     python -m repro.cli journeys --trace trace.cdrz --days 28
+    python -m repro.cli serve    --trace shards/ --days 90 --workers 0
+    python -m repro.cli query    presence [--param q=99.5]
     python -m repro.cli saturate
 
 Traces may be gzipped CSV/JSONL or the binary columnar ``.cdrz`` store
@@ -50,6 +52,14 @@ if TYPE_CHECKING:
 
     from repro.cdr.columnar import ColumnarCDRBatch
     from repro.cdr.records import ConnectionRecord
+
+#: One help string for every shard-sweeping command (analyze, stream,
+#: serve): worker semantics are identical everywhere — results never
+#: depend on the count, 1 sweeps in process, 0 means one per CPU.
+_WORKERS_HELP = (
+    "worker processes for shard sweeps; results are identical at any "
+    "count (1 = in-process, 0 = one per CPU)"
+)
 
 #: Writable trace formats; ``auto`` resolves from the output path suffix.
 _FORMATS = ("auto", "csv", "jsonl", "cdrz")
@@ -142,17 +152,12 @@ def _add_analyze(
         choices=("fused", "vectorized", "reference"),
         help="Section 4 implementation: fused (default, one pass over "
         "shared intermediates), vectorized (per-analysis columnar twins) "
-        "or reference (record loops); all three are bit-identical",
+        "or reference (record loops); all three are bit-identical. With "
+        "--workers != 1 the fused engine map-reduces cdrz shards and still "
+        "prints full statistics; other engines fall back to the streaming "
+        "summary",
     )
-    p.add_argument(
-        "--workers",
-        type=int,
-        default=1,
-        help="worker processes; >1 switches to the out-of-core map-reduce "
-        "path over cdrz shards — with --engine fused it still prints the "
-        "full Section 4 statistics, other engines fall back to the "
-        "streaming summary (0 = one worker per CPU)",
-    )
+    p.add_argument("--workers", type=int, default=1, help=_WORKERS_HELP)
 
 
 def _add_stream(
@@ -166,13 +171,7 @@ def _add_stream(
         "--trace", required=True, help=".cdrz file or shard directory"
     )
     p.add_argument("--days", type=int, default=28)
-    p.add_argument(
-        "--workers",
-        type=int,
-        default=1,
-        help="worker processes; results are identical at any count "
-        "(1 = in-process, 0 = one per CPU)",
-    )
+    p.add_argument("--workers", type=int, default=1, help=_WORKERS_HELP)
     p.add_argument(
         "--chunk-rows",
         type=int,
@@ -223,6 +222,56 @@ def _add_journeys(
     p.add_argument("--days", type=int, default=28)
 
 
+def _add_serve(
+    subparsers: argparse._SubParsersAction[argparse.ArgumentParser],
+) -> None:
+    p = subparsers.add_parser(
+        "serve",
+        help="run the analysis service daemon over a cdrz shard directory",
+        description="Hold a cdrz trace memmapped and serve Section 4 "
+        "queries over HTTP with a keyed result cache. POST /ingest folds "
+        "newly appeared shards incrementally; responses stay bit-identical "
+        "to a cold full run at any ingest order.",
+    )
+    p.add_argument(
+        "--trace", required=True, help=".cdrz file or shard directory"
+    )
+    p.add_argument("--scenario", default="default", choices=sorted(SCENARIOS))
+    p.add_argument("--days", type=int, default=28)
+    p.add_argument("--workers", type=int, default=1, help=_WORKERS_HELP)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8357)
+    p.add_argument(
+        "--cache-mb",
+        type=float,
+        default=64.0,
+        help="LRU byte budget for cached query responses",
+    )
+
+
+def _add_query(
+    subparsers: argparse._SubParsersAction[argparse.ArgumentParser],
+) -> None:
+    p = subparsers.add_parser(
+        "query", help="query a running analysis service daemon"
+    )
+    p.add_argument(
+        "kind",
+        help="analysis kind (see `query analyses`), or one of: analyses, "
+        "stats, ingest, invalidate",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8357)
+    p.add_argument("--car", default=None, help="car id for timeline queries")
+    p.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="query parameter, repeatable (e.g. --param q=99.5)",
+    )
+
+
 def _add_saturate(
     subparsers: argparse._SubParsersAction[argparse.ArgumentParser],
 ) -> None:
@@ -248,6 +297,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_quality(subparsers)
     _add_fota(subparsers)
     _add_journeys(subparsers)
+    _add_serve(subparsers)
+    _add_query(subparsers)
     _add_saturate(subparsers)
     return parser
 
@@ -353,33 +404,77 @@ def cmd_convert(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_inspect(args: argparse.Namespace) -> int:
-    from repro.cdr.store import inspect_cdrz, resolve_shards
+def _inspect_directory(path: str) -> int:
+    """Aggregate manifest view of a shard directory, headers only.
 
-    shards = resolve_shards(args.path)
+    Reads each shard's header member and the zip directory — no column
+    array is paged in — so inspecting a terabyte trace costs one small
+    read per shard.  The day span comes from the headers' ``t_min`` /
+    ``t_max`` stamps; shards written before those stamps existed report an
+    unknown span.
+    """
+    from repro.algorithms.timebins import DAY
+    from repro.cdr.store import read_cdrz_header, resolve_shards
+
+    shards = resolve_shards(path)
     total_rows = 0
+    total_bytes = 0
+    t_min: float | None = None
+    t_max: float | None = None
+    span_known = True
     for shard in shards:
-        info = inspect_cdrz(shard)
-        header = info.header
-        print(
-            f"{info.path}: cdrz schema v{header.schema_version}, "
-            f"{header.n_rows:,} rows, sorted={header.sorted}, "
-            f"{info.file_bytes:,} bytes"
-        )
-        print(
-            f"  cars {info.n_cars:,} | carriers {info.n_carriers} "
-            f"| technologies {info.n_technologies}"
-        )
-        for member in info.members:
-            shape = "x".join(str(dim) for dim in member.shape) or "()"
-            storage = "deflated" if member.compressed else "stored"
-            print(
-                f"  {member.name:<14} {member.dtype:<8} {shape:>10} "
-                f"{member.nbytes:>12,} B  {storage}"
-            )
+        header = read_cdrz_header(shard)
         total_rows += header.n_rows
-    if len(shards) > 1:
-        print(f"{len(shards)} shards, {total_rows:,} rows total")
+        total_bytes += shard.stat().st_size
+        if header.n_rows == 0:
+            continue
+        if header.t_min is None or header.t_max is None:
+            span_known = False
+            continue
+        t_min = header.t_min if t_min is None else min(t_min, header.t_min)
+        t_max = header.t_max if t_max is None else max(t_max, header.t_max)
+    print(
+        f"{path}: {len(shards)} shard(s), {total_rows:,} rows, "
+        f"{total_bytes:,} bytes"
+    )
+    if t_min is not None and t_max is not None:
+        first_day = int(t_min // DAY)
+        last_day = int(max(t_min, t_max - 1e-9) // DAY)
+        prefix = "" if span_known else ">= "
+        print(
+            f"  day span {prefix}{first_day}..{last_day} "
+            f"({prefix}{last_day - first_day + 1} day(s))"
+        )
+    elif total_rows:
+        print("  day span unknown (shards predate t_min/t_max headers)")
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.cdr.store import inspect_cdrz
+
+    if Path(args.path).is_dir():
+        return _inspect_directory(args.path)
+    info = inspect_cdrz(args.path)
+    header = info.header
+    print(
+        f"{info.path}: cdrz schema v{header.schema_version}, "
+        f"{header.n_rows:,} rows, sorted={header.sorted}, "
+        f"{info.file_bytes:,} bytes"
+    )
+    print(
+        f"  cars {info.n_cars:,} | carriers {info.n_carriers} "
+        f"| technologies {info.n_technologies}"
+    )
+    for member in info.members:
+        shape = "x".join(str(dim) for dim in member.shape) or "()"
+        storage = "deflated" if member.compressed else "stored"
+        print(
+            f"  {member.name:<14} {member.dtype:<8} {shape:>10} "
+            f"{member.nbytes:>12,} B  {storage}"
+        )
     return 0
 
 
@@ -635,6 +730,80 @@ def cmd_journeys(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``serve``: start the long-running analysis daemon.
+
+    The initial ingest happens before the socket opens, so the first
+    request never pays the cold sweep; later ``POST /ingest`` calls fold
+    only newly appeared shards.
+    """
+    from repro.cdr.errors import CDRValidationError
+    from repro.service import ServiceConfig, ServiceState, serve_forever
+
+    config = ServiceConfig(
+        trace=args.trace,
+        scenario=args.scenario,
+        days=args.days,
+        workers=args.workers,
+        cache_bytes=int(args.cache_mb * 1e6),
+    )
+    state = ServiceState(config)
+    try:
+        summary = state.refresh()
+    except CDRValidationError as exc:
+        print(f"serve needs a cdrz trace: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"serving {summary.n_shards} shard(s), {summary.n_records:,} records "
+        f"({args.scenario}, {args.days} days) on http://{args.host}:{args.port}"
+    )
+    try:
+        serve_forever(state, args.host, args.port)
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """``query``: one request against a running daemon, pretty-printed."""
+    import json
+
+    from repro.service import ServiceClient, ServiceClientError
+
+    params: dict[str, str] = {}
+    for raw in args.param:
+        key, sep, value = raw.partition("=")
+        if not sep or not key:
+            print(f"--param must look like KEY=VALUE, got {raw!r}", file=sys.stderr)
+            return 2
+        params[key] = value
+    if args.car is not None:
+        params["car"] = args.car
+    try:
+        with ServiceClient(args.host, args.port) as client:
+            if args.kind == "stats":
+                payload = client.stats()
+            elif args.kind == "analyses":
+                payload = client.analyses()
+            elif args.kind == "ingest":
+                payload = client.ingest()
+            elif args.kind == "invalidate":
+                payload = client.invalidate()
+            else:
+                payload = client.query(args.kind, params)
+    except ServiceClientError as exc:
+        print(f"query failed: {exc}", file=sys.stderr)
+        return 2
+    except ConnectionError as exc:
+        print(
+            f"cannot reach service at {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
 def cmd_saturate(args: argparse.Namespace) -> int:
     from repro.algorithms.timebins import BIN_SECONDS
     from repro.network.scheduler import DownloadFlow, PRBScheduler
@@ -675,6 +844,8 @@ def main(argv: list[str] | None = None) -> int:
         "quality": cmd_quality,
         "fota": cmd_fota,
         "journeys": cmd_journeys,
+        "serve": cmd_serve,
+        "query": cmd_query,
         "saturate": cmd_saturate,
     }
     return handlers[args.command](args)

@@ -24,6 +24,12 @@ from repro.network.load import CellLoadModel
 #: The paper's busy threshold on U_PRB per 15-minute bin.
 BUSY_THRESHOLD = 0.80
 
+#: Default byte cap on the cached :meth:`BusySchedule.mask_table` grid.
+#: A paper-scale topology (tens of thousands of cells x a 90-day bin axis)
+#: stays well under this; anything larger is rebuilt on demand instead of
+#: pinned for the schedule's lifetime.
+MASK_TABLE_CACHE_BYTES = 256 * 1024 * 1024
+
 
 class BusySchedule:
     """Per-cell boolean busy masks over the study's 15-minute bins.
@@ -38,11 +44,18 @@ class BusySchedule:
         self,
         masks: dict[int, npt.NDArray[np.bool_]],
         threshold: float = BUSY_THRESHOLD,
+        mask_table_cache_bytes: int = MASK_TABLE_CACHE_BYTES,
     ) -> None:
         if not 0 < threshold < 1:
             raise ValueError(f"threshold must be in (0, 1), got {threshold}")
+        if mask_table_cache_bytes < 0:
+            raise ValueError(
+                "mask_table_cache_bytes must be >= 0, got "
+                f"{mask_table_cache_bytes}"
+            )
         self._masks = masks
         self.threshold = threshold
+        self.mask_table_cache_bytes = mask_table_cache_bytes
         self._table: (
             tuple[
                 npt.NDArray[np.int64],
@@ -95,7 +108,12 @@ class BusySchedule:
         ``False``.  The fused busy kernel gathers straight from this layout
         instead of re-assembling a per-chunk table; the masks are a pure
         function of the load model, so the grid is cached for the
-        schedule's lifetime (like the per-cell masks themselves).
+        schedule's lifetime (like the per-cell masks themselves) — but only
+        while it fits ``mask_table_cache_bytes``.  An over-budget grid is
+        returned without being stored, trading rebuild time for a bounded
+        resident set in long-running processes such as the analysis
+        service, which shares one schedule across every query for the same
+        (scenario, days) key.
         """
         table = self._table
         if table is None:
@@ -116,7 +134,9 @@ class BusySchedule:
                 if mask is not None:
                     grid[row, : mask.size] = mask
             table = (cell_ids, lens, grid)
-            self._table = table
+            total_bytes = cell_ids.nbytes + lens.nbytes + grid.nbytes
+            if total_bytes <= self.mask_table_cache_bytes:
+                self._table = table
         return table
 
     def is_busy(self, cell_id: int, global_bin: int) -> bool:

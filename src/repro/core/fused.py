@@ -43,7 +43,9 @@ twins remain the bit-identity oracle (``tests/core/test_fused_parity.py``).
 
 from __future__ import annotations
 
+import copy
 from collections import Counter
+from collections.abc import Iterable
 from dataclasses import dataclass
 from functools import cached_property
 from typing import Protocol
@@ -1781,6 +1783,28 @@ class FusedEngine:
                 else None
             ),
         )
+
+
+def fold_fused_partials(partials: Iterable[FusedPartial]) -> FusedPartial:
+    """Fold shard partials *in the given order* into a fresh accumulator.
+
+    :meth:`FusedPartial.absorb_partial` mutates its receiver, so callers
+    that keep per-shard partials cached — the analysis service re-folds its
+    whole cache after every incremental ingest — must not fold into a
+    cached object.  This helper deep-copies the first partial and absorbs
+    the rest into the copy, leaving every input untouched; the caller
+    supplies shard-index order, which is what makes the fold bit-identical
+    to a cold full run regardless of how the cache was populated.
+    """
+    merged: FusedPartial | None = None
+    for partial in partials:
+        if merged is None:
+            merged = copy.deepcopy(partial)
+        else:
+            merged.absorb_partial(partial)
+    if merged is None:
+        raise ValueError("fold_fused_partials needs at least one partial")
+    return merged
 
 
 def finalize_fused(partial: FusedPartial, clock: StudyClock) -> FusedReport:

@@ -290,9 +290,9 @@ def _map_fused_indexed(index: int) -> tuple[int, FusedPartial | None]:
 
 
 def _map_fused_parallel(
-    spec: FusedMapSpec, n_workers: int
+    spec: FusedMapSpec, n_workers: int, indices: Sequence[int]
 ) -> dict[int, FusedPartial | None]:
-    """Fan shard indices over a pool; collect fused partials by index."""
+    """Fan the given shard indices over a pool; collect partials by index."""
     global _FUSED_SPEC
     methods = multiprocessing.get_all_start_methods()
     use_fork = "fork" in methods
@@ -310,12 +310,42 @@ def _map_fused_parallel(
             processes=n_workers, initializer=initializer, initargs=initargs
         ) as pool:
             for index, partial in pool.imap_unordered(
-                _map_fused_indexed, range(len(spec.shards)), chunksize=1
+                _map_fused_indexed, indices, chunksize=1
             ):
                 indexed[index] = partial
     finally:
         _FUSED_SPEC = None
     return indexed
+
+
+def map_shards_fused(
+    spec: FusedMapSpec,
+    *,
+    indices: Sequence[int] | None = None,
+    workers: int = 1,
+) -> dict[int, FusedPartial | None]:
+    """Map shard indices to fused partials with ``workers`` processes.
+
+    The subset entry point of the fused map phase: callers that already
+    hold partials for most shards — the analysis service folding one new
+    day of data into cached state — pass just the missing ``indices`` and
+    pay only for those sweeps.  Each partial is a pure function of its
+    shard's bytes, so a subset map composes bit-identically with cached
+    partials under the usual index-ordered fold.  ``indices`` defaults to
+    every shard; order does not matter (the result is keyed by index).
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    wanted = list(range(len(spec.shards))) if indices is None else list(indices)
+    for index in wanted:
+        if not 0 <= index < len(spec.shards):
+            raise ValueError(
+                f"shard index {index} out of range for {len(spec.shards)} shards"
+            )
+    n_workers = min(workers, len(wanted))
+    if n_workers <= 1:
+        return {i: map_shard_fused(spec, i) for i in wanted}
+    return _map_fused_parallel(spec, n_workers, wanted)
 
 
 def analyze_shards_fused(
@@ -357,10 +387,7 @@ def analyze_shards_fused(
         chunk_rows=chunk_rows,
     )
     n_workers = min(workers, len(shards))
-    if n_workers <= 1:
-        indexed = {i: map_shard_fused(spec, i) for i in range(len(shards))}
-    else:
-        indexed = _map_fused_parallel(spec, n_workers)
+    indexed = map_shards_fused(spec, workers=n_workers)
 
     merged: FusedPartial | None = None
     n_empty = 0

@@ -1,0 +1,63 @@
+"""Long-running analysis service over `.cdrz` traces.
+
+The batch CLI answers one question per process: load shards, sweep, print,
+exit.  This package keeps the expensive state alive instead — memmapped
+shards, per-shard fused partials, a finalized report, and an LRU byte-
+budgeted cache of serialized responses — behind a small stdlib-asyncio
+HTTP daemon (``repro-cars serve``).  Warm queries are a cache lookup;
+ingesting a new day of shards folds only the new partials and is
+bit-identical to a cold full recompute at any ingest order.
+
+Modules: :mod:`cache` (keyed LRU result cache), :mod:`ingest` (scan /
+diff / fingerprints), :mod:`state` (the daemon's core), :mod:`routes`
+(report -> JSON projections), :mod:`app` (HTTP server), :mod:`client`
+(blocking JSON client).
+"""
+
+from repro.service.app import ServiceApp, ServiceThread, serve_forever
+from repro.service.cache import CacheStats, ResultCache, fingerprint, result_key
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.ingest import (
+    ManifestDiff,
+    ShardEntry,
+    ShardKey,
+    diff_manifest,
+    scan_shards,
+    trace_fingerprint,
+)
+from repro.service.routes import ANALYSIS_ROUTES, QueryError, Route
+from repro.service.state import (
+    IngestSummary,
+    ScenarioContext,
+    ServiceConfig,
+    ServiceState,
+    canonical_json,
+    scenario_context,
+)
+
+__all__ = [
+    "ANALYSIS_ROUTES",
+    "CacheStats",
+    "IngestSummary",
+    "ManifestDiff",
+    "QueryError",
+    "ResultCache",
+    "Route",
+    "ScenarioContext",
+    "ServiceApp",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceConfig",
+    "ServiceState",
+    "ServiceThread",
+    "ShardEntry",
+    "ShardKey",
+    "canonical_json",
+    "diff_manifest",
+    "fingerprint",
+    "result_key",
+    "scan_shards",
+    "scenario_context",
+    "serve_forever",
+    "trace_fingerprint",
+]

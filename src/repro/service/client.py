@@ -1,0 +1,143 @@
+"""Blocking HTTP client for the analysis service.
+
+Built on ``http.client`` so the CLI, tests and benchmarks can talk to the
+daemon without third-party dependencies.  One client holds one persistent
+keep-alive connection and is **not** thread-safe — concurrent callers
+(the throughput benchmark, the concurrency tests) each open their own
+client, which also matches how qps under concurrent load should be
+measured: independent connections, not a shared pipeline.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from collections.abc import Mapping
+from types import TracebackType
+from urllib.parse import quote, urlencode
+
+
+class ServiceClientError(Exception):
+    """A non-200 response, with the server's status and message."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Minimal JSON client bound to one ``host:port``."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Close the persistent connection (reopened on next request)."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    # -- transport ---------------------------------------------------------
+
+    def request_bytes(self, method: str, path: str) -> tuple[int, bytes]:
+        """One request; returns ``(status, body)`` without interpreting it."""
+        conn = self._conn
+        if conn is None:
+            conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            self._conn = conn
+        try:
+            conn.request(method, path)
+            response = conn.getresponse()
+            return response.status, response.read()
+        except (http.client.HTTPException, ConnectionError, OSError):
+            # Stale keep-alive socket: reconnect once and retry.
+            self.close()
+            conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            self._conn = conn
+            conn.request(method, path)
+            response = conn.getresponse()
+            return response.status, response.read()
+
+    def _request_ok(self, method: str, path: str) -> bytes:
+        status, body = self.request_bytes(method, path)
+        if status != 200:
+            try:
+                parsed = json.loads(body)
+                message = str(parsed.get("error", body.decode("utf-8", "replace")))
+            except (ValueError, AttributeError):
+                message = body.decode("utf-8", "replace")
+            raise ServiceClientError(status, message)
+        return body
+
+    def _get_json(self, path: str) -> dict[str, object]:
+        payload = json.loads(self._request_ok("GET", path))
+        if not isinstance(payload, dict):
+            raise ServiceClientError(200, f"expected a JSON object from {path}")
+        return payload
+
+    # -- endpoints ---------------------------------------------------------
+
+    def healthz(self) -> dict[str, object]:
+        """Liveness probe."""
+        return self._get_json("/healthz")
+
+    def stats(self) -> dict[str, object]:
+        """Cache counters and manifest fingerprints."""
+        return self._get_json("/stats")
+
+    def analyses(self) -> dict[str, object]:
+        """The query kinds this daemon serves."""
+        return self._get_json("/analyses")
+
+    def query_bytes(self, kind: str, params: Mapping[str, str] | None = None) -> bytes:
+        """One analysis response as raw bytes (for byte-parity checks)."""
+        path = f"/query/{quote(kind)}"
+        if params:
+            path += "?" + urlencode(sorted(params.items()))
+        return self._request_ok("GET", path)
+
+    def query(
+        self, kind: str, params: Mapping[str, str] | None = None
+    ) -> dict[str, object]:
+        """One analysis response, parsed."""
+        payload = json.loads(self.query_bytes(kind, params))
+        if not isinstance(payload, dict):
+            raise ServiceClientError(200, f"expected a JSON object from {kind}")
+        return payload
+
+    def timeline(self, car: str) -> dict[str, object]:
+        """One car's session log."""
+        return self._get_json(f"/timeline/{quote(car)}")
+
+    def ingest(self) -> dict[str, object]:
+        """Ask the daemon to rescan its trace and fold new shards."""
+        payload = json.loads(self._request_ok("POST", "/ingest"))
+        if not isinstance(payload, dict):
+            raise ServiceClientError(200, "expected a JSON object from /ingest")
+        return payload
+
+    def invalidate(self) -> dict[str, object]:
+        """Drop every cached response."""
+        payload = json.loads(self._request_ok("POST", "/invalidate"))
+        if not isinstance(payload, dict):
+            raise ServiceClientError(200, "expected a JSON object from /invalidate")
+        return payload

@@ -54,7 +54,11 @@ class TestRoundTrip:
         back, header = read_cdrz(path)
         assert back == unsorted_col
         assert header == CdrzHeader(
-            schema_version=SCHEMA_VERSION, n_rows=len(unsorted_col), sorted=False
+            schema_version=SCHEMA_VERSION,
+            n_rows=len(unsorted_col),
+            sorted=False,
+            t_min=float(unsorted_col.start.min()),
+            t_max=float((unsorted_col.start + unsorted_col.duration).max()),
         )
 
     def test_buffered_round_trip_is_equal(self, tmp_path, unsorted_col):

@@ -459,6 +459,62 @@ class TestFusedMapReduce:
             assert fused.n_records == stream.n_records
             assert fused.n_ghosts == stream.n_ghosts
 
+    def test_map_shards_fused_partial_sweeps_fold_to_full_report(
+        self, sharded, clock
+    ):
+        # Parity for the partial-sweep API: mapping disjoint index subsets
+        # with map_shards_fused and folding must reproduce the one-sweep
+        # analyze_shards_fused report bit for bit.
+        from repro.cdr.store import resolve_shards
+        from repro.core.fused import finalize_fused, fold_fused_partials
+        from repro.core.mapreduce import FusedMapSpec, map_shards_fused
+        from repro.core.preprocess import PreprocessConfig
+
+        shards = tuple(resolve_shards(sharded))
+        spec = FusedMapSpec(
+            shards=shards,
+            clock=clock,
+            config=PreprocessConfig(),
+            schedule=None,
+            cells=None,
+            min_records=2,
+            chunk_rows=256,
+        )
+        halfway = len(shards) // 2
+        first = map_shards_fused(
+            spec, indices=list(range(halfway)), workers=1
+        )
+        second = map_shards_fused(
+            spec, indices=list(range(halfway, len(shards))), workers=1
+        )
+        partials = [
+            partial
+            for _, partial in sorted((first | second).items())
+            if partial is not None
+        ]
+        report = finalize_fused(fold_fused_partials(partials), clock)
+        reference, _ = analyze_shards_fused(
+            sharded, clock, min_records=2, chunk_rows=256, workers=1
+        )
+        assert np.array_equal(
+            report.presence.car_fraction, reference.presence.car_fraction
+        )
+        assert np.array_equal(
+            report.presence.cell_fraction, reference.presence.cell_fraction
+        )
+        assert report.days == reference.days
+        assert report.connect_time.car_ids == reference.connect_time.car_ids
+        assert np.array_equal(
+            report.connect_time.full_share, reference.connect_time.full_share
+        )
+        assert np.array_equal(
+            report.connect_time.truncated_share,
+            reference.connect_time.truncated_share,
+        )
+        assert report.carriers.cars_fraction == reference.carriers.cars_fraction
+        assert report.carriers.time_fraction == reference.carriers.time_fraction
+        assert report.n_ghosts == reference.n_ghosts
+
     def test_empty_source_is_rejected(self, tmp_path, clock, dataset):
         empty = dataset.batch.columnar().rows(0, 0)
         write_sharded_cdrz(tmp_path, empty, shard_rows=10)

@@ -1,0 +1,112 @@
+"""Unit tests for shard scanning, manifest diffing and fingerprints."""
+
+import os
+
+import pytest
+
+from repro.cdr.columnar import ColumnarCDRBatch
+from repro.cdr.records import ConnectionRecord
+from repro.cdr.store import resolve_shards, write_batch_cdrz, write_sharded_cdrz
+from repro.service.ingest import (
+    diff_manifest,
+    scan_shards,
+    trace_fingerprint,
+)
+
+
+def make_batch(n=40, start=0.0):
+    records = [
+        ConnectionRecord(start + 100.0 * i, f"car-{i % 5}", i % 7, "C1", "4G", 60.0)
+        for i in range(n)
+    ]
+    return ColumnarCDRBatch.from_records(records)
+
+
+@pytest.fixture
+def trace(tmp_path):
+    directory = tmp_path / "trace"
+    write_sharded_cdrz(directory, make_batch(), shard_rows=15)
+    return directory
+
+
+class TestScanShards:
+    def test_matches_resolve_shards_order(self, trace):
+        scan = scan_shards(trace)
+        assert [entry.path for entry in scan] == [
+            str(p) for p in resolve_shards(trace)
+        ]
+
+    def test_stamps_match_filesystem(self, trace):
+        for entry in scan_shards(trace):
+            stat = os.stat(entry.path)
+            assert entry.size == stat.st_size
+            assert entry.mtime_ns == stat.st_mtime_ns
+            assert entry.key == (entry.path, entry.size, entry.mtime_ns)
+
+
+class TestDiffManifest:
+    def test_everything_is_added_on_first_scan(self, trace):
+        scan = scan_shards(trace)
+        diff = diff_manifest(set(), scan)
+        assert [entry for _, entry in diff.added] == scan
+        assert [index for index, _ in diff.added] == list(range(len(scan)))
+        assert diff.removed == ()
+        assert diff.unchanged == ()
+        assert diff.changed
+
+    def test_steady_state_is_a_noop(self, trace):
+        scan = scan_shards(trace)
+        diff = diff_manifest({entry.key for entry in scan}, scan)
+        assert diff.added == ()
+        assert diff.removed == ()
+        assert diff.unchanged == tuple(scan)
+        assert not diff.changed
+
+    def test_new_shard_is_added_with_its_scan_index(self, trace):
+        before = scan_shards(trace)
+        write_batch_cdrz(trace / "shard-99990.cdrz", make_batch(5, start=9000.0))
+        after = scan_shards(trace)
+        diff = diff_manifest({entry.key for entry in before}, after)
+        assert len(diff.added) == 1
+        index, entry = diff.added[0]
+        assert entry.path.endswith("shard-99990.cdrz")
+        assert after[index] is entry
+        assert diff.unchanged == tuple(before)
+
+    def test_deleted_shard_is_removed(self, trace):
+        before = scan_shards(trace)
+        os.unlink(before[-1].path)
+        after = scan_shards(trace)
+        diff = diff_manifest({entry.key for entry in before}, after)
+        assert diff.removed == (before[-1].key,)
+        assert diff.added == ()
+        assert diff.changed
+
+    def test_rewritten_shard_is_removed_plus_added(self, trace):
+        """A rewrite in place must invalidate the old partial."""
+        before = scan_shards(trace)
+        victim = before[0]
+        write_batch_cdrz(victim.path, make_batch(3, start=5000.0))
+        after = scan_shards(trace)
+        diff = diff_manifest({entry.key for entry in before}, after)
+        assert victim.key in diff.removed
+        assert any(entry.path == victim.path for _, entry in diff.added)
+
+
+class TestTraceFingerprint:
+    def test_stable_for_identical_scans(self, trace):
+        assert trace_fingerprint(scan_shards(trace)) == trace_fingerprint(
+            scan_shards(trace)
+        )
+
+    def test_rotates_when_a_shard_appears(self, trace):
+        before = trace_fingerprint(scan_shards(trace))
+        write_batch_cdrz(trace / "shard-99990.cdrz", make_batch(5, start=9000.0))
+        assert trace_fingerprint(scan_shards(trace)) != before
+
+    def test_order_sensitive(self, trace):
+        scan = scan_shards(trace)
+        assert trace_fingerprint(scan) != trace_fingerprint(list(reversed(scan)))
+
+    def test_empty_scan_has_a_fingerprint(self):
+        assert len(trace_fingerprint([])) == 16
