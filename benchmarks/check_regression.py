@@ -1,11 +1,13 @@
 """Compare fresh benchmark runs against the committed repo-root baselines.
 
 The committed ``BENCH_analysis.json`` / ``BENCH_scale.json`` /
-``BENCH_service.json`` at the repo root pin the performance story each PR
+``BENCH_service.json`` / ``BENCH_twin.json`` at the repo root pin the
+performance story each PR
 ships with.  Absolute wall times are machine-specific, so the comparison
 uses the *ratios* the benches already compute — columnar-vs-reference and
-fused-vs-columnar speedups, the map-reduce worker scaling, and the
-service's warm-cache and incremental-ingest speedups — which transfer
+fused-vs-columnar speedups, the map-reduce worker scaling, the
+service's warm-cache and incremental-ingest speedups, and the twin
+search's convergence gain — which transfer
 across hosts.  A fresh run must
 stay above both the hard floors the benches assert and a fraction of the
 committed baseline, so a silent slide from, say, 3.2x fused down to 2.6x
@@ -41,6 +43,9 @@ RATIOS = (
     ("BENCH_scale.json", "speedup_at_4_workers", None, True),
     ("BENCH_service.json", "warm_speedup_vs_cold_cli", 50.0, False),
     ("BENCH_service.json", "ingest_speedup_vs_full", 4.0, True),
+    # Seeded and single-process: the gain is bit-deterministic, so any
+    # drop below baseline means the search or its statistics changed.
+    ("BENCH_twin.json", "convergence_gain", 1.5, True),
 )
 
 

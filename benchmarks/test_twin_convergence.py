@@ -1,0 +1,89 @@
+"""Twin calibration convergence: how far the search closes the gap.
+
+A target trace is generated from deliberately *off-lattice* knob values —
+unreachable by the multiplicative coordinate steps — so the calibrated
+best score stays positive and ``convergence_gain = baseline_score /
+best_score`` is a finite, host-independent ratio.  Unlike the throughput
+benches, nothing here is timing-sensitive: generation and search are
+seeded and single-threaded-deterministic, so the gain reproduces exactly
+and regressions in it mean the search (or the statistics it optimizes)
+changed behaviour, not that the host was slow.
+
+``BENCH_twin.json`` records the gain, both scores, the per-statistic
+distances before and after calibration, the evaluation count and the
+wall time; ``check_regression.py`` gates the gain against the committed
+baseline plus a hard floor.
+"""
+
+import time
+
+from repro.simulate.config import apply_knobs
+from repro.simulate.generator import TraceGenerator
+from repro.simulate.scenarios import scenario
+from repro.twin.search import calibrate
+from repro.twin.summary import summarize_batch, twin_context
+
+DAYS = 7
+N_CARS = 20
+SEED = 42
+#: Off the default x (1 +/- step/2^k) lattice: exact recovery impossible,
+#: the search can only close most of the distance.
+TRUE_KNOBS = {
+    "activity.telemetry_period_s": 500.0,
+    "activity.infotainment_prob": 0.55,
+}
+SEARCH = tuple(TRUE_KNOBS)
+ROUNDS = 5
+GAIN_FLOOR = 1.5
+
+
+def test_twin_convergence(emit_json):
+    ctx = twin_context("smoke", DAYS)
+    config = apply_knobs(
+        scenario("smoke", n_cars=N_CARS, n_days=DAYS), TRUE_KNOBS
+    )
+    target = summarize_batch(
+        TraceGenerator(config).generate().batch.columnar(), ctx
+    )
+
+    t0 = time.perf_counter()
+    result = calibrate(
+        target,
+        ctx,
+        scenario_name="smoke",
+        n_cars=N_CARS,
+        seed=SEED,
+        knobs=SEARCH,
+        rounds=ROUNDS,
+    )
+    elapsed = time.perf_counter() - t0
+
+    assert result.report.score > 0.0  # off-lattice: no exact twin
+    assert result.report.score < result.baseline.score
+    gain = result.baseline.score / result.report.score
+
+    emit_json(
+        "BENCH_twin",
+        {
+            "target_knobs": TRUE_KNOBS,
+            "searched_knobs": list(SEARCH),
+            "recovered_knobs": result.config.knobs,
+            "baseline_score": result.baseline.score,
+            "best_score": result.report.score,
+            "convergence_gain": round(gain, 3),
+            "gain_floor": GAIN_FLOOR,
+            "per_stat": {
+                stat.name: {
+                    "baseline": result.baseline.distance(stat.name),
+                    "best": stat.distance,
+                }
+                for stat in result.report.stats
+            },
+            "n_evaluations": result.n_evaluations,
+            "rounds_run": result.rounds_run,
+            "seconds": round(elapsed, 3),
+            "cars": N_CARS,
+            "days": DAYS,
+        },
+    )
+    assert gain >= GAIN_FLOOR

@@ -14,6 +14,8 @@ Python::
     python -m repro.cli journeys --trace trace.cdrz --days 28
     python -m repro.cli serve    --trace shards/ --days 90 --workers 0
     python -m repro.cli query    presence [--param q=99.5]
+    python -m repro.cli twin     target.cdrz --days 28 --out twin.json \\
+        [--report report.json]
     python -m repro.cli saturate
 
 Traces may be gzipped CSV/JSONL or the binary columnar ``.cdrz`` store
@@ -272,6 +274,48 @@ def _add_query(
     )
 
 
+def _add_twin(
+    subparsers: argparse._SubParsersAction[argparse.ArgumentParser],
+) -> None:
+    p = subparsers.add_parser(
+        "twin",
+        help="calibrate the generator to statistically twin a target trace",
+        description="Summarize the target trace's calibration statistics, "
+        "then run a deterministic coordinate-descent search over the "
+        "generator's tunable knobs to minimize the divergence. Writes the "
+        "best-fit generator config to --out and, optionally, a "
+        "machine-readable divergence report to --report.",
+    )
+    p.add_argument("target", help="trace to twin: csv/jsonl/cdrz file or shard dir")
+    p.add_argument("--scenario", default="smoke", choices=sorted(SCENARIOS))
+    p.add_argument(
+        "--days", type=int, default=28, help="study length of the target trace"
+    )
+    p.add_argument(
+        "--cars", type=int, default=100, help="fleet size of candidate twins"
+    )
+    p.add_argument("--seed", type=int, default=42, help="candidate generator seed")
+    p.add_argument(
+        "--rounds", type=int, default=3, help="maximum full coordinate sweeps"
+    )
+    p.add_argument(
+        "--step",
+        type=float,
+        default=0.5,
+        help="initial relative knob step (halved after sweeps with no gain)",
+    )
+    p.add_argument(
+        "--knobs",
+        default=None,
+        help="comma-separated knob subset to search (default: all tunable knobs)",
+    )
+    p.add_argument("--workers", type=int, default=1, help=_WORKERS_HELP)
+    p.add_argument("--out", required=True, help="best-fit generator config JSON")
+    p.add_argument(
+        "--report", default=None, help="divergence report JSON (optional)"
+    )
+
+
 def _add_saturate(
     subparsers: argparse._SubParsersAction[argparse.ArgumentParser],
 ) -> None:
@@ -299,6 +343,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_journeys(subparsers)
     _add_serve(subparsers)
     _add_query(subparsers)
+    _add_twin(subparsers)
     _add_saturate(subparsers)
     return parser
 
@@ -794,13 +839,79 @@ def cmd_query(args: argparse.Namespace) -> int:
     except ServiceClientError as exc:
         print(f"query failed: {exc}", file=sys.stderr)
         return 2
-    except ConnectionError as exc:
+    except OSError as exc:
+        # ConnectionRefusedError (no daemon), socket.gaierror (bad host)
+        # and timeouts are all OSError: one line on stderr, never a
+        # traceback.
         print(
             f"cannot reach service at {args.host}:{args.port}: {exc}",
             file=sys.stderr,
         )
         return 2
     print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_twin(args: argparse.Namespace) -> int:
+    """``twin``: calibrate the generator against a target trace."""
+    import json
+
+    from repro.cdr.errors import ReproError
+    from repro.twin import calibrate, summarize_source, twin_context
+
+    knobs = None
+    if args.knobs is not None:
+        knobs = tuple(k.strip() for k in args.knobs.split(",") if k.strip())
+        if not knobs:
+            print("--knobs must name at least one knob", file=sys.stderr)
+            return 2
+    try:
+        ctx = twin_context(args.scenario, args.days)
+        target = summarize_source(args.target, ctx, workers=args.workers)
+        result = calibrate(
+            target,
+            ctx,
+            scenario_name=args.scenario,
+            n_cars=args.cars,
+            seed=args.seed,
+            knobs=knobs,
+            rounds=args.rounds,
+            step=args.step,
+            workers=args.workers,
+        )
+    except (ReproError, ValueError, OSError) as exc:
+        # Bad target path, corrupt trace, unknown knob, invalid bounds:
+        # all operator input problems — one line on stderr, no traceback.
+        print(f"twin failed: {exc}", file=sys.stderr)
+        return 2
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(result.config.to_json_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    if args.report is not None:
+        doc = dict(result.to_json_dict())
+        doc["target"] = target.to_json_dict()
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    print(
+        f"target: {target.n_records:,} records, {target.n_cars:,} cars over "
+        f"{target.n_days} days"
+    )
+    print(
+        f"search: {result.n_evaluations} candidates over "
+        f"{result.rounds_run} sweeps"
+    )
+    print(
+        f"divergence: {result.baseline.score:.4f} (default config) -> "
+        f"{result.report.score:.4f} (best fit)"
+    )
+    for stat in result.report.stats:
+        try:
+            base = f"{result.baseline.distance(stat.name):.4f}"
+        except KeyError:
+            base = "n/a"
+        print(f"  {stat.name:16s} {base} -> {stat.distance:.4f}")
+    print(f"wrote best-fit config to {args.out}")
     return 0
 
 
@@ -846,6 +957,7 @@ def main(argv: list[str] | None = None) -> int:
         "journeys": cmd_journeys,
         "serve": cmd_serve,
         "query": cmd_query,
+        "twin": cmd_twin,
         "saturate": cmd_saturate,
     }
     return handlers[args.command](args)

@@ -859,9 +859,19 @@ class ConnectPartial:
     car: npt.NDArray[np.int64]
     start: npt.NDArray[np.float64]
     cm: npt.NDArray[np.float64]
+    #: Two chains of one car weld when the later one starts within this
+    #: many seconds of the earlier one's running max — 0 is the pure
+    #: interval union (connect time); 30 gives the paper's aggregate
+    #: sessions (Section 3), the twinning extractor's session table.
+    join_gap_s: float = 0.0
 
     def absorb_partial(self, partial: "ConnectPartial") -> None:
         """Weld a later shard's chain table onto this one (exact)."""
+        if partial.join_gap_s != self.join_gap_s:
+            raise ValueError(
+                "cannot merge chain tables with different join gaps: "
+                f"{self.join_gap_s} vs {partial.join_gap_s}"
+            )
         union = _union_vocab(self.car_ids, partial.car_ids)
         acc_car = self.car
         if union != self.car_ids:
@@ -887,6 +897,7 @@ class ConnectPartial:
             inc_end = np.append(inc_first[1:], len(inc_car))
             starts_l = inc_start.tolist()
             cms_l = inc_cm.tolist()
+            gap = self.join_gap_s
             for c, j0, j1 in zip(
                 inc_cars.tolist(), inc_first.tolist(), inc_end.tolist()
             ):
@@ -895,7 +906,7 @@ class ConnectPartial:
                     continue
                 cm_acc = float(acc_cm[row])
                 j = j0
-                while j < j1 and starts_l[j] <= cm_acc:
+                while j < j1 and starts_l[j] - cm_acc <= gap:
                     if cms_l[j] > cm_acc:
                         cm_acc = cms_l[j]
                     drop[j] = True
@@ -934,11 +945,16 @@ class ConnectKernel:
         *,
         truncated: bool,
         track_partials: bool = False,
+        join_gap_s: float = 0.0,
     ) -> None:
         n = len(car_ids)
         self._car_ids = car_ids
         self._truncated = truncated
         self._track = track_partials
+        #: Chain-join tolerance: 0 unions overlapping intervals (connect
+        #: time); a positive gap concatenates sessions, matching
+        #: ``concatenate_gaps`` (``next.start - prev.end <= gap`` joins).
+        self._gap = join_gap_s
         self._totals = np.zeros(n)
         self._open_start = np.zeros(n)
         self._open_cm = np.zeros(n)
@@ -961,7 +977,7 @@ class ConnectKernel:
         car = inter.car_sorted
         is_start = inter.is_car_start
         new_seg = is_start.copy()
-        new_seg[1:] |= ~is_start[1:] & (s[1:] > cm[:-1])
+        new_seg[1:] |= ~is_start[1:] & (s[1:] - cm[:-1] > self._gap)
         seg_first = np.flatnonzero(new_seg)
         seg_last = np.append(seg_first[1:] - 1, n - 1)
         seg_car = car[seg_first]
@@ -982,12 +998,13 @@ class ConnectKernel:
         close_car: list[int] = []
         close_s: list[float] = []
         close_cm: list[float] = []
+        gap = self._gap
         for a, b in zip(run_first.tolist(), run_last.tolist()):
             c = int(seg_car[a])
             k = a
             if has_open[c]:
                 oc = float(open_cm[c])
-                while k < b and seg_s[k] <= oc:
+                while k < b and seg_s[k] - oc <= gap:
                     if seg_cm[k] > oc:
                         oc = float(seg_cm[k])
                     k += 1
@@ -1043,6 +1060,7 @@ class ConnectKernel:
             car=car[order],
             start=start[order],
             cm=cm[order],
+            join_gap_s=self._gap,
         )
 
     def totals_exact(

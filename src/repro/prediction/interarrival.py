@@ -13,6 +13,7 @@ per-car-predictability claim of Section 4.7.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -52,13 +53,23 @@ class GapModel:
 
 
 def gaps_from_sessions(sessions: list[Interval]) -> npt.NDArray[np.float64]:
-    """Gap durations between consecutive aggregate sessions, seconds."""
+    """Gap durations between consecutive aggregate sessions, seconds.
+
+    Only positive gaps are returned: overlapping sessions would yield a
+    negative "gap" and back-to-back sessions a zero one, and either would
+    skew :class:`GapModel` quantiles and ``probability_within`` toward
+    instant reappearance.  Properly aggregated sessions (30-second
+    concatenation) are disjoint by construction, so dropping non-positive
+    gaps only guards against callers passing raw, un-aggregated intervals.
+    """
     if len(sessions) < 2:
         return np.zeros(0)
     ordered = sorted(sessions)
-    return np.asarray(
+    gaps = np.asarray(
         [b.start - a.end for a, b in zip(ordered, ordered[1:])], dtype=np.float64
     )
+    out: npt.NDArray[np.float64] = gaps[gaps > 0]
+    return out
 
 
 def fit_gap_models(
@@ -95,9 +106,15 @@ class GapEvaluation:
 
     @property
     def improvement(self) -> float:
-        """Relative MAE reduction of per-car models over the baseline."""
+        """Relative MAE reduction of per-car models over the baseline.
+
+        Positive means the per-car models beat the fleet baseline.  A zero
+        baseline MAE only means "no improvement" when the per-car MAE is
+        also zero; a perfect baseline that per-car models *miss* is a
+        (negatively) infinite regression, not a wash.
+        """
         if self.baseline_mae_s == 0:
-            return 0.0
+            return 0.0 if self.per_car_mae_s == 0 else -math.inf
         return 1.0 - self.per_car_mae_s / self.baseline_mae_s
 
 

@@ -11,8 +11,11 @@ keyed by strings whose order the encoder normalizes.
 
 Routes never compute analyses — the fused engine already did during
 ingest.  A route is a cheap projection, which is what makes warm queries a
-cache lookup and cold queries a serialization, never a data sweep (the one
-exception is ``timeline``, which scans the memmapped columns for one car).
+cache lookup and cold queries a serialization, never a data sweep (the
+exceptions are ``timeline``, which scans the memmapped columns for one
+car, and ``twin``, which sweeps the shards once for the calibration
+statistics the fused report does not carry — both land in the same keyed
+cache as every other route, so the sweep happens once per trace version).
 """
 
 from __future__ import annotations
@@ -21,7 +24,12 @@ from collections.abc import Callable, Mapping
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro.cdr.store import DEFAULT_CHUNK_ROWS
+from repro.core.fused import ChunkIntermediates
 from repro.core.handover import HandoverType
+from repro.core.preprocess import PreprocessConfig
+from repro.core.twinstats import TwinStatsKernel, TwinStatsPartial
+from repro.twin.summary import summary_from_parts
 
 if TYPE_CHECKING:
     from repro.service.state import ServiceState
@@ -230,6 +238,36 @@ def build_timeline(state: ServiceState, params: Mapping[str, str]) -> dict[str, 
     }
 
 
+def build_twin(state: ServiceState, params: Mapping[str, str]) -> dict[str, object]:
+    """The served trace's calibration-target summary (``repro.twin``).
+
+    Sweeps the memmapped shards once with a :class:`TwinStatsKernel` —
+    one kernel per shard (shards carry their own vocabularies), partials
+    folded in manifest order, so the payload is bit-identical to an
+    offline :func:`repro.twin.summary.summarize_source` run over the same
+    directory.  The client feeds this straight into
+    ``TraceSummary.from_json_dict`` as a calibration target.
+    """
+    report = state.report()
+    clock = state.context.clock
+    truncate_s = PreprocessConfig().truncate_s
+    merged: TwinStatsPartial | None = None
+    for entry in state.manifest():
+        batch = state.shard_batch(entry)
+        kernel = TwinStatsKernel(batch.car_ids, clock)
+        for lo in range(0, len(batch), DEFAULT_CHUNK_ROWS):
+            chunk = batch.rows(lo, min(lo + DEFAULT_CHUNK_ROWS, len(batch)))
+            kernel.consume(ChunkIntermediates(chunk, clock, truncate_s))
+        partial = kernel.export_partial()
+        if merged is None:
+            merged = partial
+        else:
+            merged.absorb_partial(partial)
+    if merged is None:
+        raise QueryError(409, "trace has no rows")
+    return summary_from_parts(report, merged, clock).to_json_dict()
+
+
 @dataclass(frozen=True)
 class Route:
     """One query kind the service answers."""
@@ -263,5 +301,10 @@ ANALYSIS_ROUTES: dict[str, Route] = {
             build_handovers,
         ),
         Route("timeline", "one car's session log across all shards", build_timeline),
+        Route(
+            "twin",
+            "calibration-target summary for trace twinning",
+            build_twin,
+        ),
     )
 }

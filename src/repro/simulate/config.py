@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field, replace
 
 from repro.algorithms.timebins import StudyClock
 from repro.cdr.errors import TraceGenerationError
@@ -107,3 +108,160 @@ class SimulationConfig:
                 f"got {self.topology.width_km}x{self.topology.height_km} vs "
                 f"{self.roads.width_km}x{self.roads.height_km}"
             )
+
+
+# -- tunable knobs ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class KnobSpec:
+    """One tunable generator parameter the twinning search may move.
+
+    ``name`` is a dotted path into :class:`SimulationConfig`
+    (``activity.<field>``, ``carrier_weights.<carrier>`` or a top-level
+    float field); ``lo``/``hi`` bound the values the calibration loop is
+    allowed to explore — wide enough to cover any plausible fleet, narrow
+    enough that every point in the box is a valid configuration.
+    """
+
+    name: str
+    lo: float
+    hi: float
+    description: str
+
+    def __post_init__(self) -> None:
+        if not self.lo < self.hi:
+            raise TraceGenerationError(
+                f"knob {self.name!r} bounds must satisfy lo < hi, "
+                f"got [{self.lo}, {self.hi}]"
+            )
+
+    def clip(self, value: float) -> float:
+        """``value`` clamped into ``[lo, hi]``."""
+        return min(max(value, self.lo), self.hi)
+
+
+#: Every knob the config-space search may turn.  The set is chosen to span
+#: the calibration targets: session durations (burst means), inter-arrival
+#: gaps (telemetry period), the duration tail (infotainment), carrier
+#: shares (selection weights, C5 capability) and the presence trend
+#: (fleet growth).
+TUNABLE_KNOBS: tuple[KnobSpec, ...] = (
+    KnobSpec(
+        "activity.startup_burst_mean_s", 5.0, 300.0,
+        "mean engine-start telemetry burst length",
+    ),
+    KnobSpec(
+        "activity.telemetry_period_s", 30.0, 2000.0,
+        "seconds between periodic telemetry pings on a trip",
+    ),
+    KnobSpec(
+        "activity.telemetry_burst_mean_s", 10.0, 600.0,
+        "mean periodic telemetry burst length",
+    ),
+    KnobSpec(
+        "activity.infotainment_prob", 0.0, 1.0,
+        "per-trip probability of an infotainment session",
+    ),
+    KnobSpec(
+        "activity.infotainment_mean_s", 60.0, 3600.0,
+        "mean infotainment session length (duration tail)",
+    ),
+    KnobSpec(
+        "carrier_weights.C1", 1e-4, 1.0, "C1 carrier selection weight"
+    ),
+    KnobSpec(
+        "carrier_weights.C2", 1e-4, 1.0, "C2 carrier selection weight"
+    ),
+    KnobSpec(
+        "carrier_weights.C3", 1e-4, 1.0, "C3 carrier selection weight"
+    ),
+    KnobSpec(
+        "carrier_weights.C4", 1e-4, 1.0, "C4 carrier selection weight"
+    ),
+    KnobSpec(
+        "carrier_weights.C5", 1e-4, 1.0, "C5 carrier selection weight"
+    ),
+    KnobSpec(
+        "c5_capable_fraction", 0.0, 0.05,
+        "fraction of cars with a C5-capable modem",
+    ),
+    KnobSpec(
+        "fleet_growth_fraction", 0.0, 1.0,
+        "fraction of cars activated during the study (presence trend)",
+    ),
+)
+
+#: Knob registry keyed by dotted name.
+KNOBS_BY_NAME: dict[str, KnobSpec] = {k.name: k for k in TUNABLE_KNOBS}
+
+
+def _split_knob(name: str) -> tuple[str, str]:
+    """Validate a knob name and split it into ``(group, field)``.
+
+    Top-level fields come back as ``("", field)``.
+    """
+    if name not in KNOBS_BY_NAME:
+        raise TraceGenerationError(
+            f"unknown knob {name!r}; available: {sorted(KNOBS_BY_NAME)}"
+        )
+    group, sep, fieldname = name.partition(".")
+    if not sep:
+        return "", name
+    return group, fieldname
+
+
+def knob_value(config: SimulationConfig, name: str) -> float:
+    """The current value of one knob in ``config``."""
+    group, fieldname = _split_knob(name)
+    if group == "activity":
+        return float(getattr(config.activity, fieldname))
+    if group == "carrier_weights":
+        return float(config.carrier_weights.get(fieldname, 0.0))
+    return float(getattr(config, fieldname))
+
+
+def knob_values(
+    config: SimulationConfig, names: Sequence[str] | None = None
+) -> dict[str, float]:
+    """Current values of the given knobs (default: every tunable knob)."""
+    wanted = tuple(KNOBS_BY_NAME) if names is None else tuple(names)
+    return {name: knob_value(config, name) for name in wanted}
+
+
+def apply_knobs(
+    config: SimulationConfig, values: Mapping[str, float]
+) -> SimulationConfig:
+    """A new config with the given knob values substituted in.
+
+    Unknown names and out-of-bounds values are errors: the twinning search
+    clips candidates into bounds before evaluating them, so anything
+    arriving here out of range is a corrupt config file, not exploration.
+    """
+    activity_updates: dict[str, float] = {}
+    weight_updates: dict[str, float] = {}
+    top_updates: dict[str, float] = {}
+    for name in sorted(values):
+        value = float(values[name])
+        group, fieldname = _split_knob(name)
+        spec = KNOBS_BY_NAME[name]
+        if not spec.lo <= value <= spec.hi:
+            raise TraceGenerationError(
+                f"knob {name!r} value {value} outside [{spec.lo}, {spec.hi}]"
+            )
+        if group == "activity":
+            activity_updates[fieldname] = value
+        elif group == "carrier_weights":
+            weight_updates[fieldname] = value
+        else:
+            top_updates[fieldname] = value
+    out = config
+    if activity_updates:
+        out = replace(out, activity=replace(out.activity, **activity_updates))
+    if weight_updates:
+        weights = dict(out.carrier_weights)
+        weights.update(weight_updates)
+        out = replace(out, carrier_weights=weights)
+    if top_updates:
+        out = replace(out, **top_updates)
+    return out

@@ -1,0 +1,195 @@
+"""Divergence between two trace summaries: per-statistic and folded.
+
+Each Section 4 statistic contributes one normalized distance in
+``[0, 1]``:
+
+* **Scalars** (presence, connect share, handover rate, …) use the
+  symmetric relative distance ``|a - b| / max(|a|, |b|, eps)`` — 0 when
+  equal, 1 when one side is zero and the other is not.
+* **Shapes** (the 24-bin diurnal profile) use total-variation distance —
+  half the L1 difference of two unit-mass vectors.
+* **Quantile vectors** (duration CDF, inter-arrival gaps) average the
+  per-quantile relative distance.
+* **Carrier shares** use a mass-weighted distance
+  ``sum |a_k - b_k| / sum max(a_k, b_k)`` over the union of carriers, so
+  a disagreement on a 50% carrier outweighs one on a 0.4% carrier.
+
+The folded score is the mean of the contributing distances.  Statistics
+either side could not compute (no cell directory, no busy schedule, no
+observed gaps on both sides) are skipped, not zero-filled: a missing
+statistic is no evidence of agreement.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.twin.summary import TraceSummary
+
+#: Floor for relative-distance denominators.
+_EPS = 1e-9
+
+
+def _rel(a: float, b: float) -> float:
+    """Symmetric relative distance of two same-sign scalars, in [0, 1]."""
+    return abs(a - b) / max(abs(a), abs(b), _EPS)
+
+
+def _tv(a: Sequence[float], b: Sequence[float]) -> float:
+    """Total-variation distance of two distributions, in [0, 1].
+
+    An all-zero side (an empty trace's shape) counts as distance 1
+    against any non-zero side and 0 against another empty one.
+    """
+    if len(a) != len(b):
+        raise ValueError(f"shape lengths differ: {len(a)} vs {len(b)}")
+    mass_a = sum(a)
+    mass_b = sum(b)
+    if mass_a == 0 or mass_b == 0:
+        return 0.0 if mass_a == mass_b else 1.0
+    return 0.5 * sum(abs(x - y) for x, y in zip(a, b))
+
+
+def _quantile_distance(a: Sequence[float], b: Sequence[float]) -> float:
+    """Mean per-quantile relative distance of two quantile vectors."""
+    if len(a) != len(b):
+        raise ValueError(f"quantile vector lengths differ: {len(a)} vs {len(b)}")
+    if not a:
+        return 0.0
+    return sum(_rel(x, y) for x, y in zip(a, b)) / len(a)
+
+
+def _mass_distance(
+    a: Mapping[str, float], b: Mapping[str, float]
+) -> float:
+    """Mass-weighted share-map distance over the key union, in [0, 1]."""
+    keys = sorted(set(a) | set(b))
+    diff = sum(abs(a.get(k, 0.0) - b.get(k, 0.0)) for k in keys)
+    mass = sum(max(a.get(k, 0.0), b.get(k, 0.0)) for k in keys)
+    return diff / max(mass, _EPS)
+
+
+@dataclass(frozen=True)
+class StatDivergence:
+    """One statistic's target value, twin value and normalized distance."""
+
+    name: str
+    distance: float
+    target: object
+    twin: object
+
+    def to_json_dict(self) -> dict[str, object]:
+        return {
+            "distance": self.distance,
+            "name": self.name,
+            "target": self.target,
+            "twin": self.twin,
+        }
+
+
+@dataclass(frozen=True)
+class DivergenceReport:
+    """Machine-readable comparison of a twin against its target."""
+
+    stats: tuple[StatDivergence, ...]
+    #: Mean of the per-statistic distances (0 = statistically identical).
+    score: float
+
+    def distance(self, name: str) -> float:
+        """The named statistic's distance; raises ``KeyError`` if absent."""
+        for stat in self.stats:
+            if stat.name == name:
+                return stat.distance
+        raise KeyError(name)
+
+    def to_json_dict(self) -> dict[str, object]:
+        return {
+            "score": self.score,
+            "stats": [stat.to_json_dict() for stat in self.stats],
+        }
+
+
+def divergence(target: TraceSummary, twin: TraceSummary) -> DivergenceReport:
+    """Score ``twin`` against ``target`` across the Section 4 statistics."""
+    stats: list[StatDivergence] = []
+
+    def add(name: str, dist: float, tgt: object, twn: object) -> None:
+        stats.append(
+            StatDivergence(name=name, distance=dist, target=tgt, twin=twn)
+        )
+
+    add(
+        "presence",
+        _rel(target.mean_daily_car_fraction, twin.mean_daily_car_fraction),
+        target.mean_daily_car_fraction,
+        twin.mean_daily_car_fraction,
+    )
+    add(
+        "days_on_network",
+        _rel(target.mean_days_on_network, twin.mean_days_on_network),
+        target.mean_days_on_network,
+        twin.mean_days_on_network,
+    )
+    add(
+        "diurnal_shape",
+        _tv(target.diurnal_shape, twin.diurnal_shape),
+        list(target.diurnal_shape),
+        list(twin.diurnal_shape),
+    )
+    add(
+        "duration_cdf",
+        _quantile_distance(target.duration_quantiles, twin.duration_quantiles),
+        list(target.duration_quantiles),
+        list(twin.duration_quantiles),
+    )
+    if target.n_gaps or twin.n_gaps:
+        # One side without any observed gap is maximal disagreement; with
+        # both sides gap-free the statistic is skipped below.
+        dist = (
+            _quantile_distance(
+                target.interarrival_quantiles, twin.interarrival_quantiles
+            )
+            if target.n_gaps and twin.n_gaps
+            else 1.0
+        )
+        add(
+            "interarrival",
+            dist,
+            list(target.interarrival_quantiles),
+            list(twin.interarrival_quantiles),
+        )
+    add(
+        "connect_time",
+        _rel(target.mean_connect_share, twin.mean_connect_share),
+        target.mean_connect_share,
+        twin.mean_connect_share,
+    )
+    add(
+        "carriers_time",
+        _mass_distance(target.carrier_time_share, twin.carrier_time_share),
+        dict(target.carrier_time_share),
+        dict(twin.carrier_time_share),
+    )
+    add(
+        "carriers_cars",
+        _mass_distance(target.carrier_car_share, twin.carrier_car_share),
+        dict(target.carrier_car_share),
+        dict(twin.carrier_car_share),
+    )
+    if target.handover_rate is not None and twin.handover_rate is not None:
+        add(
+            "handover_rate",
+            _rel(target.handover_rate, twin.handover_rate),
+            target.handover_rate,
+            twin.handover_rate,
+        )
+    if target.mean_busy_share is not None and twin.mean_busy_share is not None:
+        add(
+            "busy_share",
+            _rel(target.mean_busy_share, twin.mean_busy_share),
+            target.mean_busy_share,
+            twin.mean_busy_share,
+        )
+    score = sum(stat.distance for stat in stats) / len(stats)
+    return DivergenceReport(stats=tuple(stats), score=score)

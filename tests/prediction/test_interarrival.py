@@ -1,5 +1,7 @@
 """Tests for next-appearance (inter-arrival) prediction."""
 
+import math
+
 import numpy as np
 import pytest
 
@@ -7,6 +9,7 @@ from repro.algorithms.intervals import Interval
 from repro.algorithms.timebins import DAY, HOUR
 from repro.core.preprocess import preprocess
 from repro.prediction.interarrival import (
+    GapEvaluation,
     GapModel,
     evaluate_gap_models,
     fit_gap_models,
@@ -37,6 +40,26 @@ class TestGapsFromSessions:
     def test_fewer_than_two_sessions(self):
         assert gaps_from_sessions([]).size == 0
         assert gaps_from_sessions([Interval(0, 10)]).size == 0
+
+    def test_overlapping_sessions_yield_no_negative_gaps(self):
+        # Regression: raw (un-aggregated) overlapping intervals used to
+        # produce negative "gaps" that dragged quantiles below zero.
+        sessions = [Interval(0, 600), Interval(300, 900), Interval(2000, 2100)]
+        gaps = gaps_from_sessions(sessions)
+        assert gaps.tolist() == [1100.0]
+        assert (gaps > 0).all()
+
+    def test_back_to_back_sessions_yield_no_zero_gaps(self):
+        # Regression: a session starting exactly where the previous ended
+        # used to contribute a zero gap, skewing probability_within toward
+        # instant reappearance.
+        sessions = [Interval(0, 600), Interval(600, 900), Interval(1500, 1600)]
+        gaps = gaps_from_sessions(sessions)
+        assert gaps.tolist() == [600.0]
+
+    def test_all_non_positive_gaps_yield_empty(self):
+        sessions = [Interval(0, 600), Interval(100, 700), Interval(700, 800)]
+        assert gaps_from_sessions(sessions).size == 0
 
 
 class TestGapModel:
@@ -78,6 +101,24 @@ class TestFitGapModels:
         assert fleet.n_gaps == 0
 
 
+class TestImprovement:
+    def test_both_zero_is_no_improvement(self):
+        ev = GapEvaluation(n_cars=1, per_car_mae_s=0.0, baseline_mae_s=0.0)
+        assert ev.improvement == 0.0
+
+    def test_zero_baseline_with_worse_per_car_is_a_regression(self):
+        # Regression: a perfect baseline missed by the per-car models used
+        # to report improvement 0.0 — "no change" — instead of a loss.
+        ev = GapEvaluation(n_cars=1, per_car_mae_s=30.0, baseline_mae_s=0.0)
+        assert ev.improvement == -math.inf
+
+    def test_signed_relative_reduction(self):
+        better = GapEvaluation(n_cars=1, per_car_mae_s=50.0, baseline_mae_s=100.0)
+        worse = GapEvaluation(n_cars=1, per_car_mae_s=150.0, baseline_mae_s=100.0)
+        assert better.improvement == pytest.approx(0.5)
+        assert worse.improvement == pytest.approx(-0.5)
+
+
 class TestEvaluateGapModels:
     def test_per_car_beats_baseline_on_heterogeneous_fleet(self):
         # Two populations with very different rhythms: hourly vs daily.
@@ -108,6 +149,27 @@ class TestEvaluateGapModels:
         test = {"b": sessions_every(HOUR, n=10)}
         with pytest.raises(ValueError):
             evaluate_gap_models(train, test)
+
+    def test_single_session_car_is_skipped_not_crashed(self):
+        # A car with one test session has no test gaps: it must simply not
+        # count, while other cars still evaluate.
+        train = {
+            "steady": sessions_every(HOUR, n=10),
+            "oneshot": sessions_every(HOUR, n=10),
+        }
+        test = {
+            "steady": sessions_every(HOUR, n=5, start=10 * DAY),
+            "oneshot": [Interval(10 * DAY, 10 * DAY + 600)],
+        }
+        result = evaluate_gap_models(train, test)
+        assert result.n_cars == 1
+
+    def test_empty_test_split_raises(self):
+        # Training data exists but no car has held-out gaps: the evaluation
+        # is undefined and must say so, not divide by zero.
+        train = {"a": sessions_every(HOUR, n=10)}
+        with pytest.raises(ValueError, match="training and test"):
+            evaluate_gap_models(train, {"a": []})
 
     def test_on_generated_trace(self, dataset):
         pre = preprocess(dataset.batch)

@@ -44,6 +44,20 @@ class TestSweep:
         assert low.result.recall == 1.0
         assert high.result.recall == 0.5
 
+    def test_all_absent_fleet_sweeps_to_zero(self):
+        # Every car vanished in the test weeks: no car is scoreable, so the
+        # sweep must return clean zero-score points, not divide by zero.
+        train = {"a": [week_vec({8})], "b": [week_vec({9, 10})]}
+        test = {"a": [week_vec(())], "b": [week_vec(())]}
+        points = threshold_sweep(train, test)
+        assert len(points) == 6
+        for point in points:
+            assert point.result.n_cars == 0
+            assert point.result.precision == 0.0
+            assert point.result.recall == 0.0
+            assert point.f1 == 0.0
+        best_by_f1(points)  # still well-defined on an all-zero sweep
+
     def test_best_by_f1(self, toy_split):
         points = threshold_sweep(*toy_split, thresholds=(0.5, 0.9))
         assert best_by_f1(points).threshold == 0.5

@@ -100,3 +100,15 @@ class TestQueryCommand:
         code = main(["query", "summary", "--param", "no-equals-sign"])
         assert code == 2
         assert "KEY=VALUE" in capsys.readouterr().err
+
+    def test_unresolvable_host_fails_cleanly(self, capsys):
+        # Regression: a bad hostname raises socket.gaierror — an OSError
+        # that is *not* a ConnectionError — and used to escape as a
+        # traceback instead of the one-line connection error.
+        code = main(
+            ["query", "summary", "--host", "no-such-host.invalid", "--port", "1"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "cannot reach service" in err
+        assert "Traceback" not in err

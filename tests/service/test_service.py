@@ -232,6 +232,50 @@ class TestSharedScenarioContext:
         assert scenario_context(SCENARIO, DAYS + 1) is not a.context
 
 
+class TestTwinRoute:
+    def test_payload_matches_offline_summarize_source(
+        self, tmp_path, chunks
+    ):
+        """The ``twin`` query is byte-for-byte the offline target summary."""
+        from repro.twin.summary import (
+            TraceSummary,
+            TwinContext,
+            summarize_source,
+        )
+
+        trace = tmp_path / "trace"
+        write_chunks(trace, chunks, range(N_SHARDS))
+        state = ServiceState(service_config(trace))
+        payload = json.loads(state.query("twin", {}))
+        context = state.context
+        offline = summarize_source(
+            trace,
+            TwinContext(
+                clock=context.clock,
+                cells=context.topology.cells,
+                schedule=context.schedule,
+            ),
+        )
+        assert payload == offline.to_json_dict()
+        # The payload feeds straight back into the calibration loop.
+        assert TraceSummary.from_json_dict(payload) == offline
+
+    def test_ingest_extends_the_twin_summary(self, tmp_path, chunks):
+        trace = tmp_path / "trace"
+        write_chunks(trace, chunks, range(2))
+        state = ServiceState(service_config(trace))
+        before = json.loads(state.query("twin", {}))
+        write_chunks(trace, chunks, range(2, N_SHARDS))
+        state.refresh()
+        after = json.loads(state.query("twin", {}))
+        assert after["n_records"] > before["n_records"]
+
+        full = tmp_path / "full"
+        write_chunks(full, chunks, range(N_SHARDS))
+        cold = json.loads(ServiceState(service_config(full)).query("twin", {}))
+        assert after == cold
+
+
 @pytest.fixture(scope="module")
 def live_service(tmp_path_factory, chunks):
     trace = tmp_path_factory.mktemp("service") / "live"

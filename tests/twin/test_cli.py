@@ -1,0 +1,122 @@
+"""The ``repro-cars twin`` command end to end."""
+
+import json
+
+import pytest
+
+from repro.cdr.store import write_batch_cdrz
+from repro.cli import main
+from repro.simulate.config import apply_knobs
+from repro.simulate.generator import TraceGenerator
+from repro.simulate.scenarios import scenario
+from repro.twin.search import GeneratorConfig
+
+DAYS = 7
+N_CARS = 15
+
+
+@pytest.fixture(scope="module")
+def target_trace(tmp_path_factory):
+    config = apply_knobs(
+        scenario("smoke", n_cars=N_CARS, n_days=DAYS),
+        {"activity.infotainment_prob": 0.4},
+    )
+    columnar = TraceGenerator(config).generate().batch.columnar()
+    path = tmp_path_factory.mktemp("twin-cli") / "target.cdrz"
+    write_batch_cdrz(path, columnar)
+    return path
+
+
+class TestTwinCommand:
+    def test_writes_config_and_report(self, target_trace, tmp_path, capsys):
+        out = tmp_path / "twin.json"
+        report = tmp_path / "report.json"
+        code = main(
+            [
+                "twin",
+                str(target_trace),
+                "--scenario",
+                "smoke",
+                "--days",
+                str(DAYS),
+                "--cars",
+                str(N_CARS),
+                "--knobs",
+                "activity.infotainment_prob",
+                "--rounds",
+                "1",
+                "--out",
+                str(out),
+                "--report",
+                str(report),
+            ]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "divergence:" in stdout
+        assert "best fit" in stdout
+
+        recipe = GeneratorConfig.from_json_dict(json.loads(out.read_text()))
+        assert recipe.scenario == "smoke"
+        assert recipe.n_cars == N_CARS
+        assert recipe.n_days == DAYS
+        assert set(recipe.knobs) == {"activity.infotainment_prob"}
+        recipe.build()  # the emitted recipe is a valid generator config
+
+        doc = json.loads(report.read_text())
+        assert set(doc) == {
+            "baseline",
+            "config",
+            "n_evaluations",
+            "report",
+            "rounds_run",
+            "target",
+        }
+        assert doc["report"]["score"] <= doc["baseline"]["score"]
+        assert doc["target"]["n_cars"] == N_CARS
+
+    def test_unknown_knob_fails_cleanly(self, target_trace, tmp_path, capsys):
+        code = main(
+            [
+                "twin",
+                str(target_trace),
+                "--scenario",
+                "smoke",
+                "--days",
+                str(DAYS),
+                "--knobs",
+                "activity.warp_speed",
+                "--out",
+                str(tmp_path / "twin.json"),
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "twin failed" in err
+        assert "unknown knob" in err
+
+    def test_missing_target_fails_cleanly(self, tmp_path, capsys):
+        code = main(
+            [
+                "twin",
+                str(tmp_path / "nope.cdrz"),
+                "--out",
+                str(tmp_path / "twin.json"),
+            ]
+        )
+        assert code == 2
+        assert "twin failed" in capsys.readouterr().err
+
+    def test_empty_knob_list_rejected(self, target_trace, tmp_path, capsys):
+        code = main(
+            [
+                "twin",
+                str(target_trace),
+                "--knobs",
+                " , ",
+                "--out",
+                str(tmp_path / "twin.json"),
+            ]
+        )
+        assert code == 2
+        assert "at least one knob" in capsys.readouterr().err

@@ -1,0 +1,166 @@
+"""Divergence metric: bounds, symmetry, skip logic, report shape."""
+
+import math
+
+import pytest
+
+from repro.twin.divergence import DivergenceReport, divergence
+from repro.twin.summary import TraceSummary
+
+
+def make_summary(**overrides):
+    base = dict(
+        n_records=1000,
+        n_cars=50,
+        n_days=7,
+        diurnal_shape=tuple(1 / 24 for _ in range(24)),
+        duration_quantiles=(20.0, 60.0, 150.0, 400.0, 600.0),
+        interarrival_quantiles=(100.0, 300.0, 2000.0, 40000.0),
+        n_gaps=500,
+        handover_rate=4.0,
+        carrier_time_share={"C1": 0.2, "C3": 0.6, "C4": 0.2},
+        carrier_car_share={"C1": 0.5, "C3": 0.9, "C4": 0.4},
+        mean_daily_car_fraction=0.8,
+        car_trend_slope=0.001,
+        mean_days_on_network=5.0,
+        mean_connect_share=0.03,
+        mean_busy_share=0.2,
+    )
+    base.update(overrides)
+    return TraceSummary(**base)
+
+
+STAT_NAMES = {
+    "presence",
+    "days_on_network",
+    "diurnal_shape",
+    "duration_cdf",
+    "interarrival",
+    "connect_time",
+    "carriers_time",
+    "carriers_cars",
+    "handover_rate",
+    "busy_share",
+}
+
+
+class TestScore:
+    def test_identical_summaries_score_zero(self):
+        report = divergence(make_summary(), make_summary())
+        assert report.score == 0.0
+        assert all(stat.distance == 0.0 for stat in report.stats)
+        assert {stat.name for stat in report.stats} == STAT_NAMES
+
+    def test_symmetric(self):
+        a = make_summary()
+        b = make_summary(
+            mean_connect_share=0.06,
+            duration_quantiles=(10.0, 30.0, 100.0, 200.0, 600.0),
+            carrier_time_share={"C1": 0.5, "C3": 0.5},
+            diurnal_shape=tuple(
+                (2 / 24 if i < 12 else 0.0) for i in range(24)
+            ),
+        )
+        ab = divergence(a, b)
+        ba = divergence(b, a)
+        assert ab.score == pytest.approx(ba.score)
+        for stat in ab.stats:
+            assert stat.distance == pytest.approx(ba.distance(stat.name))
+
+    def test_distances_are_bounded(self):
+        a = make_summary()
+        b = make_summary(
+            mean_daily_car_fraction=0.0,
+            mean_days_on_network=0.0,
+            mean_connect_share=0.9,
+            handover_rate=0.0,
+            mean_busy_share=1.0,
+            n_gaps=0,
+            interarrival_quantiles=(0.0, 0.0, 0.0, 0.0),
+            duration_quantiles=(1.0, 1.0, 1.0, 1.0, 1.0),
+            carrier_time_share={"C9": 1.0},
+            carrier_car_share={"C9": 1.0},
+            diurnal_shape=tuple(
+                (1.0 if i == 0 else 0.0) for i in range(24)
+            ),
+        )
+        report = divergence(a, b)
+        for stat in report.stats:
+            assert 0.0 <= stat.distance <= 1.0, stat.name
+        assert 0.0 < report.score <= 1.0
+
+    def test_worse_twin_scores_higher(self):
+        target = make_summary()
+        near = make_summary(mean_connect_share=0.031)
+        far = make_summary(mean_connect_share=0.3)
+        assert (
+            divergence(target, near).score < divergence(target, far).score
+        )
+
+
+class TestSkipLogic:
+    def test_missing_handover_rate_is_skipped(self):
+        report = divergence(
+            make_summary(handover_rate=None), make_summary()
+        )
+        names = {stat.name for stat in report.stats}
+        assert "handover_rate" not in names
+        with pytest.raises(KeyError):
+            report.distance("handover_rate")
+
+    def test_missing_busy_share_is_skipped(self):
+        report = divergence(make_summary(), make_summary(mean_busy_share=None))
+        assert "busy_share" not in {stat.name for stat in report.stats}
+
+    def test_both_sides_gap_free_skips_interarrival(self):
+        a = make_summary(n_gaps=0, interarrival_quantiles=(0.0,) * 4)
+        report = divergence(a, a)
+        assert "interarrival" not in {stat.name for stat in report.stats}
+        assert report.score == 0.0
+
+    def test_one_sided_gaps_are_maximal_disagreement(self):
+        gap_free = make_summary(n_gaps=0, interarrival_quantiles=(0.0,) * 4)
+        report = divergence(make_summary(), gap_free)
+        assert report.distance("interarrival") == 1.0
+
+    def test_skipped_stats_do_not_dilute_the_score(self):
+        # Same disagreement, with and without the optional stats: the mean
+        # runs over contributing statistics only.
+        with_opt = divergence(
+            make_summary(), make_summary(mean_connect_share=0.06)
+        )
+        without_opt = divergence(
+            make_summary(handover_rate=None, mean_busy_share=None),
+            make_summary(mean_connect_share=0.06),
+        )
+        assert without_opt.score > with_opt.score
+
+
+class TestReportShape:
+    def test_mismatched_shapes_raise(self):
+        a = make_summary()
+        b = make_summary(diurnal_shape=(1.0,))
+        with pytest.raises(ValueError, match="length"):
+            divergence(a, b)
+
+    def test_mismatched_quantile_vectors_raise(self):
+        b = make_summary(duration_quantiles=(1.0, 2.0))
+        with pytest.raises(ValueError, match="length"):
+            divergence(make_summary(), b)
+
+    def test_json_dict_shape(self):
+        report = divergence(make_summary(), make_summary())
+        doc = report.to_json_dict()
+        assert set(doc) == {"score", "stats"}
+        assert isinstance(doc["stats"], list)
+        for entry in doc["stats"]:
+            assert set(entry) == {"distance", "name", "target", "twin"}
+
+    def test_score_is_mean_of_distances(self):
+        report = divergence(
+            make_summary(), make_summary(mean_connect_share=0.06)
+        )
+        mean = sum(s.distance for s in report.stats) / len(report.stats)
+        assert report.score == pytest.approx(mean)
+        assert isinstance(report, DivergenceReport)
+        assert not math.isnan(report.score)

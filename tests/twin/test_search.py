@@ -1,0 +1,197 @@
+"""Config-space search: recipe round trip, calibration, determinism.
+
+The self-twin acceptance test is the round trip the whole subsystem
+promises: generate a trace from perturbed knobs, summarize it, search
+from scenario defaults, and recover the perturbation — deterministically
+at any worker count, beating the default-config baseline on every
+statistic.  The perturbed values are chosen on the coordinate-descent
+lattice (default × (1 ± step)) so exact recovery is reachable and the
+final divergence is exactly zero.
+"""
+
+import json
+
+import pytest
+
+from repro.cdr.errors import TraceGenerationError
+from repro.simulate.config import apply_knobs
+from repro.simulate.generator import TraceGenerator
+from repro.simulate.scenarios import scenario
+from repro.twin.search import GeneratorConfig, calibrate, summarize_candidate
+from repro.twin.summary import summarize_batch, twin_context
+
+DAYS = 7
+N_CARS = 20
+SEED = 42
+#: On-lattice perturbation: 375 = 250 * 1.5, 0.4 = 0.8 * 0.5.
+TRUE_KNOBS = {
+    "activity.telemetry_period_s": 375.0,
+    "activity.infotainment_prob": 0.4,
+}
+SEARCH = tuple(TRUE_KNOBS)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return twin_context("smoke", DAYS)
+
+
+@pytest.fixture(scope="module")
+def target(ctx):
+    config = apply_knobs(
+        scenario("smoke", n_cars=N_CARS, n_days=DAYS), TRUE_KNOBS
+    )
+    columnar = TraceGenerator(config).generate().batch.columnar()
+    return summarize_batch(columnar, ctx)
+
+
+@pytest.fixture(scope="module")
+def result(target, ctx):
+    return calibrate(
+        target,
+        ctx,
+        scenario_name="smoke",
+        n_cars=N_CARS,
+        seed=SEED,
+        knobs=SEARCH,
+        rounds=2,
+    )
+
+
+class TestGeneratorConfig:
+    def test_build_applies_knobs(self):
+        recipe = GeneratorConfig(
+            scenario="smoke",
+            n_cars=N_CARS,
+            n_days=DAYS,
+            seed=7,
+            knobs=dict(TRUE_KNOBS),
+        )
+        config = recipe.build()
+        assert config.n_cars == N_CARS
+        assert config.seed == 7
+        assert config.activity.telemetry_period_s == 375.0
+        assert config.activity.infotainment_prob == 0.4
+
+    def test_json_round_trip(self):
+        recipe = GeneratorConfig(
+            scenario="smoke", n_cars=5, n_days=3, seed=1, knobs=dict(TRUE_KNOBS)
+        )
+        doc = json.loads(json.dumps(recipe.to_json_dict()))
+        assert GeneratorConfig.from_json_dict(doc) == recipe
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ValueError, match="seed"):
+            GeneratorConfig.from_json_dict(
+                {"scenario": "smoke", "n_cars": 1, "n_days": 1, "knobs": {}}
+            )
+
+    def test_bool_count_rejected(self):
+        doc = {
+            "scenario": "smoke",
+            "n_cars": True,
+            "n_days": 1,
+            "seed": 1,
+            "knobs": {},
+        }
+        with pytest.raises(ValueError, match="n_cars"):
+            GeneratorConfig.from_json_dict(doc)
+
+    def test_non_numeric_knob_rejected(self):
+        doc = {
+            "scenario": "smoke",
+            "n_cars": 1,
+            "n_days": 1,
+            "seed": 1,
+            "knobs": {"activity.telemetry_period_s": "fast"},
+        }
+        with pytest.raises(ValueError, match="telemetry"):
+            GeneratorConfig.from_json_dict(doc)
+
+    def test_build_rejects_out_of_bounds_knob(self):
+        recipe = GeneratorConfig(
+            scenario="smoke",
+            n_cars=1,
+            n_days=1,
+            seed=1,
+            knobs={"activity.telemetry_period_s": 1e9},
+        )
+        with pytest.raises(TraceGenerationError, match="outside"):
+            recipe.build()
+
+
+class TestCalibrateValidation:
+    def test_unknown_knob_raises(self, target, ctx):
+        with pytest.raises(TraceGenerationError, match="unknown knob"):
+            calibrate(target, ctx, knobs=("activity.warp_speed",))
+
+    def test_non_positive_step_raises(self, target, ctx):
+        with pytest.raises(TraceGenerationError, match="step"):
+            calibrate(target, ctx, step=0.0)
+
+
+class TestSelfTwin:
+    def test_recovers_the_perturbed_knobs_exactly(self, result):
+        assert result.config.knobs == TRUE_KNOBS
+        assert result.report.score == 0.0
+
+    def test_beats_baseline_on_every_statistic(self, result):
+        assert result.report.score < result.baseline.score
+        for stat in result.report.stats:
+            assert stat.distance <= result.baseline.distance(stat.name), (
+                stat.name
+            )
+
+    def test_baseline_is_the_default_config(self, target, ctx):
+        default = GeneratorConfig(
+            scenario="smoke",
+            n_cars=N_CARS,
+            n_days=DAYS,
+            seed=SEED,
+            knobs={},
+        )
+        from repro.twin.divergence import divergence
+
+        expected = divergence(
+            target, summarize_candidate(default, ctx)
+        ).score
+        result = calibrate(
+            target, ctx, n_cars=N_CARS, seed=SEED, knobs=SEARCH, rounds=1
+        )
+        assert result.baseline.score == pytest.approx(expected)
+
+    def test_evaluation_budget(self, result):
+        # Baseline + at most two candidates per knob per sweep; the cache
+        # folds revisited points into existing evaluations.
+        assert result.n_evaluations <= 1 + 2 * len(SEARCH) * result.rounds_run
+        assert result.rounds_run == 2
+
+    def test_deterministic_at_any_worker_count(self, target, ctx, result):
+        again = calibrate(
+            target,
+            ctx,
+            scenario_name="smoke",
+            n_cars=N_CARS,
+            seed=SEED,
+            knobs=SEARCH,
+            rounds=2,
+            workers=2,
+        )
+        assert again.config == result.config
+        assert again.report.score == result.report.score
+        assert again.baseline.score == result.baseline.score
+        assert again.n_evaluations == result.n_evaluations
+        assert [
+            (s.name, s.distance) for s in again.report.stats
+        ] == [(s.name, s.distance) for s in result.report.stats]
+
+    def test_result_json_is_serializable(self, result):
+        doc = json.loads(json.dumps(result.to_json_dict()))
+        assert set(doc) == {
+            "baseline",
+            "config",
+            "n_evaluations",
+            "report",
+            "rounds_run",
+        }
+        assert GeneratorConfig.from_json_dict(doc["config"]) == result.config
